@@ -1,0 +1,50 @@
+package isinglut
+
+import (
+	"isinglut/internal/cwm"
+	"isinglut/internal/errmetric"
+	"isinglut/internal/lut"
+)
+
+// Accelerator is a computing-with-memory function unit built from a
+// synthesized LUT design; it answers queries by table lookups and
+// accounts their energy/latency under the default SRAM cost model.
+type Accelerator = cwm.Accelerator
+
+// AcceleratorStats accumulates lookup counts and energy/latency totals.
+type AcceleratorStats = cwm.Stats
+
+// AcceleratorQuality reports application-level output quality (MSE, SNR,
+// worst error) of an accelerator against the exact function.
+type AcceleratorQuality = cwm.Quality
+
+// NewAccelerator wraps a design as an accelerator with the default cost
+// model.
+func NewAccelerator(d *Design) *Accelerator {
+	return cwm.New(d, lut.DefaultCostModel())
+}
+
+// EvaluateAccelerator runs the input stream through the accelerator and
+// the exact function, reporting quality and cost.
+func EvaluateAccelerator(a *Accelerator, exact *Function, inputs []uint64) (AcceleratorQuality, AcceleratorStats, error) {
+	return cwm.Evaluate(a, exact, inputs)
+}
+
+// RampWorkload sweeps every n-bit input pattern once.
+func RampWorkload(n int) []uint64 { return cwm.Ramp(n) }
+
+// SineWorkload generates input codes following periods of a sine wave
+// across the n-bit range — a DSP-style query stream.
+func SineWorkload(n, samples, periods int) []uint64 {
+	return cwm.Sine(n, samples, periods)
+}
+
+// ErrorHistogram is the probability-weighted distribution of error
+// distances, bucketed by powers of two.
+type ErrorHistogram = errmetric.Histogram
+
+// Profile buckets the error distance between exact and approx under dist
+// (nil = uniform) for error-tolerance analysis.
+func Profile(exact, approx *Function, dist Distribution) (*ErrorHistogram, error) {
+	return errmetric.ErrorHistogram(exact, approx, dist)
+}

@@ -1,0 +1,119 @@
+// Command adecomp approximately decomposes a benchmark Boolean function
+// for LUT compression and reports the resulting error and hardware cost.
+//
+// Usage:
+//
+//	adecomp -bench exp -n 9 -method proposed -mode joint -P 16 -R 3
+//
+// It builds the named benchmark's truth table, runs the DALTA outer loop
+// with the selected core-COP solver, and prints MED/ER, runtime, the
+// synthesized LUT cost and the compression ratio. Use -components to also
+// print the per-output-bit partitions and LUT pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"isinglut"
+	"isinglut/internal/lut"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "exp", "benchmark function: "+strings.Join(isinglut.BenchmarkNames(), ", "))
+		n          = flag.Int("n", 9, "number of input bits")
+		method     = flag.String("method", "proposed", "core solver: proposed, dalta, dalta-ilp, ba, altmin")
+		mode       = flag.String("mode", "joint", "objective: joint (MED) or separate (per-bit ER)")
+		partitions = flag.Int("P", 16, "candidate partitions per output bit per round")
+		rounds     = flag.Int("R", 3, "optimization rounds")
+		freeSize   = flag.Int("free", 0, "free-set size |A| (0 = paper default for n)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		components = flag.Bool("components", false, "print per-component decompositions")
+		trace      = flag.Bool("trace", false, "print the per-round objective trace")
+		workers    = flag.Int("workers", 1, "concurrent partition evaluations (1 = serial)")
+		verilogOut = flag.String("verilog", "", "write a synthesizable Verilog module to this file")
+	)
+	flag.Parse()
+
+	exact, err := isinglut.Benchmark(*bench, *n)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := isinglut.DefaultOptions(*n)
+	opts.Method = isinglut.Method(*method)
+	opts.Partitions = *partitions
+	opts.Rounds = *rounds
+	opts.Seed = *seed
+	if *freeSize > 0 {
+		opts.FreeSize = *freeSize
+	}
+	opts.Workers = *workers
+	switch *mode {
+	case "joint":
+		opts.Mode = isinglut.Joint
+	case "separate":
+		opts.Mode = isinglut.Separate
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	fmt.Printf("benchmark   : %s (n=%d, m=%d)\n", *bench, exact.NumInputs(), exact.NumOutputs())
+	fmt.Printf("method      : %s, mode %s, P=%d, R=%d, |A|=%d, seed %d\n",
+		opts.Method, opts.Mode, opts.Partitions, opts.Rounds, opts.FreeSize, opts.Seed)
+
+	res, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("MED         : %.4f\n", res.MED)
+	fmt.Printf("ER          : %.4f\n", res.ER)
+	fmt.Printf("worst ED    : %d\n", res.WorstED)
+	fmt.Printf("core solves : %d\n", res.CoreSolves)
+	fmt.Printf("runtime     : %s\n", res.Elapsed)
+	fmt.Printf("LUT bits    : %d (flat %d, %.2fx compression)\n",
+		res.Design.TotalBits(), res.Design.FlatBits(), res.Design.CompressionRatio())
+	model := lut.DefaultCostModel()
+	fmt.Printf("hw estimate : %s\n", model.Estimate(res.Design))
+
+	if *trace {
+		fmt.Printf("round trace :")
+		for _, v := range res.RoundTrace {
+			fmt.Printf(" %.4f", v)
+		}
+		fmt.Println()
+	}
+	if *verilogOut != "" {
+		f, err := os.Create(*verilogOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lut.WriteVerilog(f, res.Design, "approx_"+*bench); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("verilog     : written to %s\n", *verilogOut)
+	}
+	if *components {
+		fmt.Println("components  :")
+		for _, c := range res.Components {
+			if c == nil {
+				continue
+			}
+			fmt.Printf("  bit %2d: partition %v, phi %d bits + F %d bits\n",
+				c.K, c.Partition, c.Decomp.Phi.Len(), c.Decomp.F0.Len()+c.Decomp.F1.Len())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adecomp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command benchgen materializes the benchmark Boolean functions as
+// files for external tools: espresso PLA truth tables for logic-synthesis
+// flows, or a flat hex dump.
+//
+// Usage:
+//
+//	benchgen -bench multiplier -n 8 -format pla -o mult8.pla
+//	benchgen -bench exp -n 9 -format hex
+//	benchgen -list
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"isinglut"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "exp", "benchmark function name")
+		n      = flag.Int("n", 9, "number of input bits")
+		format = flag.String("format", "pla", "output format: pla, hex")
+		out    = flag.String("o", "", "output file (default stdout)")
+		list   = flag.Bool("list", false, "list available benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range isinglut.BenchmarkNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	table, err := isinglut.Benchmark(*bench, *n)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	switch *format {
+	case "pla":
+		if err := table.WritePLA(bw); err != nil {
+			fatal(err)
+		}
+	case "hex":
+		// One output word per line, one line per input pattern, ascending.
+		digits := (table.NumOutputs() + 3) / 4
+		for x := uint64(0); x < table.Size(); x++ {
+			fmt.Fprintf(bw, "%0*x\n", digits, table.Output(x))
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q (pla, hex)", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

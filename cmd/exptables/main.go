@@ -1,0 +1,130 @@
+// Command exptables regenerates the paper's evaluation artifacts:
+// Table 1 (separate and joint modes, n = 9) and Figure 4 (n = 16).
+//
+// Usage:
+//
+//	exptables -exp table1-joint              # quick scale (default)
+//	exptables -exp fig4 -P 16 -R 3           # custom budgets
+//	exptables -exp table1-separate -paper    # the paper's full budgets
+//	exptables -exp fig4 -csv out.csv         # also dump raw rows as CSV
+//
+// Quick scale preserves the comparisons' shape at laptop runtimes; -paper
+// reproduces the published budgets (P = 1000, R = 5, 3600 s ILP cap) and
+// takes CPU-days. See EXPERIMENTS.md for measured results at both scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isinglut/internal/core"
+	"isinglut/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "table1-joint", "experiment: table1-separate, table1-joint, fig4, sweep, convergence")
+		paper    = flag.Bool("paper", false, "use the paper's full budgets (CPU-days)")
+		p        = flag.Int("P", 0, "override candidate partitions per component per round")
+		r        = flag.Int("R", 0, "override rounds")
+		seed     = flag.Int64("seed", 7, "random seed")
+		csvPath  = flag.String("csv", "", "also write raw rows as CSV to this file")
+		baseline = flag.String("baseline", "dalta", "fig4 baseline method")
+		bench    = flag.String("bench", "erf", "benchmark for sweep/convergence experiments")
+	)
+	flag.Parse()
+
+	n := 9
+	if *exp == "fig4" {
+		n = 16
+	}
+	scale := experiments.QuickScale(n)
+	if *paper {
+		scale = experiments.PaperScale(n)
+	}
+	if *p > 0 {
+		scale.Partitions = *p
+	}
+	if *r > 0 {
+		scale.Rounds = *r
+	}
+
+	if *exp == "sweep" || *exp == "convergence" {
+		runAux(*exp, *bench, *seed)
+		return
+	}
+
+	var cfg experiments.Config
+	switch *exp {
+	case "table1-separate":
+		cfg = experiments.Table1Config(core.Separate, scale, *seed)
+	case "table1-joint":
+		cfg = experiments.Table1Config(core.Joint, scale, *seed)
+	case "fig4":
+		cfg = experiments.Fig4Config(scale, *seed)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	fmt.Printf("experiment %s: n=%d |A|=%d mode=%s P=%d R=%d\n\n",
+		*exp, cfg.N, cfg.FreeSize, cfg.Mode, scale.Partitions, scale.Rounds)
+
+	rows, err := experiments.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *exp == "fig4" {
+		experiments.RenderFig4(os.Stdout, experiments.Fig4Ratios(rows, *baseline))
+	} else {
+		experiments.RenderTable(os.Stdout, rows)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nraw rows written to %s\n", *csvPath)
+	}
+}
+
+// runAux handles the design-space experiments that do not fit the
+// benchmark x method row shape.
+func runAux(exp, bench string, seed int64) {
+	switch exp {
+	case "sweep":
+		scale := experiments.QuickScale(9)
+		fmt.Printf("free-set sweep for %s (n=9, joint, proposed)\n\n", bench)
+		rows, err := experiments.FreeSizeSweep(bench, 9, 2, 7, scale, seed)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderSweep(os.Stdout, rows)
+		fmt.Printf("\noverlap sweep for %s (|A|=4)\n\n", bench)
+		orows, err := experiments.OverlapSweep(bench, 9, 4, 2, scale, seed)
+		if err != nil {
+			fatal(err)
+		}
+		experiments.RenderSweep(os.Stdout, orows)
+	case "convergence":
+		fmt.Printf("bSB convergence on a %s core COP (n=9, k=4)\n\n", bench)
+		results, err := experiments.Convergence(bench, 9, 4, 4, seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("%-8s %s\n", r.Label, r.Summary)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "exptables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// accelerator builds a computing-with-memory function unit for a sigmoid
+// activation kernel — the end-to-end story the paper's introduction
+// motivates: precompute the function, shrink its LUTs with approximate
+// disjoint decomposition, and serve queries by memory lookups.
+//
+// The example decomposes a 12-bit sigmoid, deploys it as an accelerator,
+// runs a DSP-style sine-sweep query stream through it, and reports the
+// application-level quality (SNR) next to the hardware savings and the
+// error-distance histogram.
+//
+// Run with: go run ./examples/accelerator [-n 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"isinglut"
+)
+
+func main() {
+	n := flag.Int("n", 12, "input bits")
+	flag.Parse()
+
+	exact, err := isinglut.Benchmark("sigmoid", *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sigmoid: %d-bit in, %d-bit out (flat LUT %d Kib)\n\n",
+		*n, exact.NumOutputs(), exact.NumOutputs()*(1<<uint(*n))/1024)
+
+	opts := isinglut.DefaultOptions(*n)
+	opts.Partitions = 8
+	opts.Rounds = 2
+	res, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposed: %d bits (%.1fx smaller), MED %.2f of %d levels, solver %s\n",
+		res.Design.TotalBits(), res.Design.CompressionRatio(), res.MED,
+		1<<uint(exact.NumOutputs()), res.Elapsed.Round(1000000))
+	fmt.Printf("hardware  : %s\n\n", isinglut.EstimateHardware(res.Design))
+
+	// Deploy and run a DSP-style workload.
+	acc := isinglut.NewAccelerator(res.Design)
+	workload := isinglut.SineWorkload(*n, 4096, 5)
+	quality, stats, err := isinglut.EvaluateAccelerator(acc, exact, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload  : %d lookups, %.1f nJ total, %.1f us serialized\n",
+		stats.Lookups, stats.EnergyFJ/1e6, stats.LatencyPS/1e6)
+	fmt.Printf("quality   : SNR %.1f dB, MSE %.3f, worst error %d codes\n\n",
+		quality.SNRdB, quality.MSE, quality.MaxED)
+
+	// Error-tolerance profile over the whole domain.
+	hist, err := isinglut.Profile(exact, res.Approx, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("error-distance histogram (probability mass):")
+	hist.Render(os.Stdout)
+	fmt.Printf("\nP(error >= 16 codes) = %.4f\n", hist.TailMass(16))
+}

@@ -1,0 +1,80 @@
+// kinematics builds an approximate-LUT accelerator for the AxBench-style
+// inverse-kinematics kernel (inversek2j): given a target point (x, y) for
+// a two-joint robot arm, look up the elbow angle from compressed LUTs
+// instead of computing an acos at runtime.
+//
+// The example decomposes the quantized kernel, then "deploys" it: it runs
+// the synthesized LUT design on a trajectory of target points and reports
+// the angle error the approximation introduces along the path — the
+// end-to-end quality metric an accelerator designer would check.
+//
+// Run with: go run ./examples/kinematics [-n 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"isinglut"
+)
+
+func main() {
+	n := flag.Int("n", 12, "total input bits (n/2 per coordinate)")
+	flag.Parse()
+
+	exact, err := isinglut.Benchmark("inversek2j", *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := exact.NumOutputs()
+	fmt.Printf("inversek2j: %d-bit coordinates -> %d-bit elbow angle\n", *n/2, m)
+	fmt.Printf("flat LUT: %d bits (%d KiB)\n\n", m*(1<<uint(*n)), m*(1<<uint(*n))/8192)
+
+	opts := isinglut.DefaultOptions(*n)
+	opts.Partitions = 6
+	opts.Rounds = 2
+	res, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decomposed LUTs: %d bits (%.1fx compression), MED %.2f codes, runtime %s\n\n",
+		res.Design.TotalBits(), res.Design.CompressionRatio(), res.MED, res.Elapsed.Round(1000000))
+
+	// Deploy: sweep the arm tip along a quarter circle of radius 0.8 and
+	// compare the LUT-provided elbow angle against the analytic one.
+	const (
+		l1, l2 = 0.5, 0.5
+		radius = 0.8
+		steps  = 16
+	)
+	coordBits := *n / 2
+	scale := float64(uint64(1)<<uint(coordBits) - 1)
+	reach := l1 + l2
+	angleMax := math.Pi // inferred output range top for this kernel
+
+	fmt.Println("trajectory check (quarter circle, radius 0.8):")
+	fmt.Printf("%8s %8s %12s %12s %10s\n", "x", "y", "exact(rad)", "lut(rad)", "err(rad)")
+	worst := 0.0
+	for i := 0; i <= steps; i++ {
+		phi := float64(i) / steps * math.Pi / 2
+		x, y := radius*math.Cos(phi), radius*math.Sin(phi)
+
+		// Quantize the coordinates exactly like the table generator.
+		cx := uint64(math.Round(x / reach * scale))
+		cy := uint64(math.Round(y / reach * scale))
+		pattern := cx | cy<<uint(coordBits)
+
+		analytic := math.Acos((x*x + y*y - l1*l1 - l2*l2) / (2 * l1 * l2))
+		code := res.Design.Eval(pattern)
+		lutAngle := float64(code) / (math.Pow(2, float64(m)) - 1) * angleMax
+
+		err := math.Abs(analytic - lutAngle)
+		if err > worst {
+			worst = err
+		}
+		fmt.Printf("%8.3f %8.3f %12.4f %12.4f %10.4f\n", x, y, analytic, lutAngle, err)
+	}
+	fmt.Printf("\nworst trajectory error: %.4f rad (%.2f deg)\n", worst, worst*180/math.Pi)
+}

@@ -1,0 +1,90 @@
+// lutcompress explores the accuracy/size trade-off of approximate LUT
+// compression: it decomposes a quantized continuous function under
+// different free-set sizes and solver methods and prints the frontier.
+//
+// This is the workload the paper's introduction motivates: computing with
+// memory stores exp/ln/erf-style kernels in LUTs whose size explodes with
+// input precision; approximate disjoint decomposition shrinks them at a
+// controlled mean error distance.
+//
+// Run with: go run ./examples/lutcompress [-bench ln] [-n 9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"isinglut"
+)
+
+func main() {
+	bench := flag.String("bench", "ln", "continuous benchmark to compress")
+	n := flag.Int("n", 9, "input bits")
+	flag.Parse()
+
+	exact, err := isinglut.Benchmark(*bench, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressing %s with n=%d inputs, m=%d outputs (flat LUT: %d bits)\n\n",
+		*bench, exact.NumInputs(), exact.NumOutputs(),
+		exact.NumOutputs()*(1<<uint(exact.NumInputs())))
+
+	// Sweep the free-set size: a larger bound set B compresses more
+	// (phi covers more inputs) but forces more approximation error.
+	fmt.Println("-- free-set sweep (proposed solver, joint mode) --")
+	fmt.Printf("%4s %6s %10s %10s %8s\n", "|A|", "|B|", "MED", "LUT bits", "ratio")
+	for free := 2; free <= *n-2; free++ {
+		opts := isinglut.DefaultOptions(*n)
+		opts.FreeSize = free
+		opts.Partitions = 8
+		opts.Rounds = 2
+		res, err := isinglut.Decompose(exact, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %6d %10.3f %10d %7.1fx\n",
+			free, *n-free, res.MED, res.Design.TotalBits(), res.Design.CompressionRatio())
+	}
+
+	// Non-disjoint extension: share free variables into the bound set.
+	// The phi LUT grows but the approximation error falls — a second
+	// accuracy/size knob on top of the free-set size.
+	fmt.Println()
+	fmt.Println("-- overlap sweep (non-disjoint decomposition extension) --")
+	fmt.Printf("%8s %10s %10s %8s\n", "overlap", "MED", "LUT bits", "ratio")
+	for overlap := 0; overlap <= 2; overlap++ {
+		opts := isinglut.DefaultOptions(*n)
+		opts.Overlap = overlap
+		opts.Partitions = 8
+		opts.Rounds = 2
+		res, err := isinglut.Decompose(exact, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %10.3f %10d %7.1fx\n",
+			overlap, res.MED, res.Design.TotalBits(), res.Design.CompressionRatio())
+	}
+
+	// Compare the core-COP solvers at the paper's free-set size.
+	fmt.Println()
+	fmt.Println("-- method comparison (paper free-set size, joint mode) --")
+	fmt.Printf("%-10s %10s %10s %12s\n", "method", "MED", "ER", "runtime")
+	for _, m := range []isinglut.Method{
+		isinglut.MethodDALTA,
+		isinglut.MethodBA,
+		isinglut.MethodAltMin,
+		isinglut.MethodProposed,
+	} {
+		opts := isinglut.DefaultOptions(*n)
+		opts.Method = m
+		opts.Partitions = 8
+		opts.Rounds = 2
+		res, err := isinglut.Decompose(exact, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.3f %10.3f %12s\n", m, res.MED, res.ER, res.Elapsed.Round(1000000))
+	}
+}

@@ -1,0 +1,136 @@
+// maxcut uses the repository's simulated-bifurcation stack as a
+// standalone combinatorial-optimization solver — the same engine that
+// powers the approximate decomposition — on weighted max-cut.
+//
+// Max-cut maps to the Ising model by J_ij = -w_ij (cut edges are
+// rewarded); the cut value recovers as (W - E)/2 ... more precisely
+// cut = (sum of weights - sum_ij w_ij s_i s_j)/2 = (W + 2E')/2 for the
+// convention used here. The example compares bSB against simulated
+// annealing and a greedy baseline on a random weighted graph.
+//
+// Run with: go run ./examples/maxcut [-nodes 40] [-degree 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"isinglut"
+)
+
+type edge struct {
+	u, v int
+	w    float64
+}
+
+func main() {
+	nodes := flag.Int("nodes", 40, "graph size")
+	degree := flag.Int("degree", 6, "average degree")
+	seed := flag.Int64("seed", 3, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	edges := randomGraph(*nodes, *degree, rng)
+	fmt.Printf("random graph: %d nodes, %d edges\n\n", *nodes, len(edges))
+
+	// Ising encoding: J_uv = -w_uv so anti-aligned spins (a cut) lower
+	// the energy.
+	prob := isinglut.NewIsingProblem(*nodes)
+	for _, e := range edges {
+		prob.SetCoupling(e.u, e.v, -e.w)
+	}
+
+	// bSB with the dynamic stop criterion.
+	best := isinglut.IsingResult{}
+	for s := int64(0); s < 4; s++ {
+		res, err := isinglut.SolveIsing(prob, isinglut.SBOptions{
+			Steps: 3000, Seed: s, DynamicStop: true, F: 20, S: 20, Epsilon: 1e-10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if best.Spins == nil || res.Energy < best.Energy {
+			best = res
+		}
+	}
+	fmt.Printf("bSB      : cut %.2f (energy %.2f, %d iters)\n",
+		cutValue(edges, best.Spins), best.Energy, best.Iterations)
+
+	// Simulated annealing.
+	sa, err := isinglut.AnnealIsing(prob, 600, 3.0, 1e-3, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SA       : cut %.2f (energy %.2f)\n", cutValue(edges, sa.Spins), sa.Energy)
+
+	// Greedy baseline: local moves until no vertex wants to switch side.
+	greedy := greedyCut(*nodes, edges, rng)
+	fmt.Printf("greedy   : cut %.2f\n", cutValue(edges, greedy))
+}
+
+func randomGraph(n, degree int, rng *rand.Rand) []edge {
+	target := n * degree / 2
+	seen := map[[2]int]bool{}
+	var edges []edge
+	for len(edges) < target {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, edge{u, v, 0.5 + rng.Float64()})
+	}
+	return edges
+}
+
+func cutValue(edges []edge, spins []int8) float64 {
+	total := 0.0
+	for _, e := range edges {
+		if spins[e.u] != spins[e.v] {
+			total += e.w
+		}
+	}
+	return total
+}
+
+func greedyCut(n int, edges []edge, rng *rand.Rand) []int8 {
+	spins := make([]int8, n)
+	for i := range spins {
+		spins[i] = int8(2*rng.Intn(2) - 1)
+	}
+	adj := make([][]edge, n)
+	for _, e := range edges {
+		adj[e.u] = append(adj[e.u], e)
+		adj[e.v] = append(adj[e.v], e)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			gain := 0.0
+			for _, e := range adj[v] {
+				other := e.u
+				if other == v {
+					other = e.v
+				}
+				if spins[v] == spins[other] {
+					gain += e.w // flipping v would cut this edge
+				} else {
+					gain -= e.w
+				}
+			}
+			if gain > 0 {
+				spins[v] = -spins[v]
+				changed = true
+			}
+		}
+	}
+	return spins
+}

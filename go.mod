@@ -1,0 +1,3 @@
+module isinglut
+
+go 1.22

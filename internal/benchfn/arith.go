@@ -1,0 +1,189 @@
+package benchfn
+
+import (
+	"fmt"
+	"math"
+
+	"isinglut/internal/truthtable"
+)
+
+// Arithmetic benchmarks reimplement the four AxBench-style circuits as
+// bit-exact generators. Each takes the total input width n and splits it
+// into two operands (n/2 bits each, low half = first operand).
+
+// splitOperands separates an n-bit input pattern into two operands of
+// widths na = n/2 and nb = n - na.
+func splitOperands(x uint64, n int) (a, b uint64, na, nb int) {
+	na = n / 2
+	nb = n - na
+	a = x & (1<<uint(na) - 1)
+	b = x >> uint(na)
+	return a, b, na, nb
+}
+
+// BrentKungAdd computes a + b for width-w operands using an explicit
+// Brent-Kung parallel-prefix carry network (the gate-level structure of
+// the AxBench adder), returning the (w+1)-bit sum. The network computes
+// per-bit generate/propagate signals, runs the up-sweep to form power-of-
+// two group (G, P) pairs and the down-sweep to recover all carries.
+func BrentKungAdd(a, b uint64, w int) uint64 {
+	if w <= 0 || w > 32 {
+		panic(fmt.Sprintf("benchfn: unsupported adder width %d", w))
+	}
+	g := make([]uint64, w) // group generate, initially per-bit
+	p := make([]uint64, w) // group propagate
+	for i := 0; i < w; i++ {
+		ai := (a >> uint(i)) & 1
+		bi := (b >> uint(i)) & 1
+		g[i] = ai & bi
+		p[i] = ai ^ bi
+	}
+	sumBits := make([]uint64, w)
+	copy(sumBits, p)
+
+	// Up-sweep: after the pass for stride d, index i (with (i+1) % 2d == 0)
+	// holds (G, P) of the 2d-bit group ending at i.
+	for d := 1; d < w; d *= 2 {
+		for i := 2*d - 1; i < w; i += 2 * d {
+			g[i] |= p[i] & g[i-d]
+			p[i] &= p[i-d]
+		}
+	}
+	// Down-sweep: fill in the remaining prefixes.
+	for d := largestPow2Below(w); d >= 1; d /= 2 {
+		for i := 3*d - 1; i < w; i += 2 * d {
+			g[i] |= p[i] & g[i-d]
+			p[i] &= p[i-d]
+		}
+	}
+	// g[i] is now the carry out of bit i; carry into bit i+1.
+	var sum uint64
+	carry := uint64(0)
+	for i := 0; i < w; i++ {
+		sum |= (sumBits[i] ^ carry) << uint(i)
+		carry = g[i]
+	}
+	sum |= carry << uint(w)
+	return sum
+}
+
+func largestPow2Below(w int) int {
+	d := 1
+	for d*2 < w {
+		d *= 2
+	}
+	return d
+}
+
+// BrentKungTable builds the truth table of the Brent-Kung adder over n
+// total input bits: two n/2-bit operands, (n/2 + 1)-bit sum.
+func BrentKungTable(n int) (*truthtable.Table, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("benchfn: brent-kung needs even n >= 2, got %d", n)
+	}
+	w := n / 2
+	return truthtable.FromFunc(n, w+1, func(x uint64) uint64 {
+		a, b, _, _ := splitOperands(x, n)
+		return BrentKungAdd(a, b, w)
+	}), nil
+}
+
+// MultiplierTable builds the truth table of an unsigned array multiplier:
+// two n/2-bit operands, n-bit product.
+func MultiplierTable(n int) (*truthtable.Table, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("benchfn: multiplier needs even n >= 2, got %d", n)
+	}
+	return truthtable.FromFunc(n, n, func(x uint64) uint64 {
+		a, b, _, _ := splitOperands(x, n)
+		return a * b
+	}), nil
+}
+
+// Robot-arm link lengths for the kinematics benchmarks (AxBench uses a
+// two-joint arm with half-unit links).
+const (
+	linkL1 = 0.5
+	linkL2 = 0.5
+)
+
+// Forwardk2j computes the x coordinate of a 2-joint arm's end effector:
+// x = l1 cos(t1) + l2 cos(t1 + t2), with both joint angles in [0, pi/2].
+func Forwardk2j(t1, t2 float64) float64 {
+	return linkL1*math.Cos(t1) + linkL2*math.Cos(t1+t2)
+}
+
+// Forwardk2jTable quantizes Forwardk2j: the two operands map to joint
+// angles in [0, pi/2]; the output is quantized to m = n bits over the
+// inferred range.
+func Forwardk2jTable(n int) (*truthtable.Table, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("benchfn: forwardk2j needs even n >= 2, got %d", n)
+	}
+	return quantizeTwoOperand(n, n, func(u, v float64) float64 {
+		return Forwardk2j(u*math.Pi/2, v*math.Pi/2)
+	})
+}
+
+// Inversek2j computes the elbow joint angle t2 reaching point (x, y):
+// t2 = acos((x^2 + y^2 - l1^2 - l2^2) / (2 l1 l2)), with the argument
+// clamped to [-1, 1] for unreachable points (AxBench does the same).
+func Inversek2j(x, y float64) float64 {
+	arg := (x*x + y*y - linkL1*linkL1 - linkL2*linkL2) / (2 * linkL1 * linkL2)
+	if arg > 1 {
+		arg = 1
+	}
+	if arg < -1 {
+		arg = -1
+	}
+	return math.Acos(arg)
+}
+
+// Inversek2jTable quantizes Inversek2j: the two operands map to target
+// coordinates in [0, l1+l2]; the output angle is quantized to m = n bits.
+func Inversek2jTable(n int) (*truthtable.Table, error) {
+	if n < 2 || n%2 != 0 {
+		return nil, fmt.Errorf("benchfn: inversek2j needs even n >= 2, got %d", n)
+	}
+	reach := linkL1 + linkL2
+	return quantizeTwoOperand(n, n, func(u, v float64) float64 {
+		return Inversek2j(u*reach, v*reach)
+	})
+}
+
+// quantizeTwoOperand builds an n-input, m-output table from a real
+// function of two operands, each operand normalized to [0, 1] over its
+// n/2-bit grid; the output is quantized over the inferred range.
+func quantizeTwoOperand(n, m int, f func(u, v float64) float64) (*truthtable.Table, error) {
+	na := n / 2
+	nb := n - na
+	scaleA := float64(uint64(1)<<uint(na) - 1)
+	scaleB := float64(uint64(1)<<uint(nb) - 1)
+	size := uint64(1) << uint(n)
+	values := make([]float64, size)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for x := uint64(0); x < size; x++ {
+		a, b, _, _ := splitOperands(x, n)
+		y := f(float64(a)/scaleA, float64(b)/scaleB)
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("benchfn: non-finite value at pattern %d", x)
+		}
+		values[x] = y
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("benchfn: degenerate output range [%g,%g]", lo, hi)
+	}
+	maxCode := float64(uint64(1)<<uint(m) - 1)
+	t := truthtable.New(n, m)
+	for x := uint64(0); x < size; x++ {
+		code := math.Round((values[x] - lo) / (hi - lo) * maxCode)
+		t.SetOutput(x, uint64(code))
+	}
+	return t, nil
+}

@@ -1,0 +1,296 @@
+package benchfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"isinglut/internal/truthtable"
+)
+
+func TestBrentKungAddMatchesPlus(t *testing.T) {
+	// Property: the prefix network computes ordinary addition exactly.
+	f := func(a, b uint16) bool {
+		return BrentKungAdd(uint64(a), uint64(b), 16) == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrentKungWidths(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 5, 8, 13, 16, 17, 32} {
+		mask := uint64(1)<<uint(w) - 1
+		rng := rand.New(rand.NewSource(int64(w)))
+		for trial := 0; trial < 200; trial++ {
+			a := rng.Uint64() & mask
+			b := rng.Uint64() & mask
+			if got := BrentKungAdd(a, b, w); got != a+b {
+				t.Fatalf("w=%d: %d+%d = %d, got %d", w, a, b, a+b, got)
+			}
+		}
+	}
+}
+
+func TestBrentKungEdges(t *testing.T) {
+	// All-ones + 1 exercises the full carry chain.
+	for _, w := range []int{4, 8, 16} {
+		mask := uint64(1)<<uint(w) - 1
+		if got := BrentKungAdd(mask, 1, w); got != mask+1 {
+			t.Errorf("w=%d: carry chain broken: %d", w, got)
+		}
+		if got := BrentKungAdd(0, 0, w); got != 0 {
+			t.Errorf("w=%d: 0+0 = %d", w, got)
+		}
+		if got := BrentKungAdd(mask, mask, w); got != 2*mask {
+			t.Errorf("w=%d: max+max = %d", w, got)
+		}
+	}
+}
+
+func TestBrentKungPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d did not panic", w)
+				}
+			}()
+			BrentKungAdd(1, 1, w)
+		}()
+	}
+}
+
+func TestBrentKungTableShape(t *testing.T) {
+	tt, err := BrentKungTable(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.NumInputs() != 8 || tt.NumOutputs() != 5 {
+		t.Fatalf("shape (%d,%d)", tt.NumInputs(), tt.NumOutputs())
+	}
+	// Spot-check: 15 + 15 = 30.
+	x := uint64(15) | uint64(15)<<4
+	if tt.Output(x) != 30 {
+		t.Fatalf("15+15 = %d", tt.Output(x))
+	}
+	if _, err := BrentKungTable(7); err == nil {
+		t.Error("odd n accepted")
+	}
+}
+
+func TestMultiplierTableExact(t *testing.T) {
+	tt, err := MultiplierTable(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			x := a | b<<4
+			if tt.Output(x) != a*b {
+				t.Fatalf("%d*%d = %d, got %d", a, b, a*b, tt.Output(x))
+			}
+		}
+	}
+}
+
+func TestForwardk2jValues(t *testing.T) {
+	// At t1 = t2 = 0 the arm is stretched along x: x = l1 + l2 = 1.
+	if got := Forwardk2j(0, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Forwardk2j(0,0) = %g", got)
+	}
+	// At t1 = pi/2, t2 = 0: x = 0.
+	if got := Forwardk2j(math.Pi/2, 0); math.Abs(got) > 1e-12 {
+		t.Errorf("Forwardk2j(pi/2,0) = %g", got)
+	}
+}
+
+func TestInversek2jValues(t *testing.T) {
+	// Fully stretched point (1, 0): elbow angle 0.
+	if got := Inversek2j(1, 0); math.Abs(got) > 1e-9 {
+		t.Errorf("Inversek2j(1,0) = %g", got)
+	}
+	// Unreachable points clamp instead of NaN.
+	if got := Inversek2j(5, 5); math.IsNaN(got) {
+		t.Error("Inversek2j produced NaN for unreachable point")
+	}
+	// Origin: arg = (0 - 0.5)/0.5 = -1 -> pi.
+	if got := Inversek2j(0, 0); math.Abs(got-math.Pi) > 1e-9 {
+		t.Errorf("Inversek2j(0,0) = %g", got)
+	}
+}
+
+func TestKinematicsTablesBuild(t *testing.T) {
+	for _, build := range []func(int) (*truthtable.Table, error){Forwardk2jTable, Inversek2jTable} {
+		tt, err := build(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt.NumInputs() != 8 || tt.NumOutputs() != 8 {
+			t.Fatalf("shape (%d,%d)", tt.NumInputs(), tt.NumOutputs())
+		}
+		// Output range is fully used: some pattern hits 0 and the max.
+		sawZero, sawMax := false, false
+		maxCode := uint64(255)
+		for x := uint64(0); x < tt.Size(); x++ {
+			switch tt.Output(x) {
+			case 0:
+				sawZero = true
+			case maxCode:
+				sawMax = true
+			}
+		}
+		if !sawZero || !sawMax {
+			t.Error("inferred output range not fully used")
+		}
+	}
+}
+
+func TestContinuousBenchmarksMatchTable1(t *testing.T) {
+	// Domains from Table 1; ranges are inferred, so check against the
+	// paper's reported values loosely.
+	want := map[string][2]float64{
+		"cos":     {0, 1},
+		"tan":     {0, 3.08},
+		"exp":     {0, 20.09},
+		"ln":      {0, 2.30},
+		"erf":     {0, 1},
+		"denoise": {0, 0.81},
+	}
+	for _, b := range ContinuousBenchmarks() {
+		w, ok := want[b.Name]
+		if !ok {
+			t.Fatalf("unexpected benchmark %s", b.Name)
+		}
+		lo := b.F(b.Lo)
+		hi := b.F(b.Hi)
+		if b.Name == "denoise" || b.Name == "cos" {
+			lo, hi = hi, lo // decreasing functions
+		}
+		// The paper reports the range top precisely; the bottom is rounded
+		// loosely (e.g. exp's true minimum is exp(0) = 1, reported as 0).
+		if lo < w[0]-0.02 || lo > w[0]+1.05 {
+			t.Errorf("%s: range low %g, paper %g", b.Name, lo, w[0])
+		}
+		if math.Abs(hi-w[1]) > 0.02 {
+			t.Errorf("%s: range high %g, paper %g", b.Name, hi, w[1])
+		}
+	}
+}
+
+func TestQuantizedContinuousMonotone(t *testing.T) {
+	// exp, erf, tan, ln are increasing; their quantizations must be
+	// non-decreasing in the input code.
+	for _, name := range []string{"exp", "erf", "tan", "ln"} {
+		tt, err := Build(name, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := uint64(0)
+		for x := uint64(0); x < tt.Size(); x++ {
+			if tt.Output(x) < prev {
+				t.Fatalf("%s not monotone at %d", name, x)
+			}
+			prev = tt.Output(x)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("registry has %d benchmarks, want 10", len(names))
+	}
+	for _, name := range names {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Outputs == nil || spec.Build == nil {
+			t.Fatalf("%s: incomplete spec", name)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRegistryOutputWidths(t *testing.T) {
+	// Paper conventions: m = n for continuous and most arithmetic,
+	// m = n/2+1 for Brent-Kung (m = 9 at n = 16).
+	for _, name := range Names() {
+		spec, _ := Lookup(name)
+		tt, err := spec.Build(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tt.NumOutputs() != spec.Outputs(8) {
+			t.Errorf("%s: built %d outputs, spec says %d", name, tt.NumOutputs(), spec.Outputs(8))
+		}
+	}
+	bk, _ := Lookup("brent-kung")
+	if bk.Outputs(16) != 9 {
+		t.Errorf("brent-kung at n=16 has m=%d, paper says 9", bk.Outputs(16))
+	}
+}
+
+func TestDenoisePeak(t *testing.T) {
+	// The surrogate's peak must be ~0.81 (the paper's reported range top).
+	if got := Denoise(0); math.Abs(got-0.81) > 0.01 {
+		t.Errorf("Denoise(0) = %g, want ~0.81", got)
+	}
+	if Denoise(3) > 1e-6 {
+		t.Errorf("Denoise(3) = %g, want ~0", Denoise(3))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindContinuous.String() != "continuous" || KindArithmetic.String() != "arithmetic" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestSplitOperands(t *testing.T) {
+	a, b, na, nb := splitOperands(0b10110101, 8)
+	if na != 4 || nb != 4 || a != 0b0101 || b != 0b1011 {
+		t.Fatalf("splitOperands: a=%b b=%b na=%d nb=%d", a, b, na, nb)
+	}
+}
+
+func TestExtensionBenchmarks(t *testing.T) {
+	all := AllNames()
+	if len(all) != 16 {
+		t.Fatalf("extended registry has %d entries, want 16", len(all))
+	}
+	// Paper set untouched.
+	if len(Names()) != 10 {
+		t.Fatalf("paper set has %d entries", len(Names()))
+	}
+	for _, name := range []string{"sqrt", "sin", "sigmoid", "gaussian", "rsqrt", "log2"} {
+		tt, err := Build(name, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tt.NumInputs() != 8 || tt.NumOutputs() != 8 {
+			t.Fatalf("%s: shape (%d,%d)", name, tt.NumInputs(), tt.NumOutputs())
+		}
+	}
+	// Monotone extension kernels stay monotone after quantization.
+	for _, name := range []string{"sqrt", "sigmoid", "log2"} {
+		tt, _ := Build(name, 8)
+		prev := uint64(0)
+		for x := uint64(0); x < tt.Size(); x++ {
+			if tt.Output(x) < prev {
+				t.Fatalf("%s not monotone at %d", name, x)
+			}
+			prev = tt.Output(x)
+		}
+	}
+	if got := Sigmoid(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %g", got)
+	}
+	if got := Gaussian(0); got != 1 {
+		t.Errorf("Gaussian(0) = %g", got)
+	}
+}

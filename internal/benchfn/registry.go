@@ -1,0 +1,139 @@
+package benchfn
+
+import (
+	"fmt"
+	"sort"
+
+	"isinglut/internal/truthtable"
+)
+
+// Kind distinguishes the two benchmark families.
+type Kind int
+
+const (
+	// KindContinuous marks quantized real functions (Table 1, Fig. 4).
+	KindContinuous Kind = iota
+	// KindArithmetic marks the AxBench-style circuits (Fig. 4 only).
+	KindArithmetic
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindContinuous {
+		return "continuous"
+	}
+	return "arithmetic"
+}
+
+// Spec describes one registered benchmark.
+type Spec struct {
+	Name string
+	Kind Kind
+	// Build generates the truth table for n total input bits with the
+	// paper's output-width convention for the benchmark.
+	Build func(n int) (*truthtable.Table, error)
+	// Outputs reports the output width the benchmark uses at n inputs.
+	Outputs func(n int) int
+}
+
+// Names returns the paper's ten benchmark names in evaluation order
+// (continuous functions first, in Table 1 order, then arithmetic).
+func Names() []string {
+	specs := registry()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// AllNames returns every registered benchmark, including the extension
+// kernels beyond the paper's evaluation set.
+func AllNames() []string {
+	specs := extendedRegistry()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Lookup returns the spec for a benchmark name (paper set or extension).
+func Lookup(name string) (Spec, error) {
+	for _, s := range extendedRegistry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	known := AllNames()
+	sort.Strings(known)
+	return Spec{}, fmt.Errorf("benchfn: unknown benchmark %q (known: %v)", name, known)
+}
+
+// Build generates the truth table for the named benchmark at n input bits.
+func Build(name string, n int) (*truthtable.Table, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(n)
+}
+
+func registry() []Spec {
+	var specs []Spec
+	for _, c := range ContinuousBenchmarks() {
+		c := c
+		specs = append(specs, Spec{
+			Name: c.Name,
+			Kind: KindContinuous,
+			Build: func(n int) (*truthtable.Table, error) {
+				return QuantizeContinuous(c, n, n)
+			},
+			Outputs: func(n int) int { return n },
+		})
+	}
+	specs = append(specs,
+		Spec{
+			Name:    "brent-kung",
+			Kind:    KindArithmetic,
+			Build:   BrentKungTable,
+			Outputs: func(n int) int { return n/2 + 1 },
+		},
+		Spec{
+			Name:    "forwardk2j",
+			Kind:    KindArithmetic,
+			Build:   Forwardk2jTable,
+			Outputs: func(n int) int { return n },
+		},
+		Spec{
+			Name:    "inversek2j",
+			Kind:    KindArithmetic,
+			Build:   Inversek2jTable,
+			Outputs: func(n int) int { return n },
+		},
+		Spec{
+			Name:    "multiplier",
+			Kind:    KindArithmetic,
+			Build:   MultiplierTable,
+			Outputs: func(n int) int { return n },
+		},
+	)
+	return specs
+}
+
+// extendedRegistry appends the extension kernels to the paper set.
+func extendedRegistry() []Spec {
+	specs := registry()
+	for _, c := range ExtraContinuousBenchmarks() {
+		c := c
+		specs = append(specs, Spec{
+			Name: c.Name,
+			Kind: KindContinuous,
+			Build: func(n int) (*truthtable.Table, error) {
+				return QuantizeContinuous(c, n, n)
+			},
+			Outputs: func(n int) int { return n },
+		})
+	}
+	return specs
+}

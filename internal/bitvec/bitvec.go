@@ -1,0 +1,287 @@
+// Package bitvec provides packed bit vectors.
+//
+// Bit vectors are the storage type for every Boolean object in this
+// repository: truth tables of component functions, row/column patterns,
+// and column-type vectors. They are fixed-length at construction and
+// store 64 bits per word.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length packed bit vector. The zero value is an empty
+// vector of length 0; use New to create one of a given length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed bit vector with n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBools builds a vector from a slice of booleans.
+func FromBools(bs []bool) *Vector {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromBits builds a vector from a slice of 0/1 integers. Any nonzero value
+// is treated as 1.
+func FromBits(bits []int) *Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Get returns bit i. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Bit returns bit i as 0 or 1. It panics if i is out of range.
+func (v *Vector) Bit(i int) int {
+	if v.Get(i) {
+		return 1
+	}
+	return 0
+}
+
+// Set assigns bit i. It panics if i is out of range.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		v.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip toggles bit i and returns the new value.
+func (v *Vector) Flip(i int) bool {
+	v.check(i)
+	v.words[i>>6] ^= 1 << (uint(i) & 63)
+	return v.Get(i)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with the contents of w. The lengths must match.
+func (v *Vector) CopyFrom(w *Vector) {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d != %d", v.n, w.n))
+	}
+	copy(v.words, w.words)
+}
+
+// Equal reports whether v and w have the same length and bits.
+func (v *Vector) Equal(w *Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i, word := range v.words {
+		if word != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// HammingDistance returns the number of positions where v and w differ.
+// It panics if lengths differ.
+func (v *Vector) HammingDistance(w *Vector) int {
+	if v.n != w.n {
+		panic(fmt.Sprintf("bitvec: HammingDistance length mismatch %d != %d", v.n, w.n))
+	}
+	d := 0
+	for i := range v.words {
+		d += bits.OnesCount64(v.words[i] ^ w.words[i])
+	}
+	return d
+}
+
+// Not returns the bitwise complement of v (within its length).
+func (v *Vector) Not() *Vector {
+	w := New(v.n)
+	for i := range v.words {
+		w.words[i] = ^v.words[i]
+	}
+	w.maskTail()
+	return w
+}
+
+// Xor returns v XOR u. It panics if lengths differ.
+func (v *Vector) Xor(u *Vector) *Vector {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: Xor length mismatch %d != %d", v.n, u.n))
+	}
+	w := New(v.n)
+	for i := range v.words {
+		w.words[i] = v.words[i] ^ u.words[i]
+	}
+	return w
+}
+
+// And returns v AND u. It panics if lengths differ.
+func (v *Vector) And(u *Vector) *Vector {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: And length mismatch %d != %d", v.n, u.n))
+	}
+	w := New(v.n)
+	for i := range v.words {
+		w.words[i] = v.words[i] & u.words[i]
+	}
+	return w
+}
+
+// Or returns v OR u. It panics if lengths differ.
+func (v *Vector) Or(u *Vector) *Vector {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: Or length mismatch %d != %d", v.n, u.n))
+	}
+	w := New(v.n)
+	for i := range v.words {
+		w.words[i] = v.words[i] | u.words[i]
+	}
+	return w
+}
+
+// IsZero reports whether every bit is 0.
+func (v *Vector) IsZero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsOnes reports whether every bit is 1.
+func (v *Vector) IsOnes() bool {
+	return v.OnesCount() == v.n
+}
+
+// SetAll assigns every bit to b.
+func (v *Vector) SetAll(b bool) {
+	var word uint64
+	if b {
+		word = ^uint64(0)
+	}
+	for i := range v.words {
+		v.words[i] = word
+	}
+	v.maskTail()
+}
+
+// maskTail clears the unused bits of the final word so that word-level
+// comparisons remain valid.
+func (v *Vector) maskTail() {
+	if r := uint(v.n) & 63; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Uint64 interprets the first min(64, Len) bits as a little-endian integer
+// (bit 0 is the least significant). It panics if Len > 64.
+func (v *Vector) Uint64() uint64 {
+	if v.n > 64 {
+		panic(fmt.Sprintf("bitvec: Uint64 on %d-bit vector", v.n))
+	}
+	if len(v.words) == 0 {
+		return 0
+	}
+	return v.words[0]
+}
+
+// FromUint64 builds an n-bit vector (n <= 64) from the low bits of u.
+func FromUint64(u uint64, n int) *Vector {
+	if n > 64 {
+		panic(fmt.Sprintf("bitvec: FromUint64 with n=%d > 64", n))
+	}
+	v := New(n)
+	if len(v.words) > 0 {
+		v.words[0] = u
+		v.maskTail()
+	}
+	return v
+}
+
+// Bools returns the bits as a slice of booleans.
+func (v *Vector) Bools() []bool {
+	out := make([]bool, v.n)
+	for i := range out {
+		out[i] = v.Get(i)
+	}
+	return out
+}
+
+// String renders the vector as a 0/1 string with bit 0 leftmost, e.g.
+// "1010". Useful in tests and error messages.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse builds a vector from a 0/1 string with bit 0 leftmost. Characters
+// other than '0' and '1' are rejected.
+func Parse(s string) (*Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			v.Set(i, true)
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at %d", s[i], i)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,298 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLengthAndZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 129, 1024} {
+		v := New(n)
+		if v.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, v.Len())
+		}
+		if !v.IsZero() {
+			t.Errorf("New(%d) not zero", n)
+		}
+		if v.OnesCount() != 0 {
+			t.Errorf("New(%d).OnesCount() = %d", n, v.OnesCount())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		if v.Bit(i) != 1 {
+			t.Fatalf("Bit(%d) != 1", i)
+		}
+		if got := v.Flip(i); got {
+			t.Fatalf("Flip(%d) returned true after clearing", i)
+		}
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after Flip", i)
+		}
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Get(10) },
+		func() { v.Get(-1) },
+		func() { v.Set(10, true) },
+		func() { v.Flip(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromBoolsAndBools(t *testing.T) {
+	in := []bool{true, false, true, true, false}
+	v := FromBools(in)
+	out := v.Bools()
+	if len(out) != len(in) {
+		t.Fatalf("Bools length %d", len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("bit %d: want %v got %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestFromBits(t *testing.T) {
+	v := FromBits([]int{1, 0, 2, 0, -1})
+	want := "10101"
+	if v.String() != want {
+		t.Errorf("FromBits = %s, want %s", v, want)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := FromBits([]int{1, 0, 1})
+	w := v.Clone()
+	w.Set(1, true)
+	if v.Get(1) {
+		t.Error("Clone shares storage with original")
+	}
+	if !w.Get(0) || !w.Get(2) {
+		t.Error("Clone lost bits")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := New(5)
+	w := FromBits([]int{1, 1, 0, 0, 1})
+	v.CopyFrom(w)
+	if !v.Equal(w) {
+		t.Error("CopyFrom mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom length mismatch did not panic")
+		}
+	}()
+	v.CopyFrom(New(4))
+}
+
+func TestEqual(t *testing.T) {
+	a := FromBits([]int{1, 0, 1})
+	b := FromBits([]int{1, 0, 1})
+	c := FromBits([]int{1, 1, 1})
+	d := FromBits([]int{1, 0})
+	if !a.Equal(b) {
+		t.Error("equal vectors not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different vectors Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different-length vectors Equal")
+	}
+}
+
+func TestOnesCountAndHamming(t *testing.T) {
+	a := FromBits([]int{1, 1, 0, 1, 0})
+	b := FromBits([]int{0, 1, 1, 1, 0})
+	if a.OnesCount() != 3 {
+		t.Errorf("OnesCount = %d", a.OnesCount())
+	}
+	if d := a.HammingDistance(b); d != 2 {
+		t.Errorf("HammingDistance = %d", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Errorf("self HammingDistance = %d", d)
+	}
+}
+
+func TestNotMasksTail(t *testing.T) {
+	// Not must not set bits beyond Len, or word-level Equal breaks.
+	v := New(70)
+	w := v.Not()
+	if !w.IsOnes() {
+		t.Error("Not of zero vector is not all ones")
+	}
+	if w.OnesCount() != 70 {
+		t.Errorf("Not set %d bits, want 70", w.OnesCount())
+	}
+	if !w.Not().Equal(v) {
+		t.Error("double Not != identity")
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	a := FromBits([]int{1, 1, 0, 0})
+	b := FromBits([]int{1, 0, 1, 0})
+	if got := a.And(b).String(); got != "1000" {
+		t.Errorf("And = %s", got)
+	}
+	if got := a.Or(b).String(); got != "1110" {
+		t.Errorf("Or = %s", got)
+	}
+	if got := a.Xor(b).String(); got != "0110" {
+		t.Errorf("Xor = %s", got)
+	}
+}
+
+func TestBitwiseLengthMismatchPanics(t *testing.T) {
+	a, b := New(4), New(5)
+	for _, f := range []func(){
+		func() { a.And(b) },
+		func() { a.Or(b) },
+		func() { a.Xor(b) },
+		func() { a.HammingDistance(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("length mismatch did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	v := New(67)
+	v.SetAll(true)
+	if !v.IsOnes() {
+		t.Error("SetAll(true) not all ones")
+	}
+	v.SetAll(false)
+	if !v.IsZero() {
+		t.Error("SetAll(false) not zero")
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	for _, u := range []uint64{0, 1, 0b1011, 1<<63 | 5} {
+		v := FromUint64(u, 64)
+		if v.Uint64() != u {
+			t.Errorf("round trip %d -> %d", u, v.Uint64())
+		}
+	}
+	v := FromUint64(0xFF, 4)
+	if v.Uint64() != 0xF {
+		t.Errorf("FromUint64 did not mask: %x", v.Uint64())
+	}
+}
+
+func TestUint64TooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64 on 65-bit vector did not panic")
+		}
+	}()
+	New(65).Uint64()
+}
+
+func TestParseAndString(t *testing.T) {
+	v, err := Parse("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "10110" {
+		t.Errorf("round trip = %s", v)
+	}
+	if _, err := Parse("10x"); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+}
+
+func TestIsOnesEdge(t *testing.T) {
+	v := New(0)
+	if !v.IsOnes() || !v.IsZero() {
+		t.Error("empty vector should be both all-ones and all-zero (vacuously)")
+	}
+}
+
+// Property: XOR-based Hamming distance equals bitwise comparison.
+func TestHammingMatchesXorCount(t *testing.T) {
+	f := func(bitsA, bitsB []bool) bool {
+		n := len(bitsA)
+		if len(bitsB) < n {
+			n = len(bitsB)
+		}
+		a := FromBools(bitsA[:n])
+		b := FromBools(bitsB[:n])
+		return a.HammingDistance(b) == a.Xor(b).OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Set then Get is identity on random indices.
+func TestSetGetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := New(500)
+	ref := make([]bool, 500)
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(500)
+		b := rng.Intn(2) == 1
+		v.Set(i, b)
+		ref[i] = b
+	}
+	for i, b := range ref {
+		if v.Get(i) != b {
+			t.Fatalf("bit %d: want %v", i, b)
+		}
+	}
+}
+
+// Property: OnesCount(Not(v)) + OnesCount(v) == Len.
+func TestNotComplementCount(t *testing.T) {
+	f := func(bits []bool) bool {
+		v := FromBools(bits)
+		return v.OnesCount()+v.Not().OnesCount() == v.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

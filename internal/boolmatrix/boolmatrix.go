@@ -1,0 +1,152 @@
+// Package boolmatrix builds the Boolean matrix of a single-output Boolean
+// function under an input partition.
+//
+// Following the paper, the matrix of component g_k under w = {A, B} has
+// r = 2^|A| rows (indexed by the free-set assignment) and c = 2^|B|
+// columns (indexed by the bound-set assignment); entry (i, j) holds
+// O_kij = g_k at the corresponding global input pattern, together with the
+// occurrence probability p_kij of that pattern. Both decomposition
+// theorems (row-based and column-based) are statements about this matrix.
+package boolmatrix
+
+import (
+	"fmt"
+
+	"isinglut/internal/bitvec"
+	"isinglut/internal/partition"
+	"isinglut/internal/prob"
+)
+
+// Matrix is the Boolean matrix of one component function under a
+// partition. Values are stored row-major, packed one bit per entry, with
+// probabilities as float64 per entry.
+type Matrix struct {
+	part *partition.Partition
+	r, c int
+	vals *bitvec.Vector // r*c bits, entry (i,j) at index i*c+j
+	p    []float64      // r*c probabilities
+}
+
+// Build constructs the matrix of the component whose packed truth table is
+// tt (length 2^n) under part, weighting entries by dist. dist may be nil,
+// which means the uniform distribution.
+func Build(tt *bitvec.Vector, part *partition.Partition, dist prob.Distribution) *Matrix {
+	n := part.NumVars()
+	if tt.Len() != 1<<uint(n) {
+		panic(fmt.Sprintf("boolmatrix: truth table has %d bits, partition wants %d", tt.Len(), 1<<uint(n)))
+	}
+	if dist == nil {
+		dist = prob.NewUniform(n)
+	} else if dist.NumInputs() != n {
+		panic(fmt.Sprintf("boolmatrix: distribution over %d inputs, partition over %d", dist.NumInputs(), n))
+	}
+	r, c := part.Rows(), part.Cols()
+	m := &Matrix{
+		part: part,
+		r:    r,
+		c:    c,
+		vals: bitvec.New(r * c),
+		p:    make([]float64, r*c),
+	}
+	for i := 0; i < r; i++ {
+		base := i * c
+		for j := 0; j < c; j++ {
+			if !part.Valid(i, j) {
+				continue // unreachable cell: value 0, probability 0
+			}
+			g := part.Global(i, j)
+			if tt.Get(int(g)) {
+				m.vals.Set(base+j, true)
+			}
+			m.p[base+j] = dist.P(g)
+		}
+	}
+	return m
+}
+
+// Partition returns the partition the matrix was built under.
+func (m *Matrix) Partition() *partition.Partition { return m.part }
+
+// Rows returns r = 2^|A|.
+func (m *Matrix) Rows() int { return m.r }
+
+// Cols returns c = 2^|B|.
+func (m *Matrix) Cols() int { return m.c }
+
+// Value returns O at cell (i, j) as 0 or 1.
+func (m *Matrix) Value(i, j int) int {
+	return m.vals.Bit(i*m.c + j)
+}
+
+// Prob returns the occurrence probability of cell (i, j).
+func (m *Matrix) Prob(i, j int) float64 {
+	return m.p[i*m.c+j]
+}
+
+// Global returns the global input pattern of cell (i, j).
+func (m *Matrix) Global(i, j int) uint64 {
+	return m.part.Global(i, j)
+}
+
+// Valid reports whether cell (i, j) corresponds to an input pattern
+// (always true under a disjoint partition).
+func (m *Matrix) Valid(i, j int) bool {
+	return m.part.Valid(i, j)
+}
+
+// Row returns row i as a c-bit vector (a fresh copy).
+func (m *Matrix) Row(i int) *bitvec.Vector {
+	row := bitvec.New(m.c)
+	base := i * m.c
+	for j := 0; j < m.c; j++ {
+		if m.vals.Get(base + j) {
+			row.Set(j, true)
+		}
+	}
+	return row
+}
+
+// Col returns column j as an r-bit vector (a fresh copy).
+func (m *Matrix) Col(j int) *bitvec.Vector {
+	col := bitvec.New(m.r)
+	for i := 0; i < m.r; i++ {
+		if m.vals.Get(i*m.c + j) {
+			col.Set(i, true)
+		}
+	}
+	return col
+}
+
+// RowProbMass returns the total probability of row i.
+func (m *Matrix) RowProbMass(i int) float64 {
+	sum := 0.0
+	base := i * m.c
+	for j := 0; j < m.c; j++ {
+		sum += m.p[base+j]
+	}
+	return sum
+}
+
+// ColProbMass returns the total probability of column j.
+func (m *Matrix) ColProbMass(j int) float64 {
+	sum := 0.0
+	for i := 0; i < m.r; i++ {
+		sum += m.p[i*m.c+j]
+	}
+	return sum
+}
+
+// String renders small matrices for debugging (panics above 16x64).
+func (m *Matrix) String() string {
+	if m.r > 16 || m.c > 64 {
+		panic("boolmatrix: String on large matrix")
+	}
+	s := ""
+	for i := 0; i < m.r; i++ {
+		for j := 0; j < m.c; j++ {
+			s += fmt.Sprintf("%d", m.Value(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

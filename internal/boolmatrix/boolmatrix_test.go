@@ -1,0 +1,165 @@
+package boolmatrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/partition"
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+func buildRandom(t *testing.T, n int, maskA uint64, seed int64) (*Matrix, *truthtable.Table, *partition.Partition) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tt := truthtable.Random(n, 1, rng)
+	part := partition.MustNew(n, maskA)
+	return Build(tt.Component(0), part, nil), tt, part
+}
+
+func TestValuesMatchTruthTable(t *testing.T) {
+	m, tt, part := buildRandom(t, 6, 0b001101, 1)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			g := part.Global(i, j)
+			if m.Value(i, j) != tt.Bit(0, g) {
+				t.Fatalf("Value(%d,%d) != truth table at %d", i, j, g)
+			}
+			if m.Global(i, j) != g {
+				t.Fatalf("Global mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestUniformProbabilities(t *testing.T) {
+	m, _, _ := buildRandom(t, 5, 0b00110, 2)
+	want := 1.0 / 32
+	total := 0.0
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.Prob(i, j) != want {
+				t.Fatalf("Prob(%d,%d) = %g", i, j, m.Prob(i, j))
+			}
+			total += m.Prob(i, j)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("total probability %g", total)
+	}
+}
+
+func TestWeightedProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tt := truthtable.Random(4, 1, rng)
+	part := partition.MustNew(4, 0b0011)
+	dist := prob.RandomWeighted(4, rng)
+	m := Build(tt.Component(0), part, dist)
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.Prob(i, j) != dist.P(part.Global(i, j)) {
+				t.Fatalf("weighted Prob mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestRowColViews(t *testing.T) {
+	m, _, _ := buildRandom(t, 5, 0b00011, 4)
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j := 0; j < m.Cols(); j++ {
+			if row.Bit(j) != m.Value(i, j) {
+				t.Fatalf("Row(%d) bit %d mismatch", i, j)
+			}
+		}
+	}
+	for j := 0; j < m.Cols(); j++ {
+		col := m.Col(j)
+		for i := 0; i < m.Rows(); i++ {
+			if col.Bit(i) != m.Value(i, j) {
+				t.Fatalf("Col(%d) bit %d mismatch", j, i)
+			}
+		}
+	}
+}
+
+func TestMassAccounting(t *testing.T) {
+	m, _, _ := buildRandom(t, 6, 0b000111, 5)
+	rowTotal, colTotal := 0.0, 0.0
+	for i := 0; i < m.Rows(); i++ {
+		rowTotal += m.RowProbMass(i)
+	}
+	for j := 0; j < m.Cols(); j++ {
+		colTotal += m.ColProbMass(j)
+	}
+	if math.Abs(rowTotal-1) > 1e-12 || math.Abs(colTotal-1) > 1e-12 {
+		t.Fatalf("mass totals row=%g col=%g", rowTotal, colTotal)
+	}
+}
+
+func TestBuildPanicsOnMismatch(t *testing.T) {
+	tt := truthtable.New(5, 1)
+	part := partition.MustNew(4, 0b0011)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	Build(tt.Component(0), part, nil)
+}
+
+func TestBuildPanicsOnDistMismatch(t *testing.T) {
+	tt := truthtable.New(4, 1)
+	part := partition.MustNew(4, 0b0011)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("distribution mismatch did not panic")
+		}
+	}()
+	Build(tt.Component(0), part, prob.NewUniform(5))
+}
+
+func TestStringSmall(t *testing.T) {
+	tt := truthtable.FromFunc(2, 1, func(x uint64) uint64 { return x & 1 })
+	part := partition.MustNew(2, 0b01)
+	m := Build(tt.Component(0), part, nil)
+	// Rows indexed by x1 (free), cols by x2: row 0 = x1=0 -> 0, row 1 -> 1.
+	if got := m.String(); got != "00\n11\n" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOverlapMatrixProbabilities(t *testing.T) {
+	// Non-disjoint partition: unreachable cells carry zero probability and
+	// the total mass still sums to 1 over reachable cells.
+	rng := rand.New(rand.NewSource(9))
+	tt := truthtable.Random(5, 1, rng)
+	part, err := partition.NewOverlap(5, 0b00111, 0b11100) // x3 shared
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(tt.Component(0), part, nil)
+	total := 0.0
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if !m.Valid(i, j) {
+				if m.Prob(i, j) != 0 {
+					t.Fatalf("invalid cell (%d,%d) has probability %g", i, j, m.Prob(i, j))
+				}
+				if m.Value(i, j) != 0 {
+					t.Fatalf("invalid cell (%d,%d) has value %d", i, j, m.Value(i, j))
+				}
+				continue
+			}
+			if m.Value(i, j) != tt.Bit(0, part.Global(i, j)) {
+				t.Fatalf("valid cell (%d,%d) value mismatch", i, j)
+			}
+			total += m.Prob(i, j)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("reachable mass %g", total)
+	}
+}

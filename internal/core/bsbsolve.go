@@ -1,0 +1,107 @@
+package core
+
+import (
+	"isinglut/internal/bitvec"
+	"isinglut/internal/decomp"
+	"isinglut/internal/sb"
+)
+
+// SolverOptions configures the proposed Ising-model-based core-COP solver.
+type SolverOptions struct {
+	// SB holds the simulated-bifurcation parameters. SB.Stop enables the
+	// dynamic stop criterion (Section 3.3.1). SB.OnSample is reserved for
+	// the solver and must be nil.
+	SB sb.Params
+	// Theorem3 enables the intervention heuristic (Section 3.3.2): at
+	// every sample point, recompute the conditionally-optimal column-type
+	// vector from the current V1/V2 signs and clamp the T spins to it
+	// (position ±1, momentum 0) before the dynamics continue.
+	Theorem3 bool
+}
+
+// DefaultSolverOptions returns the paper-faithful configuration: bSB with
+// dynamic stop (f = s = 20, epsilon = 1e-8, the paper's n = 9 setting) and
+// the Theorem-3 heuristic enabled.
+func DefaultSolverOptions() SolverOptions {
+	p := sb.DefaultParams()
+	p.Stop = &sb.StopCriteria{F: 20, S: 20, Epsilon: 1e-8}
+	return SolverOptions{SB: p, Theorem3: true}
+}
+
+// Solution reports a core-COP solve.
+type Solution struct {
+	Setting *decomp.ColSetting
+	Cost    float64   // objective value (SettingCost of Setting)
+	SB      sb.Result // underlying SB run diagnostics
+}
+
+// SolveBSB solves the column-based core COP with the proposed method:
+// formulate as a second-order Ising model and search with ballistic
+// simulated bifurcation, optionally applying the paper's two improvement
+// strategies.
+func SolveBSB(cop *COP, opts SolverOptions) Solution {
+	if opts.SB.OnSample != nil {
+		panic("core: SolverOptions.SB.OnSample is reserved")
+	}
+	f := Formulate(cop)
+	params := opts.SB
+	if opts.Theorem3 {
+		params.OnSample = theorem3Hook(f)
+	}
+	res := sb.Solve(f.Problem, params)
+	setting := f.DecodeSpins(res.Spins)
+	return Solution{
+		Setting: setting,
+		Cost:    cop.SettingCost(setting),
+		SB:      res,
+	}
+}
+
+// theorem3Hook builds a fresh Theorem-3 intervention closure with its own
+// scratch buffers (so independent replicas can run concurrently): at each
+// sample point it reads the V1/V2 patterns off the position signs,
+// computes the conditionally-optimal column-type vector, and clamps the
+// T spins to it with zeroed momenta.
+func theorem3Hook(f *Formulation) func(iter int, x, y []float64) {
+	cop := f.COP
+	v1 := bitvec.New(cop.R)
+	v2 := bitvec.New(cop.R)
+	t := bitvec.New(cop.C)
+	return func(_ int, x, y []float64) {
+		f.patternsFromPositions(x, v1, v2)
+		cop.OptimalT(v1, v2, t)
+		for j := 0; j < cop.C; j++ {
+			idx := f.TIndex(j)
+			if t.Get(j) {
+				x[idx] = 1
+			} else {
+				x[idx] = -1
+			}
+			y[idx] = 0
+		}
+	}
+}
+
+// SolveBSBBatch runs the proposed solver as a batch of independent SB
+// replicas (concurrently, up to workers goroutines) and returns the best
+// solution — the software counterpart of SB's "massively parallel"
+// hardware execution. Results are deterministic for a fixed base seed.
+func SolveBSBBatch(cop *COP, opts SolverOptions, replicas, workers int) Solution {
+	if opts.SB.OnSample != nil {
+		panic("core: SolverOptions.SB.OnSample is reserved")
+	}
+	f := Formulate(cop)
+	bp := sb.BatchParams{Base: opts.SB, Replicas: replicas, Workers: workers}
+	if opts.Theorem3 {
+		bp.MakeOnSample = func(int) func(int, []float64, []float64) {
+			return theorem3Hook(f)
+		}
+	}
+	res := sb.SolveBatch(f.Problem, bp)
+	setting := f.DecodeSpins(res.Spins)
+	return Solution{
+		Setting: setting,
+		Cost:    cop.SettingCost(setting),
+		SB:      res,
+	}
+}

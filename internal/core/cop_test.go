@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/decomp"
+	"isinglut/internal/errmetric"
+	"isinglut/internal/partition"
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+// randomSeparateCOP draws a random single-output function and partition.
+func randomSeparateCOP(rng *rand.Rand) (*COP, *boolmatrix.Matrix) {
+	n := 3 + rng.Intn(3)
+	part := partition.Random(n, 1+rng.Intn(n-1), rng)
+	tt := truthtable.Random(n, 1, rng)
+	m := boolmatrix.Build(tt.Component(0), part, prob.RandomWeighted(n, rng))
+	return NewSeparateCOP(m), m
+}
+
+func TestSeparateCostMatchesSettingError(t *testing.T) {
+	// Eq. 4: the COP cost of a setting equals the weighted entry error.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		cop, m := randomSeparateCOP(rng)
+		s := RandomSetting(cop, rng)
+		want := decomp.SettingError(m, s)
+		got := cop.SettingCost(s)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: SettingCost %g, SettingError %g", trial, got, want)
+		}
+	}
+}
+
+func TestSeparateCostsAreComplementary(t *testing.T) {
+	// In separate mode exactly one of cost0/cost1 is nonzero per entry
+	// (the erroneous value), and it equals the entry probability.
+	rng := rand.New(rand.NewSource(2))
+	cop, m := randomSeparateCOP(rng)
+	for i := 0; i < cop.R; i++ {
+		for j := 0; j < cop.C; j++ {
+			c0, c1 := cop.EntryCost(i, j, 0), cop.EntryCost(i, j, 1)
+			p := m.Prob(i, j)
+			if m.Value(i, j) == 1 {
+				if c0 != p || c1 != 0 {
+					t.Fatalf("entry (%d,%d): value 1, costs %g/%g, p=%g", i, j, c0, c1, p)
+				}
+			} else if c1 != p || c0 != 0 {
+				t.Fatalf("entry (%d,%d): value 0, costs %g/%g, p=%g", i, j, c0, c1, p)
+			}
+		}
+	}
+}
+
+// jointFixture builds a random multi-output function with a partially
+// approximated state for joint-mode tests.
+func jointFixture(rng *rand.Rand) (exact, approx *truthtable.Table, part *partition.Partition, k int) {
+	n := 3 + rng.Intn(3)
+	m := 2 + rng.Intn(3)
+	exact = truthtable.Random(n, m, rng)
+	approx = exact.Clone()
+	k = rng.Intn(m)
+	// Corrupt some other components to emulate prior approximation rounds.
+	for l := 0; l < m; l++ {
+		if l == k {
+			continue
+		}
+		for flips := 0; flips < 3; flips++ {
+			x := uint64(rng.Intn(1 << uint(n)))
+			approx.SetBit(l, x, rng.Intn(2) == 1)
+		}
+	}
+	part = partition.Random(n, 1+rng.Intn(n-1), rng)
+	return exact, approx, part, k
+}
+
+// TestJointCostEqualsWholeWordMED is the central semantic property of the
+// joint mode (Eq. 10): the COP cost of a candidate setting for component k
+// equals the MED of the full function with component k replaced by the
+// candidate and all other components at their current approximations.
+func TestJointCostEqualsWholeWordMED(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		exact, approx, part, k := jointFixture(rng)
+		cop := NewJointCOP(part, k, exact, approx, nil)
+		s := RandomSetting(cop, rng)
+		got := cop.SettingCost(s)
+
+		candidate := approx.Clone()
+		candidate.SetComponent(k, s.ApproxTable())
+		want := errmetric.MED(exact, candidate, nil)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: joint cost %g, direct MED %g", trial, got, want)
+		}
+	}
+}
+
+// TestJointCaseSplitMatchesAbs verifies the paper's Eqs. 12-15: the
+// piecewise linearization of ED equals |2^{k-1} v + D| for binary v.
+// NewJointCOP stores the absolute value directly, so here we recompute the
+// linearized form and compare.
+func TestJointCaseSplitMatchesAbs(t *testing.T) {
+	weights := []float64{1, 2, 4, 8, 256}
+	ds := []float64{-300, -256, -200, -8, -4, -1, 0, 1, 5, 100}
+	for _, w := range weights {
+		for _, d := range ds {
+			for v := 0.0; v <= 1; v++ {
+				abs := math.Abs(w*v + d)
+				var lin float64
+				if -w <= d && d <= 0 {
+					lin = (w+2*d)*v - d // Eq. 13
+				} else {
+					sgn := 1.0
+					if d < 0 {
+						sgn = -1
+					}
+					lin = w*sgn*v + d*sgn // Eq. 15
+				}
+				if math.Abs(abs-lin) > 1e-12 {
+					t.Fatalf("w=%g d=%g v=%g: |.|=%g linearized=%g", w, d, v, abs, lin)
+				}
+			}
+		}
+	}
+}
+
+func TestJointFirstRoundUsesExact(t *testing.T) {
+	// With approx == exact (first round), D_kij = -2^{k-1} O_kij, so
+	// cost(v) = p * 2^{k-1} * [v != O].
+	rng := rand.New(rand.NewSource(4))
+	exact := truthtable.Random(4, 3, rng)
+	part := partition.MustNew(4, 0b0011)
+	k := 2
+	cop := NewJointCOP(part, k, exact, exact.Clone(), nil)
+	p := 1.0 / 16
+	for i := 0; i < cop.R; i++ {
+		for j := 0; j < cop.C; j++ {
+			o := exact.Bit(k, part.Global(i, j))
+			wantWrong := p * 4 // 2^k = 4
+			if got := cop.EntryCost(i, j, 1-o); math.Abs(got-wantWrong) > 1e-12 {
+				t.Fatalf("wrong-value cost %g, want %g", got, wantWrong)
+			}
+			if got := cop.EntryCost(i, j, o); got != 0 {
+				t.Fatalf("right-value cost %g, want 0", got)
+			}
+		}
+	}
+}
+
+func TestDeltaAndConstantTerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cop, _ := randomSeparateCOP(rng)
+	s := RandomSetting(cop, rng)
+	// SettingCost == ConstantTerm + sum of Delta over entries set to 1.
+	manual := cop.ConstantTerm()
+	for i := 0; i < cop.R; i++ {
+		for j := 0; j < cop.C; j++ {
+			if s.EntryValue(i, j) == 1 {
+				manual += cop.Delta(i, j)
+			}
+		}
+	}
+	if math.Abs(manual-cop.SettingCost(s)) > 1e-12 {
+		t.Fatalf("delta decomposition %g != cost %g", manual, cop.SettingCost(s))
+	}
+}
+
+func TestOptimalTIsOptimal(t *testing.T) {
+	// Theorem 3: given V1, V2, no other T achieves a lower cost.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		s := RandomSetting(cop, rng)
+		best := s.Clone()
+		cost := cop.OptimalT(best.V1, best.V2, best.T)
+		if math.Abs(cost-cop.SettingCost(best)) > 1e-12 {
+			t.Fatalf("OptimalT returned cost %g, actual %g", cost, cop.SettingCost(best))
+		}
+		// Random T perturbations never improve.
+		for probe := 0; probe < 20; probe++ {
+			alt := best.Clone()
+			alt.T.Flip(rng.Intn(cop.C))
+			if cop.SettingCost(alt) < cost-1e-12 {
+				t.Fatalf("trial %d: a T flip beat Theorem 3", trial)
+			}
+		}
+	}
+}
+
+func TestOptimalVIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		s := RandomSetting(cop, rng)
+		best := s.Clone()
+		cost := cop.OptimalV(best.T, best.V1, best.V2)
+		if math.Abs(cost-cop.SettingCost(best)) > 1e-12 {
+			t.Fatalf("OptimalV returned cost %g, actual %g", cost, cop.SettingCost(best))
+		}
+		for probe := 0; probe < 20; probe++ {
+			alt := best.Clone()
+			if rng.Intn(2) == 0 {
+				alt.V1.Flip(rng.Intn(cop.R))
+			} else {
+				alt.V2.Flip(rng.Intn(cop.R))
+			}
+			if cop.SettingCost(alt) < cost-1e-12 {
+				t.Fatalf("trial %d: a V flip beat OptimalV", trial)
+			}
+		}
+	}
+}
+
+func TestOptimalTDimensionPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cop, _ := randomSeparateCOP(rng)
+	s := RandomSetting(cop, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	cop.OptimalT(s.V1, s.V2, s.V1) // wrong length for T
+}
+
+func TestRowInstanceSharesCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cop, _ := randomSeparateCOP(rng)
+	inst := cop.RowInstance()
+	if inst.R != cop.R || inst.C != cop.C {
+		t.Fatal("dimensions differ")
+	}
+	if &inst.Cost0[0] != &cop.Cost0[0] {
+		t.Fatal("RowInstance copied costs; it should share them")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Separate.String() != "separate" || Joint.String() != "joint" {
+		t.Error("mode names wrong")
+	}
+}
+
+// TestOptimalTIdempotent: applying Theorem 3 twice equals applying it
+// once (quick property over random instances).
+func TestOptimalTIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 50; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		s := RandomSetting(cop, rng)
+		first := cop.OptimalT(s.V1, s.V2, s.T)
+		tCopy := s.T.Clone()
+		second := cop.OptimalT(s.V1, s.V2, s.T)
+		if first != second || !s.T.Equal(tCopy) {
+			t.Fatalf("trial %d: OptimalT not idempotent", trial)
+		}
+	}
+}
+
+// TestAlternationMonotone: any interleaving of OptimalT and OptimalV
+// steps yields a non-increasing cost sequence.
+func TestAlternationMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		s := RandomSetting(cop, rng)
+		prev := cop.SettingCost(s)
+		for step := 0; step < 12; step++ {
+			var cost float64
+			if rng.Intn(2) == 0 {
+				cost = cop.OptimalT(s.V1, s.V2, s.T)
+			} else {
+				cost = cop.OptimalV(s.T, s.V1, s.V2)
+			}
+			if cost > prev+1e-12 {
+				t.Fatalf("trial %d step %d: cost rose %g -> %g", trial, step, prev, cost)
+			}
+			prev = cost
+		}
+	}
+}
+
+// TestSettingCostNonNegative and bounded by the total probability-weight
+// mass of the instance.
+func TestSettingCostBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		upper := 0.0
+		for i := range cop.Cost0 {
+			c := cop.Cost0[i]
+			if cop.Cost1[i] > c {
+				c = cop.Cost1[i]
+			}
+			upper += c
+		}
+		s := RandomSetting(cop, rng)
+		cost := cop.SettingCost(s)
+		if cost < 0 || cost > upper+1e-12 {
+			t.Fatalf("trial %d: cost %g outside [0,%g]", trial, cost, upper)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"isinglut/internal/bitvec"
+	"isinglut/internal/decomp"
+	"isinglut/internal/ising"
+)
+
+// Formulation is the Ising encoding of a column-based core COP
+// (Sections 3.2.1/3.2.2). Spins are laid out as:
+//
+//	index j          in [0, c)        : T-bar_j   (column types)
+//	index c + i      in [c, c+r)      : V1-bar_i  (column pattern 1)
+//	index c + r + i  in [c+r, c+2r)   : V2-bar_i  (column pattern 2)
+//
+// so the coupling graph is bipartite between the T group and the V group,
+// which the ising.Bipartite coupler exploits. With Delta_ij = cost1-cost0,
+// the model is (both modes, Eqs. 9 and 16):
+//
+//	h[V1_i] = h[V2_i] = -sum_j Delta_ij / 4,  h[T_j] = 0
+//	J[T_j, V1_i] = +Delta_ij / 4
+//	J[T_j, V2_i] = -Delta_ij / 4
+//	Offset = sum_ij (cost0_ij + Delta_ij/2)
+//
+// so that Problem.ObjectiveValue(spins) equals COP.SettingCost of the
+// decoded setting exactly — a property the test suite enforces.
+type Formulation struct {
+	COP     *COP
+	Problem *ising.Problem
+}
+
+// Formulate builds the Ising problem for the COP.
+func Formulate(cop *COP) *Formulation {
+	r, c := cop.R, cop.C
+	n := c + 2*r
+	coup := ising.NewBipartite(c, 2*r)
+	h := make([]float64, n)
+	offset := 0.0
+	for i := 0; i < r; i++ {
+		base := i * c
+		for j := 0; j < c; j++ {
+			delta := cop.Cost1[base+j] - cop.Cost0[base+j]
+			q := delta / 4
+			offset += cop.Cost0[base+j] + delta/2
+			h[c+i] -= q
+			h[c+r+i] -= q
+			coup.AddCross(j, i, q)    // T_j with V1_i
+			coup.AddCross(j, r+i, -q) // T_j with V2_i
+		}
+	}
+	prob, err := ising.NewProblem(coup, h, offset)
+	if err != nil {
+		panic(err) // dimensions are constructed consistently above
+	}
+	return &Formulation{COP: cop, Problem: prob}
+}
+
+// NumSpins returns c + 2r.
+func (f *Formulation) NumSpins() int { return f.COP.C + 2*f.COP.R }
+
+// TIndex returns the spin index of T_j.
+func (f *Formulation) TIndex(j int) int { return j }
+
+// V1Index returns the spin index of V1_i.
+func (f *Formulation) V1Index(i int) int { return f.COP.C + i }
+
+// V2Index returns the spin index of V2_i.
+func (f *Formulation) V2Index(i int) int { return f.COP.C + f.COP.R + i }
+
+// DecodeSpins converts a ±1 spin vector into a column setting via the
+// paper's linear transformation b = (sigma+1)/2.
+func (f *Formulation) DecodeSpins(sigma []int8) *decomp.ColSetting {
+	s := decomp.NewColSetting(f.COP.Part)
+	for j := 0; j < f.COP.C; j++ {
+		s.T.Set(j, sigma[f.TIndex(j)] > 0)
+	}
+	for i := 0; i < f.COP.R; i++ {
+		s.V1.Set(i, sigma[f.V1Index(i)] > 0)
+		s.V2.Set(i, sigma[f.V2Index(i)] > 0)
+	}
+	return s
+}
+
+// EncodeSetting converts a column setting into a ±1 spin vector.
+func (f *Formulation) EncodeSetting(s *decomp.ColSetting) []int8 {
+	sigma := make([]int8, f.NumSpins())
+	for j := 0; j < f.COP.C; j++ {
+		sigma[f.TIndex(j)] = ising.BinaryToSpin(s.T.Bit(j))
+	}
+	for i := 0; i < f.COP.R; i++ {
+		sigma[f.V1Index(i)] = ising.BinaryToSpin(s.V1.Bit(i))
+		sigma[f.V2Index(i)] = ising.BinaryToSpin(s.V2.Bit(i))
+	}
+	return sigma
+}
+
+// patternsFromPositions reads the V1/V2 patterns implied by the signs of
+// the continuous SB positions.
+func (f *Formulation) patternsFromPositions(x []float64, v1, v2 *bitvec.Vector) {
+	for i := 0; i < f.COP.R; i++ {
+		v1.Set(i, x[f.V1Index(i)] >= 0)
+		v2.Set(i, x[f.V2Index(i)] >= 0)
+	}
+}

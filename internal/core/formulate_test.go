@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/ising"
+)
+
+// TestEnergyEqualsObjective is the central correctness property of the
+// Ising formulation (Eqs. 9 and 16): for every spin assignment, the Ising
+// energy plus the stored offset equals the COP objective of the decoded
+// setting exactly. This validates the paper's algebra end to end.
+func TestEnergyEqualsObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		f := Formulate(cop)
+		for probe := 0; probe < 10; probe++ {
+			s := RandomSetting(cop, rng)
+			sigma := f.EncodeSetting(s)
+			got := f.Problem.ObjectiveValue(sigma)
+			want := cop.SettingCost(s)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: Ising objective %g, COP cost %g", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEnergyEqualsObjectiveJoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		exact, approx, part, k := jointFixture(rng)
+		cop := NewJointCOP(part, k, exact, approx, nil)
+		f := Formulate(cop)
+		for probe := 0; probe < 10; probe++ {
+			s := RandomSetting(cop, rng)
+			sigma := f.EncodeSetting(s)
+			got := f.Problem.ObjectiveValue(sigma)
+			want := cop.SettingCost(s)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: Ising objective %g, COP cost %g", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cop, _ := randomSeparateCOP(rng)
+	f := Formulate(cop)
+	for probe := 0; probe < 20; probe++ {
+		s := RandomSetting(cop, rng)
+		back := f.DecodeSpins(f.EncodeSetting(s))
+		if !back.V1.Equal(s.V1) || !back.V2.Equal(s.V2) || !back.T.Equal(s.T) {
+			t.Fatal("encode/decode round trip failed")
+		}
+	}
+}
+
+func TestSpinLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cop, _ := randomSeparateCOP(rng)
+	f := Formulate(cop)
+	if f.NumSpins() != cop.C+2*cop.R {
+		t.Fatalf("NumSpins = %d, want %d", f.NumSpins(), cop.C+2*cop.R)
+	}
+	seen := map[int]bool{}
+	for j := 0; j < cop.C; j++ {
+		seen[f.TIndex(j)] = true
+	}
+	for i := 0; i < cop.R; i++ {
+		seen[f.V1Index(i)] = true
+		seen[f.V2Index(i)] = true
+	}
+	if len(seen) != f.NumSpins() {
+		t.Fatalf("index functions cover %d of %d spins", len(seen), f.NumSpins())
+	}
+}
+
+func TestCouplingIsBipartite(t *testing.T) {
+	// T spins must couple only to V spins: no T-T or V-V couplings exist,
+	// which is what makes the model second-order representable with the
+	// column-based (rather than row-based) decomposition.
+	rng := rand.New(rand.NewSource(5))
+	cop, _ := randomSeparateCOP(rng)
+	f := Formulate(cop)
+	n := f.NumSpins()
+	c := cop.C
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := f.Problem.Coup.At(i, j)
+			if v == 0 {
+				continue
+			}
+			iIsT, jIsT := i < c, j < c
+			if iIsT == jIsT {
+				t.Fatalf("non-bipartite coupling J[%d,%d] = %g", i, j, v)
+			}
+		}
+	}
+	// T spins carry no bias (their linear terms cancel in Eq. 9).
+	for j := 0; j < c; j++ {
+		if f.Problem.Bias(f.TIndex(j)) != 0 {
+			t.Fatalf("T spin %d has bias %g", j, f.Problem.Bias(f.TIndex(j)))
+		}
+	}
+}
+
+func TestGroundStateMatchesBruteForceCOP(t *testing.T) {
+	// On tiny instances the Ising ground state decodes to a COP optimum.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		cop, _ := randomTinyCOP(rng)
+		f := Formulate(cop)
+		spins, _ := ising.BruteForce(f.Problem)
+		setting := f.DecodeSpins(spins)
+		_, wantCost := BruteForce(cop)
+		if math.Abs(cop.SettingCost(setting)-wantCost) > 1e-9 {
+			t.Fatalf("trial %d: Ising ground decodes to %g, COP optimum %g",
+				trial, cop.SettingCost(setting), wantCost)
+		}
+	}
+}

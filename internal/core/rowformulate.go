@@ -1,0 +1,144 @@
+package core
+
+import (
+	"isinglut/internal/bitvec"
+	"isinglut/internal/decomp"
+	"isinglut/internal/hobo"
+)
+
+// RowFormulation is the third-order Ising encoding of the *row-based*
+// core COP — the formulation the paper's Section 3.1 rules out in favor
+// of the column-based one precisely because it exceeds the second-order
+// model of Eq. 1. It exists to quantify that design decision (see the
+// ablation benches).
+//
+// Encoding: the row pattern V has one binary variable per column; each
+// row's 4-valued type is encoded by two binary variables (a_i, b_i) with
+//
+//	(a, b) = (0, 0) -> all-0   (0, 1) -> all-1
+//	(a, b) = (1, 0) -> V       (1, 1) -> ~V
+//
+// so the approximate entry is the cubic polynomial
+//
+//	O-hat_ij = b_i + a_i V_j - 2 a_i b_i V_j
+//
+// and the objective sum_ij (cost0 + Delta_ij * O-hat_ij) contains
+// irreducible three-variable monomials a_i b_i V_j. Variables are laid
+// out V_j at j, a_i at c + i, b_i at c + r + i; the polynomial is over
+// spins via the binary-to-spin expansion.
+type RowFormulation struct {
+	COP  *COP
+	Poly *hobo.Polynomial // spin-domain polynomial, order 3
+}
+
+// FormulateRow builds the third-order spin polynomial of the row-based
+// core COP.
+func FormulateRow(cop *COP) *RowFormulation {
+	r, c := cop.R, cop.C
+	n := c + 2*r
+	b := hobo.NewBuilder(n)
+	for i := 0; i < r; i++ {
+		ai := c + i
+		bi := c + r + i
+		base := i * c
+		for j := 0; j < c; j++ {
+			delta := cop.Cost1[base+j] - cop.Cost0[base+j]
+			b.Add(cop.Cost0[base+j]) // constant
+			if delta == 0 {
+				continue
+			}
+			b.Add(delta, bi)           // Delta * b_i
+			b.Add(delta, ai, j)        // Delta * a_i V_j
+			b.Add(-2*delta, ai, bi, j) // -2 Delta * a_i b_i V_j
+		}
+	}
+	binary := b.Build()
+	return &RowFormulation{COP: cop, Poly: hobo.BinaryToSpin(binary)}
+}
+
+// NumVars returns c + 2r.
+func (f *RowFormulation) NumVars() int { return f.COP.C + 2*f.COP.R }
+
+// DecodeSpins converts a ±1 spin vector into a row setting.
+func (f *RowFormulation) DecodeSpins(sigma []int8) *decomp.RowSetting {
+	r, c := f.COP.R, f.COP.C
+	s := &decomp.RowSetting{
+		Part: f.COP.Part,
+		V:    bitvec.New(c),
+		S:    make([]decomp.RowType, r),
+	}
+	for j := 0; j < c; j++ {
+		s.V.Set(j, sigma[j] > 0)
+	}
+	for i := 0; i < r; i++ {
+		a := sigma[c+i] > 0
+		b := sigma[c+r+i] > 0
+		switch {
+		case !a && !b:
+			s.S[i] = decomp.RowZero
+		case !a && b:
+			s.S[i] = decomp.RowOne
+		case a && !b:
+			s.S[i] = decomp.RowPattern
+		default:
+			s.S[i] = decomp.RowComplement
+		}
+	}
+	return s
+}
+
+// EncodeSetting converts a row setting into a ±1 spin vector.
+func (f *RowFormulation) EncodeSetting(s *decomp.RowSetting) []int8 {
+	r, c := f.COP.R, f.COP.C
+	sigma := make([]int8, f.NumVars())
+	for j := 0; j < c; j++ {
+		if s.V.Get(j) {
+			sigma[j] = 1
+		} else {
+			sigma[j] = -1
+		}
+	}
+	for i := 0; i < r; i++ {
+		var a, b bool
+		switch s.S[i] {
+		case decomp.RowZero:
+		case decomp.RowOne:
+			b = true
+		case decomp.RowPattern:
+			a = true
+		case decomp.RowComplement:
+			a, b = true, true
+		}
+		sigma[c+i] = boolSpin(a)
+		sigma[c+r+i] = boolSpin(b)
+	}
+	return sigma
+}
+
+func boolSpin(b bool) int8 {
+	if b {
+		return 1
+	}
+	return -1
+}
+
+// RowCost evaluates the row-based objective of a setting through the
+// COP's entry costs (reference implementation for tests).
+func (f *RowFormulation) RowCost(s *decomp.RowSetting) float64 {
+	total := 0.0
+	for i := 0; i < f.COP.R; i++ {
+		for j := 0; j < f.COP.C; j++ {
+			total += f.COP.EntryCost(i, j, s.EntryValue(i, j))
+		}
+	}
+	return total
+}
+
+// SolveRowBSB searches the third-order model with higher-order ballistic
+// SB and returns the decoded setting and its objective value.
+func SolveRowBSB(cop *COP, params hobo.Params) (*decomp.RowSetting, float64) {
+	f := FormulateRow(cop)
+	res := hobo.SolveBSB(f.Poly, params)
+	s := f.DecodeSpins(res.Spins)
+	return s, f.RowCost(s)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/decomp"
+	"isinglut/internal/hobo"
+	"isinglut/internal/ilp"
+)
+
+func randomRowSetting(cop *COP, rng *rand.Rand) *decomp.RowSetting {
+	s := &decomp.RowSetting{
+		Part: cop.Part,
+		V:    decomp.NewColSetting(cop.Part).T.Clone(), // c-length zero vector
+		S:    make([]decomp.RowType, cop.R),
+	}
+	for j := 0; j < cop.C; j++ {
+		s.V.Set(j, rng.Intn(2) == 1)
+	}
+	for i := range s.S {
+		s.S[i] = decomp.RowType(rng.Intn(4))
+	}
+	return s
+}
+
+// TestRowPolynomialEnergyEqualsObjective is the third-order analogue of
+// the column formulation's central property: the spin polynomial's value
+// on an encoded row setting equals the row-based COP objective exactly.
+func TestRowPolynomialEnergyEqualsObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		f := FormulateRow(cop)
+		for probe := 0; probe < 10; probe++ {
+			s := randomRowSetting(cop, rng)
+			sigma := f.EncodeSetting(s)
+			got := f.Poly.Energy(sigma)
+			want := f.RowCost(s)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: polynomial %g, objective %g", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestRowFormulationIsThirdOrder confirms the paper's Section 3.1 claim:
+// the row-based core COP genuinely needs a third-order model (on generic
+// instances the cubic terms survive the spin transform).
+func TestRowFormulationIsThirdOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cop, _ := randomSeparateCOP(rng)
+	f := FormulateRow(cop)
+	if f.Poly.Order() != 3 {
+		t.Fatalf("row formulation order %d, expected 3", f.Poly.Order())
+	}
+	// The column formulation of the same costs is second order.
+	col := Formulate(cop)
+	n := col.NumSpins()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			_ = col.Problem.Coup.At(i, j) // structurally quadratic by type
+		}
+	}
+}
+
+func TestRowEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cop, _ := randomSeparateCOP(rng)
+	f := FormulateRow(cop)
+	for probe := 0; probe < 20; probe++ {
+		s := randomRowSetting(cop, rng)
+		back := f.DecodeSpins(f.EncodeSetting(s))
+		if !back.V.Equal(s.V) {
+			t.Fatal("V round trip failed")
+		}
+		for i := range s.S {
+			if back.S[i] != s.S[i] {
+				t.Fatal("S round trip failed")
+			}
+		}
+	}
+}
+
+// TestRowGroundStateMatchesILP: on tiny instances the polynomial's ground
+// state decodes to the branch-and-bound optimum.
+func TestRowGroundStateMatchesILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		cop, _ := randomTinyCOP(rng)
+		f := FormulateRow(cop)
+		if f.Poly.N > 20 {
+			continue
+		}
+		spins, _ := hobo.BruteForce(f.Poly)
+		setting := f.DecodeSpins(spins)
+		got := f.RowCost(setting)
+
+		opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+		if !opt.Optimal {
+			t.Fatal("B&B did not finish on a tiny instance")
+		}
+		if math.Abs(got-opt.Cost) > 1e-9 {
+			t.Fatalf("trial %d: polynomial ground %g, B&B optimum %g", trial, got, opt.Cost)
+		}
+	}
+}
+
+// TestSolveRowBSBSelfConsistent checks the HOBO-based row solver end to
+// end: the reported cost matches the decoded setting, and quality is
+// sane relative to the heuristic space (it is allowed to be worse — that
+// is the paper's point).
+func TestSolveRowBSBSelfConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		params := hobo.DefaultParams()
+		params.Steps = 600
+		params.SampleEvery = 20
+		params.Seed = int64(trial)
+		s, cost := SolveRowBSB(cop, params)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		recomputed := 0.0
+		for i := 0; i < cop.R; i++ {
+			for j := 0; j < cop.C; j++ {
+				recomputed += cop.EntryCost(i, j, s.EntryValue(i, j))
+			}
+		}
+		if math.Abs(recomputed-cost) > 1e-9 {
+			t.Fatalf("trial %d: cost %g, recomputed %g", trial, cost, recomputed)
+		}
+	}
+}

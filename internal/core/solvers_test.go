@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/partition"
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+// randomTinyCOP builds instances small enough for BruteForce (2r+c <= 12).
+func randomTinyCOP(rng *rand.Rand) (*COP, *boolmatrix.Matrix) {
+	n := 3 + rng.Intn(2) // 3 or 4 inputs
+	free := 1
+	if n == 4 {
+		free = 2
+	}
+	part := partition.Random(n, free, rng)
+	tt := truthtable.Random(n, 1, rng)
+	m := boolmatrix.Build(tt.Component(0), part, prob.RandomWeighted(n, rng))
+	return NewSeparateCOP(m), m
+}
+
+func TestAltMinNeverIncreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		init := RandomSetting(cop, rng)
+		initCost := cop.SettingCost(init)
+		s, cost := AltMin(cop, init, 64)
+		if cost > initCost+1e-12 {
+			t.Fatalf("trial %d: AltMin increased cost %g -> %g", trial, initCost, cost)
+		}
+		if math.Abs(cop.SettingCost(s)-cost) > 1e-12 {
+			t.Fatalf("trial %d: reported cost mismatch", trial)
+		}
+	}
+}
+
+func TestAltMinReachesFixedPoint(t *testing.T) {
+	// After AltMin, neither half-step improves the solution.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		s, cost := AltMin(cop, RandomSetting(cop, rng), 256)
+		probe := s.Clone()
+		if c := cop.OptimalT(probe.V1, probe.V2, probe.T); c < cost-1e-12 {
+			t.Fatalf("trial %d: T-step still improves: %g -> %g", trial, cost, c)
+		}
+		probe = s.Clone()
+		if c := cop.OptimalV(probe.T, probe.V1, probe.V2); c < cost-1e-12 {
+			t.Fatalf("trial %d: V-step still improves: %g -> %g", trial, cost, c)
+		}
+	}
+}
+
+func TestBruteForceIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		cop, _ := randomTinyCOP(rng)
+		_, best := BruteForce(cop)
+		for probe := 0; probe < 50; probe++ {
+			s := RandomSetting(cop, rng)
+			if cop.SettingCost(s) < best-1e-12 {
+				t.Fatalf("trial %d: random setting beats brute force", trial)
+			}
+		}
+		_, am := AltMin(cop, SeedSetting(cop), 64)
+		if am < best-1e-12 {
+			t.Fatalf("trial %d: AltMin beats brute force", trial)
+		}
+	}
+}
+
+func TestSeedSettingValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		cop, _ := randomSeparateCOP(rng)
+		s := SeedSetting(cop)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBruteForcePanicsOnLarge(t *testing.T) {
+	part := partition.MustNew(9, 0b000001111) // r=16, c=32: 2r+c = 64
+	tt := truthtable.New(9, 1)
+	m := boolmatrix.Build(tt.Component(0), part, nil)
+	cop := NewSeparateCOP(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BruteForce on large instance did not panic")
+		}
+	}()
+	BruteForce(cop)
+}
+
+func TestDecomposableFunctionHasZeroOptimum(t *testing.T) {
+	// A function that decomposes exactly over the partition must admit a
+	// zero-cost setting, and AltMin from the seed should find cost 0 often;
+	// brute force must always find 0.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		part := partition.Random(4, 2, rng)
+		// Construct decomposable: two column patterns.
+		p1 := rng.Intn(16)
+		p2 := rng.Intn(16)
+		tt := truthtable.New(4, 1)
+		for j := 0; j < part.Cols(); j++ {
+			pat := p1
+			if rng.Intn(2) == 1 {
+				pat = p2
+			}
+			for i := 0; i < part.Rows(); i++ {
+				tt.SetBit(0, part.Global(i, j), pat&(1<<uint(i)) != 0)
+			}
+		}
+		m := boolmatrix.Build(tt.Component(0), part, nil)
+		cop := NewSeparateCOP(m)
+		_, best := BruteForce(cop)
+		if best != 0 {
+			t.Fatalf("trial %d: decomposable function has optimum %g", trial, best)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package cwm simulates a computing-with-memory accelerator: a function
+// unit that answers queries by LUT lookups instead of arithmetic, built
+// from the approximate-LUT designs this repository synthesizes.
+//
+// The paper's motivation is energy: storing a (decomposed, approximate)
+// function in memory and reading it beats recomputing it, if the
+// introduced error is tolerable at the application level. This package
+// closes that loop: it runs input streams through an Accelerator,
+// accounts energy/latency with the lut.CostModel, and reports
+// application-level quality (MSE/SNR against the exact function) — the
+// AxBench-style evaluation methodology the benchmarks come from.
+package cwm
+
+import (
+	"fmt"
+	"math"
+
+	"isinglut/internal/lut"
+	"isinglut/internal/truthtable"
+)
+
+// Accelerator is a LUT-based function unit.
+type Accelerator struct {
+	Design *lut.Design
+	Model  lut.CostModel
+	// perLookup caches the design's per-lookup cost.
+	perLookup lut.DesignCost
+}
+
+// New builds an accelerator over the design with the given cost model.
+func New(design *lut.Design, model lut.CostModel) *Accelerator {
+	return &Accelerator{
+		Design:    design,
+		Model:     model,
+		perLookup: model.Estimate(design),
+	}
+}
+
+// Stats accumulates execution statistics.
+type Stats struct {
+	Lookups int
+	// EnergyFJ is the total access energy in femtojoules.
+	EnergyFJ float64
+	// LatencyPS is the total serialized latency in picoseconds (one
+	// lookup at a time; pipelined designs would overlap).
+	LatencyPS float64
+}
+
+// Lookup evaluates one input pattern and accounts its cost.
+func (a *Accelerator) Lookup(x uint64, stats *Stats) uint64 {
+	if stats != nil {
+		stats.Lookups++
+		stats.EnergyFJ += a.perLookup.Energy
+		stats.LatencyPS += a.perLookup.Latency
+	}
+	return a.Design.Eval(x)
+}
+
+// Process evaluates a stream of input patterns, returning the outputs and
+// the accumulated statistics.
+func (a *Accelerator) Process(inputs []uint64) ([]uint64, Stats) {
+	var stats Stats
+	out := make([]uint64, len(inputs))
+	for i, x := range inputs {
+		out[i] = a.Lookup(x, &stats)
+	}
+	return out, stats
+}
+
+// Quality compares an accelerator's outputs against the exact function on
+// the same stream.
+type Quality struct {
+	Samples int
+	// MSE is the mean squared error of the output codes.
+	MSE float64
+	// MaxED is the worst absolute output error observed.
+	MaxED uint64
+	// SNRdB is 10*log10(signal power / noise power); +Inf when exact.
+	SNRdB float64
+}
+
+// Evaluate runs the stream through the accelerator and the exact table
+// and reports quality plus the accelerator's cost statistics.
+func Evaluate(a *Accelerator, exact *truthtable.Table, inputs []uint64) (Quality, Stats, error) {
+	if exact.NumInputs() != a.Design.NumInputs {
+		return Quality{}, Stats{}, fmt.Errorf("cwm: accelerator over %d inputs, exact over %d",
+			a.Design.NumInputs, exact.NumInputs())
+	}
+	outputs, stats := a.Process(inputs)
+	var q Quality
+	q.Samples = len(inputs)
+	signal := 0.0
+	noise := 0.0
+	for i, x := range inputs {
+		want := exact.Output(x)
+		got := outputs[i]
+		var ed uint64
+		if want > got {
+			ed = want - got
+		} else {
+			ed = got - want
+		}
+		if ed > q.MaxED {
+			q.MaxED = ed
+		}
+		d := float64(ed)
+		noise += d * d
+		s := float64(want)
+		signal += s * s
+	}
+	if q.Samples > 0 {
+		q.MSE = noise / float64(q.Samples)
+	}
+	if noise == 0 {
+		q.SNRdB = math.Inf(1)
+	} else if signal > 0 {
+		q.SNRdB = 10 * math.Log10(signal/noise)
+	}
+	return q, stats, nil
+}
+
+// Ramp generates a stream sweeping every input pattern in order; a
+// deterministic full-coverage workload.
+func Ramp(n int) []uint64 {
+	out := make([]uint64, 1<<uint(n))
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+// Sine generates a stream of input codes following count periods of a
+// sine wave across the n-bit input range — a typical DSP-style query
+// pattern for function units.
+func Sine(n, samples, periods int) []uint64 {
+	maxCode := float64(uint64(1)<<uint(n) - 1)
+	out := make([]uint64, samples)
+	for i := range out {
+		phase := float64(i) / float64(samples) * float64(periods) * 2 * math.Pi
+		v := (math.Sin(phase) + 1) / 2 * maxCode
+		out[i] = uint64(math.Round(v))
+	}
+	return out
+}
+
+// CompareFlat reports the energy and area savings of the decomposed
+// design against a flat implementation of the same function under the
+// same model.
+func CompareFlat(a *Accelerator, exact *truthtable.Table) (energyRatio, areaRatio float64) {
+	flatDesign := &lut.Design{NumInputs: exact.NumInputs()}
+	for k := 0; k < exact.NumOutputs(); k++ {
+		flatDesign.Components = append(flatDesign.Components, lut.ComponentLUT{K: k, Flat: exact})
+	}
+	flat := a.Model.Estimate(flatDesign)
+	dec := a.perLookup
+	return flat.Energy / dec.Energy, flat.Area / dec.Area
+}

@@ -1,0 +1,149 @@
+package dalta
+
+import (
+	"math"
+	"math/rand"
+
+	"isinglut/internal/core"
+	"isinglut/internal/decomp"
+)
+
+// BA is the simulated-annealing baseline [10]: Metropolis search over the
+// row-based setting space (pattern-bit flips and row-type reassignments)
+// with geometric cooling, seeded from the DALTA heuristic's solution. The
+// original BA framework also anneals over input partitions; here the
+// outer DALTA loop supplies partitions (the paper notes the difference
+// and excludes BA from the n = 16 comparison for the same reason).
+type BA struct {
+	// Moves is the number of proposal steps; zero means 4096.
+	Moves int
+	// TStart/TEnd define the geometric cooling schedule; zeros mean
+	// defaults scaled to the seed cost.
+	TStart, TEnd float64
+}
+
+// Name implements CoreSolver.
+func (b *BA) Name() string { return "ba" }
+
+// Solve implements CoreSolver.
+func (b *BA) Solve(req Request) Result {
+	cop := BuildCOP(req)
+	setting, cost := b.anneal(cop, req.Seed)
+	return Result{
+		Table:  setting.ApproxTable(),
+		Decomp: setting.Synthesize(),
+		Cost:   cost,
+	}
+}
+
+// anneal runs the SA search and returns the best setting found.
+func (b *BA) anneal(cop *core.COP, seed int64) (*decomp.RowSetting, float64) {
+	moves := b.Moves
+	if moves <= 0 {
+		moves = 4096
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Seed from the heuristic so BA is at least as good as DALTA given any
+	// budget, matching its reported behaviour.
+	s, _ := RowAltMin(cop, 8)
+
+	// rowCosts[i][t] caches the cost of row i under type t for current V.
+	rowCosts := make([][4]float64, cop.R)
+	recompute := func(i int) {
+		base := i * cop.C
+		var z, o, pat, comp float64
+		for j := 0; j < cop.C; j++ {
+			c0, c1 := cop.Cost0[base+j], cop.Cost1[base+j]
+			z += c0
+			o += c1
+			if s.V.Get(j) {
+				pat += c1
+				comp += c0
+			} else {
+				pat += c0
+				comp += c1
+			}
+		}
+		rowCosts[i] = [4]float64{z, o, pat, comp}
+	}
+	for i := 0; i < cop.R; i++ {
+		recompute(i)
+	}
+	current := 0.0
+	for i := 0; i < cop.R; i++ {
+		current += rowCosts[i][s.S[i]]
+	}
+
+	tStart, tEnd := b.TStart, b.TEnd
+	if tStart <= 0 {
+		tStart = math.Max(current*0.1, 1e-6)
+	}
+	if tEnd <= 0 {
+		tEnd = tStart * 1e-4
+	}
+	cool := math.Pow(tEnd/tStart, 1/float64(moves))
+	temp := tStart
+
+	best := &decomp.RowSetting{Part: s.Part, V: s.V.Clone(), S: append([]decomp.RowType(nil), s.S...)}
+	bestCost := current
+
+	for step := 0; step < moves; step++ {
+		if rng.Intn(2) == 0 {
+			// Flip one pattern bit; affects Pattern/Complement rows.
+			j := rng.Intn(cop.C)
+			delta := 0.0
+			for i := 0; i < cop.R; i++ {
+				idx := i*cop.C + j
+				c0, c1 := cop.Cost0[idx], cop.Cost1[idx]
+				d := c1 - c0
+				if s.V.Get(j) {
+					d = -d
+				}
+				switch s.S[i] {
+				case decomp.RowPattern:
+					delta += d
+				case decomp.RowComplement:
+					delta -= d
+				}
+			}
+			if accept(delta, temp, rng) {
+				s.V.Flip(j)
+				current += delta
+				for i := 0; i < cop.R; i++ {
+					idx := i*cop.C + j
+					c0, c1 := cop.Cost0[idx], cop.Cost1[idx]
+					d := c1 - c0
+					if !s.V.Get(j) { // flipped: new value is the stored one
+						d = -d
+					}
+					rowCosts[i][decomp.RowPattern] += d
+					rowCosts[i][decomp.RowComplement] -= d
+				}
+			}
+		} else {
+			// Reassign one row's type.
+			i := rng.Intn(cop.R)
+			t := decomp.RowType(rng.Intn(4))
+			if t == s.S[i] {
+				continue
+			}
+			delta := rowCosts[i][t] - rowCosts[i][s.S[i]]
+			if accept(delta, temp, rng) {
+				s.S[i] = t
+				current += delta
+			}
+		}
+		if current < bestCost-1e-15 {
+			bestCost = current
+			best.V.CopyFrom(s.V)
+			copy(best.S, s.S)
+		}
+		temp *= cool
+	}
+	return best, bestCost
+}
+
+func accept(delta, temp float64, rng *rand.Rand) bool {
+	return delta <= 0 || rng.Float64() < math.Exp(-delta/temp)
+}

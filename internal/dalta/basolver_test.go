@@ -1,0 +1,88 @@
+package dalta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/core"
+	"isinglut/internal/decomp"
+	"isinglut/internal/ilp"
+	"isinglut/internal/partition"
+)
+
+func TestBACostConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ba := &BA{Moves: 1024}
+	for trial := 0; trial < 30; trial++ {
+		cop := randomCOP(rng)
+		s, cost := ba.anneal(cop, int64(trial))
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := RowSettingCost(cop, s); math.Abs(got-cost) > 1e-9 {
+			t.Fatalf("trial %d: reported %g, recomputed %g", trial, cost, got)
+		}
+	}
+}
+
+func TestBAAtLeastAsGoodAsHeuristicSeed(t *testing.T) {
+	// BA starts from the heuristic's solution and keeps the best state,
+	// so it can never end worse.
+	rng := rand.New(rand.NewSource(2))
+	ba := &BA{Moves: 2048}
+	for trial := 0; trial < 30; trial++ {
+		cop := randomCOP(rng)
+		_, hc := RowAltMin(cop, 8)
+		_, bc := ba.anneal(cop, int64(trial))
+		if bc > hc+1e-9 {
+			t.Fatalf("trial %d: BA %g worse than its seed %g", trial, bc, hc)
+		}
+	}
+}
+
+func TestBANeverBeatsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ba := &BA{Moves: 2048}
+	for trial := 0; trial < 20; trial++ {
+		cop := randomCOP(rng)
+		_, bc := ba.anneal(cop, 1)
+		opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+		if !opt.Optimal {
+			continue
+		}
+		if bc < opt.Cost-1e-9 {
+			t.Fatalf("trial %d: BA %g beat optimum %g", trial, bc, opt.Cost)
+		}
+	}
+}
+
+func TestBADeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cop := randomCOP(rng)
+	ba := &BA{Moves: 512}
+	_, a := ba.anneal(cop, 42)
+	_, b := ba.anneal(cop, 42)
+	if a != b {
+		t.Fatal("same seed produced different costs")
+	}
+}
+
+func TestBASolverInterface(t *testing.T) {
+	exact := testFunction(11)
+	req := Request{
+		Part:   partition.MustNew(6, 0b000111),
+		K:      0,
+		Mode:   core.Separate,
+		Exact:  exact,
+		Approx: exact.Clone(),
+		Seed:   5,
+	}
+	res := (&BA{Moves: 256}).Solve(req)
+	if res.Decomp == nil || !res.Decomp.Recompose().Equal(res.Table) {
+		t.Fatal("BA result inconsistent")
+	}
+	if !decomp.Decomposable(res.Table, req.Part) {
+		t.Fatal("BA result not decomposable")
+	}
+}

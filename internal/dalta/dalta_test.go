@@ -1,0 +1,357 @@
+package dalta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/core"
+	"isinglut/internal/decomp"
+	"isinglut/internal/errmetric"
+	"isinglut/internal/partition"
+	"isinglut/internal/truthtable"
+)
+
+// quickConfig is a small but real configuration for 6-input functions.
+func quickConfig(solver CoreSolver, mode core.Mode) Config {
+	return Config{
+		Rounds:     3,
+		Partitions: 4,
+		FreeSize:   3,
+		Mode:       mode,
+		Solver:     solver,
+		Seed:       7,
+	}
+}
+
+func testFunction(seed int64) *truthtable.Table {
+	return truthtable.Random(6, 4, rand.New(rand.NewSource(seed)))
+}
+
+func allSolvers() []CoreSolver {
+	return []CoreSolver{
+		NewProposed(),
+		&Heuristic{},
+		&ILP{},
+		&BA{Moves: 512},
+		&AltMin{},
+	}
+}
+
+func TestRunProducesDecomposableComponents(t *testing.T) {
+	exact := testFunction(1)
+	for _, solver := range allSolvers() {
+		out, err := Run(exact, quickConfig(solver, core.Joint))
+		if err != nil {
+			t.Fatalf("%s: %v", solver.Name(), err)
+		}
+		for k, cs := range out.Components {
+			if cs == nil {
+				t.Fatalf("%s: component %d never committed", solver.Name(), k)
+			}
+			// The committed component must decompose exactly over its
+			// partition: that is the whole point of the approximation.
+			if !decomp.Decomposable(out.Approx.Component(k), cs.Part) {
+				t.Fatalf("%s: committed component %d not decomposable", solver.Name(), k)
+			}
+			// The synthesized LUT pair reproduces the committed table.
+			if !cs.Decomp.Recompose().Equal(out.Approx.Component(k)) {
+				t.Fatalf("%s: LUT pair does not reproduce component %d", solver.Name(), k)
+			}
+		}
+	}
+}
+
+func TestRunReportMatchesDirectEvaluation(t *testing.T) {
+	exact := testFunction(2)
+	out, err := Run(exact, quickConfig(NewProposed(), core.Joint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := errmetric.MustEvaluate(exact, out.Approx, nil)
+	if math.Abs(out.Report.MED-want.MED) > 1e-12 || math.Abs(out.Report.ER-want.ER) > 1e-12 {
+		t.Fatalf("report (%g,%g) != direct (%g,%g)", out.Report.MED, out.Report.ER, want.MED, want.ER)
+	}
+}
+
+func TestRoundTraceMonotoneAfterFirstRound(t *testing.T) {
+	// Commit-if-better makes the joint-mode MED non-increasing across
+	// rounds once every component has been committed (i.e. from round 1).
+	exact := testFunction(3)
+	for _, solver := range allSolvers() {
+		out, err := Run(exact, quickConfig(solver, core.Joint))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(out.RoundMED); i++ {
+			if out.RoundMED[i] > out.RoundMED[i-1]+1e-9 {
+				t.Fatalf("%s: MED increased between rounds: %v", solver.Name(), out.RoundMED)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	exact := testFunction(4)
+	cfg := quickConfig(NewProposed(), core.Joint)
+	a, err := Run(exact, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(exact, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Approx.Equal(b.Approx) {
+		t.Fatal("same seed produced different approximations")
+	}
+	if a.Report.MED != b.Report.MED {
+		t.Fatal("same seed produced different MED")
+	}
+}
+
+func TestRunSeparateMode(t *testing.T) {
+	exact := testFunction(5)
+	out, err := Run(exact, quickConfig(NewProposed(), core.Separate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.RoundMED) != 3 {
+		t.Fatalf("trace length %d", len(out.RoundMED))
+	}
+	for k, cs := range out.Components {
+		if cs == nil {
+			t.Fatalf("component %d never committed", k)
+		}
+	}
+}
+
+func TestCoreSolvesCounted(t *testing.T) {
+	exact := testFunction(6)
+	cfg := quickConfig(&Heuristic{}, core.Joint)
+	out, err := Run(exact, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Rounds * exact.NumOutputs() * cfg.Partitions
+	if out.CoreSolves != want {
+		t.Fatalf("CoreSolves = %d, want %d", out.CoreSolves, want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	exact := testFunction(7)
+	base := quickConfig(&Heuristic{}, core.Joint)
+	mutations := []func(*Config){
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.Partitions = 0 },
+		func(c *Config) { c.FreeSize = 0 },
+		func(c *Config) { c.FreeSize = 6 },
+		func(c *Config) { c.Solver = nil },
+	}
+	for i, mut := range mutations {
+		cfg := base
+		mut(&cfg)
+		if _, err := Run(exact, cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBuildCOPModes(t *testing.T) {
+	exact := testFunction(8)
+	req := Request{
+		Part:   partition.MustNew(6, 0b000111),
+		K:      2,
+		Exact:  exact,
+		Approx: exact.Clone(),
+	}
+	req.Mode = core.Separate
+	sep := BuildCOP(req)
+	req.Mode = core.Joint
+	joint := BuildCOP(req)
+	if sep.R != joint.R || sep.C != joint.C {
+		t.Fatal("mode changed dimensions")
+	}
+	// First-round joint costs are separate costs scaled by 2^k.
+	for i := 0; i < sep.R; i++ {
+		for j := 0; j < sep.C; j++ {
+			for v := 0; v <= 1; v++ {
+				if math.Abs(joint.EntryCost(i, j, v)-4*sep.EntryCost(i, j, v)) > 1e-12 {
+					t.Fatalf("joint != 2^k * separate at (%d,%d,%d)", i, j, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSolversAgreeOnEasyInstance: on a function that decomposes exactly
+// over some candidate partition, every solver should drive that
+// component's error to zero.
+func TestSolversAgreeOnEasyInstance(t *testing.T) {
+	// Build a 6-input function whose single output decomposes over
+	// A = {x1,x2,x3}: F(phi(B), A) with random phi/F.
+	rng := rand.New(rand.NewSource(9))
+	part := partition.MustNew(6, 0b000111)
+	tt := truthtable.New(6, 1)
+	phi := rng.Intn(256)
+	f0 := rng.Intn(8)
+	f1 := rng.Intn(8)
+	for j := 0; j < part.Cols(); j++ {
+		sel := f0
+		if phi&(1<<uint(j)) != 0 {
+			sel = f1
+		}
+		for i := 0; i < part.Rows(); i++ {
+			tt.SetBit(0, part.Global(i, j), sel&(1<<uint(i)) != 0)
+		}
+	}
+	m := boolmatrix.Build(tt.Component(0), part, nil)
+	cop := core.NewSeparateCOP(m)
+	req := Request{Part: part, K: 0, Mode: core.Separate, Exact: tt, Approx: tt.Clone(), Seed: 1}
+	for _, solver := range allSolvers() {
+		res := solver.Solve(req)
+		if res.Cost > 1e-12 {
+			t.Errorf("%s: cost %g on exactly-decomposable instance", solver.Name(), res.Cost)
+		}
+		if !res.Table.Equal(tt.Component(0)) {
+			t.Errorf("%s: zero-cost table does not equal function", solver.Name())
+		}
+	}
+	_ = cop
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	exact := testFunction(12)
+	for _, solver := range []CoreSolver{NewProposed(), &Heuristic{}} {
+		cfgSerial := quickConfig(solver, core.Joint)
+		cfgParallel := cfgSerial
+		cfgParallel.Workers = 4
+		a, err := Run(exact, cfgSerial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(exact, cfgParallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Approx.Equal(b.Approx) {
+			t.Fatalf("%s: parallel run differs from serial", solver.Name())
+		}
+		if a.Report.MED != b.Report.MED {
+			t.Fatalf("%s: parallel MED differs", solver.Name())
+		}
+	}
+}
+
+func TestElitismReofferesCommittedPartition(t *testing.T) {
+	exact := testFunction(40)
+	cfg := quickConfig(NewProposed(), core.Joint)
+	cfg.Elitism = true
+	cfg.Rounds = 3
+	out, err := Run(exact, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elitism adds at most one extra solve per component per round after
+	// the first commit.
+	maxSolves := cfg.Rounds * exact.NumOutputs() * (cfg.Partitions + 1)
+	minSolves := cfg.Rounds * exact.NumOutputs() * cfg.Partitions
+	if out.CoreSolves < minSolves || out.CoreSolves > maxSolves {
+		t.Fatalf("CoreSolves %d outside [%d,%d]", out.CoreSolves, minSolves, maxSolves)
+	}
+	// Monotonicity still holds.
+	for i := 1; i < len(out.RoundMED); i++ {
+		if out.RoundMED[i] > out.RoundMED[i-1]+1e-9 {
+			t.Fatalf("MED increased: %v", out.RoundMED)
+		}
+	}
+}
+
+func TestElitismNotWorseOnAverage(t *testing.T) {
+	totalPlain, totalElite := 0.0, 0.0
+	for seed := int64(50); seed < 56; seed++ {
+		exact := testFunction(seed)
+		cfg := quickConfig(&Heuristic{}, core.Joint)
+		cfg.Rounds = 3
+		plain, err := Run(exact, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Elitism = true
+		elite, err := Run(exact, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPlain += plain.Report.MED
+		totalElite += elite.Report.MED
+	}
+	if totalElite > totalPlain*1.02 {
+		t.Fatalf("elitism hurt on average: %g vs %g", totalElite, totalPlain)
+	}
+}
+
+func TestVerifyAcceptsRealOutcomes(t *testing.T) {
+	exact := testFunction(60)
+	for _, solver := range allSolvers() {
+		out, err := Run(exact, quickConfig(solver, core.Joint))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(exact, out, nil); err != nil {
+			t.Errorf("%s: %v", solver.Name(), err)
+		}
+	}
+	// Overlap outcomes verify too.
+	cfg := quickConfig(NewProposed(), core.Joint)
+	cfg.Overlap = 1
+	out, err := Run(exact, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(exact, out, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	exact := testFunction(61)
+	out, err := Run(exact, quickConfig(&Heuristic{}, core.Joint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the approximation behind the committed LUTs.
+	out.Approx.SetBit(1, 5, !out.Approx.Component(1).Get(5))
+	if err := Verify(exact, out, nil); err == nil {
+		t.Error("corrupted approximation verified")
+	}
+}
+
+func TestVerifyDetectsReportDrift(t *testing.T) {
+	exact := testFunction(62)
+	out, err := Run(exact, quickConfig(&Heuristic{}, core.Joint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Report.MED += 1
+	if err := Verify(exact, out, nil); err == nil {
+		t.Error("drifted report verified")
+	}
+}
+
+func TestVerifyNilAndShape(t *testing.T) {
+	exact := testFunction(63)
+	if err := Verify(exact, nil, nil); err == nil {
+		t.Error("nil outcome verified")
+	}
+	out, _ := Run(exact, quickConfig(&Heuristic{}, core.Joint))
+	other := testFunctionShape(5, 4, 64)
+	if err := Verify(other, out, nil); err == nil {
+		t.Error("shape mismatch verified")
+	}
+}
+
+func testFunctionShape(n, m int, seed int64) *truthtable.Table {
+	return truthtable.Random(n, m, rand.New(rand.NewSource(seed)))
+}

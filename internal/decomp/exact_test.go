@@ -1,0 +1,253 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/bitvec"
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/partition"
+	"isinglut/internal/truthtable"
+)
+
+// fig2Matrix reproduces the paper's Fig. 2: a 4x4 Boolean matrix over
+// A = {x1, x2}, B = {x3, x4} with rows V, all-0, all-1, ~V for
+// V = (1, 1, 0, 0). It builds the underlying 4-input function.
+func fig2Function() (*truthtable.Table, *partition.Partition) {
+	part := partition.MustNew(4, 0b0011)
+	rows := [][]int{
+		{1, 1, 0, 0}, // type 3: pattern V
+		{0, 0, 0, 0}, // type 1
+		{1, 1, 1, 1}, // type 2
+		{0, 0, 1, 1}, // type 4: complement
+	}
+	tt := truthtable.New(4, 1)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			tt.SetBit(0, part.Global(i, j), rows[i][j] == 1)
+		}
+	}
+	return tt, part
+}
+
+func TestFig2RowDecomposition(t *testing.T) {
+	tt, part := fig2Function()
+	m := boolmatrix.Build(tt.Component(0), part, nil)
+	setting, ok := CheckRowDecomposable(m)
+	if !ok {
+		t.Fatal("Fig. 2 matrix not row-decomposable")
+	}
+	if got := setting.V.String(); got != "1100" {
+		t.Errorf("V = %s, want 1100", got)
+	}
+	want := []RowType{RowPattern, RowZero, RowOne, RowComplement}
+	for i, w := range want {
+		if setting.S[i] != w {
+			t.Errorf("S[%d] = %v, want %v", i, setting.S[i], w)
+		}
+	}
+	// The setting must reproduce the matrix exactly.
+	if err := setting.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !setting.ApproxTable().Equal(tt.Component(0)) {
+		t.Error("row setting does not reproduce the function")
+	}
+}
+
+func TestFig2ColDecomposition(t *testing.T) {
+	tt, part := fig2Function()
+	m := boolmatrix.Build(tt.Component(0), part, nil)
+	setting, ok := CheckColDecomposable(m)
+	if !ok {
+		t.Fatal("Fig. 2 matrix not column-decomposable")
+	}
+	if err := setting.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports the two column types (1,0,1,0) and (0,0,1,1).
+	if got := setting.V1.String(); got != "1010" {
+		t.Errorf("V1 = %s, want 1010", got)
+	}
+	if got := setting.V2.String(); got != "0011" {
+		t.Errorf("V2 = %s, want 0011", got)
+	}
+	if got := setting.T.String(); got != "0011" {
+		t.Errorf("T = %s, want 0011", got)
+	}
+	if !setting.ApproxTable().Equal(tt.Component(0)) {
+		t.Error("column setting does not reproduce the function")
+	}
+}
+
+func TestNonDecomposableDetected(t *testing.T) {
+	// Three distinct non-complementary, non-constant columns.
+	part := partition.MustNew(4, 0b0011)
+	rows := [][]int{
+		{1, 0, 0, 1},
+		{0, 1, 0, 1},
+		{0, 0, 1, 1},
+		{1, 1, 1, 0},
+	}
+	tt := truthtable.New(4, 1)
+	for i := range rows {
+		for j := range rows[i] {
+			tt.SetBit(0, part.Global(i, j), rows[i][j] == 1)
+		}
+	}
+	m := boolmatrix.Build(tt.Component(0), part, nil)
+	if _, ok := CheckRowDecomposable(m); ok {
+		t.Error("row check accepted non-decomposable matrix")
+	}
+	if _, ok := CheckColDecomposable(m); ok {
+		t.Error("column check accepted non-decomposable matrix")
+	}
+}
+
+// randomDecomposable builds a function guaranteed decomposable over part
+// by construction: g(X) = F(phi(B), A) for random phi and F.
+func randomDecomposable(part *partition.Partition, rng *rand.Rand) *bitvec.Vector {
+	r, c := part.Rows(), part.Cols()
+	phi := bitvec.New(c)
+	f0 := bitvec.New(r)
+	f1 := bitvec.New(r)
+	for j := 0; j < c; j++ {
+		phi.Set(j, rng.Intn(2) == 1)
+	}
+	for i := 0; i < r; i++ {
+		f0.Set(i, rng.Intn(2) == 1)
+		f1.Set(i, rng.Intn(2) == 1)
+	}
+	d := &Decomposition{Part: part, Phi: phi, F0: f0, F1: f1}
+	return d.Recompose()
+}
+
+// TestTheoremEquivalence is the paper's Theorems 1 and 2: the row-based
+// and column-based conditions accept exactly the same functions, namely
+// the disjointly decomposable ones.
+func TestTheoremEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(4)
+		free := 1 + rng.Intn(n-1)
+		part := partition.Random(n, free, rng)
+		var tt *bitvec.Vector
+		if trial%2 == 0 {
+			tt = randomDecomposable(part, rng)
+		} else {
+			tt = truthtable.Random(n, 1, rng).Component(0)
+		}
+		m := boolmatrix.Build(tt, part, nil)
+		_, rowOK := CheckRowDecomposable(m)
+		_, colOK := CheckColDecomposable(m)
+		if rowOK != colOK {
+			t.Fatalf("trial %d: theorem disagreement (row=%v col=%v) on %v", trial, rowOK, colOK, part)
+		}
+		if trial%2 == 0 && !colOK {
+			t.Fatalf("trial %d: constructed decomposable function rejected", trial)
+		}
+	}
+}
+
+// TestWitnessesReproduce checks that whenever a check succeeds, the
+// returned setting reproduces the function bit-exactly.
+func TestWitnessesReproduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(3)
+		part := partition.Random(n, 1+rng.Intn(n-1), rng)
+		tt := randomDecomposable(part, rng)
+		m := boolmatrix.Build(tt, part, nil)
+		if rs, ok := CheckRowDecomposable(m); ok {
+			if !rs.ApproxTable().Equal(tt) {
+				t.Fatal("row witness does not reproduce function")
+			}
+		} else {
+			t.Fatal("constructed function rejected by row check")
+		}
+		if cs, ok := CheckColDecomposable(m); ok {
+			if !cs.ApproxTable().Equal(tt) {
+				t.Fatal("column witness does not reproduce function")
+			}
+		}
+	}
+}
+
+func TestDecomposableHelper(t *testing.T) {
+	tt, part := fig2Function()
+	if !Decomposable(tt.Component(0), part) {
+		t.Error("Fig. 2 function reported non-decomposable")
+	}
+}
+
+func TestSynthesizeRecomposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(4)
+		part := partition.Random(n, 1+rng.Intn(n-1), rng)
+		tt := randomDecomposable(part, rng)
+		m := boolmatrix.Build(tt, part, nil)
+		cs, ok := CheckColDecomposable(m)
+		if !ok {
+			t.Fatal("constructed function rejected")
+		}
+		d := cs.Synthesize()
+		if !d.Recompose().Equal(tt) {
+			t.Fatal("Synthesize/Recompose round trip failed")
+		}
+		// Eval agrees with Recompose pointwise.
+		rec := d.Recompose()
+		for x := uint64(0); x < uint64(1)<<uint(n); x++ {
+			if d.Eval(x) != rec.Bit(int(x)) {
+				t.Fatalf("Eval(%d) disagrees with Recompose", x)
+			}
+		}
+	}
+}
+
+func TestRowSynthesizeMatchesSetting(t *testing.T) {
+	tt, part := fig2Function()
+	m := boolmatrix.Build(tt.Component(0), part, nil)
+	rs, _ := CheckRowDecomposable(m)
+	d := rs.Synthesize()
+	if !d.Recompose().Equal(tt.Component(0)) {
+		t.Error("row Synthesize/Recompose does not reproduce function")
+	}
+	// Fig. 1 economics: 4 inputs -> flat 16 bits vs 4 + 2*4 = 12 bits.
+	if d.Bits() != 12 {
+		t.Errorf("Bits = %d, want 12", d.Bits())
+	}
+}
+
+func TestDecompositionBitsFig1(t *testing.T) {
+	// The paper's Fig. 1: 5 inputs, |B| = 3, |A| = 2 gives 8 + 2*4 = 16
+	// bits against a 32-bit flat LUT (2x reduction).
+	part := partition.MustNew(5, 0b11000)
+	d := &Decomposition{
+		Part: part,
+		Phi:  bitvec.New(part.Cols()),
+		F0:   bitvec.New(part.Rows()),
+		F1:   bitvec.New(part.Rows()),
+	}
+	if d.Bits() != 16 {
+		t.Errorf("Fig. 1 bits = %d, want 16", d.Bits())
+	}
+}
+
+func TestSingleColumnTypeDegenerate(t *testing.T) {
+	// A constant function has one column type; V2 must mirror V1 so that
+	// EntryValue works for any T.
+	part := partition.MustNew(4, 0b0011)
+	tt := truthtable.New(4, 1) // all zeros
+	m := boolmatrix.Build(tt.Component(0), part, nil)
+	cs, ok := CheckColDecomposable(m)
+	if !ok {
+		t.Fatal("constant function rejected")
+	}
+	if !cs.V1.Equal(cs.V2) {
+		t.Error("degenerate V2 does not mirror V1")
+	}
+	if !cs.ApproxTable().Equal(tt.Component(0)) {
+		t.Error("degenerate setting does not reproduce constant function")
+	}
+}

@@ -1,0 +1,219 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/bitvec"
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/partition"
+	"isinglut/internal/truthtable"
+)
+
+func TestRowSettingValidate(t *testing.T) {
+	part := partition.MustNew(4, 0b0011)
+	good := &RowSetting{Part: part, V: bitvec.New(4), S: make([]RowType, 4)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*RowSetting{
+		{Part: nil, V: bitvec.New(4), S: make([]RowType, 4)},
+		{Part: part, V: bitvec.New(3), S: make([]RowType, 4)},
+		{Part: part, V: bitvec.New(4), S: make([]RowType, 3)},
+		{Part: part, V: nil, S: make([]RowType, 4)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad setting %d validated", i)
+		}
+	}
+	invalid := &RowSetting{Part: part, V: bitvec.New(4), S: []RowType{0, 1, 2, 5}}
+	if err := invalid.Validate(); err == nil {
+		t.Error("invalid row type validated")
+	}
+}
+
+func TestColSettingValidate(t *testing.T) {
+	part := partition.MustNew(4, 0b0011)
+	if err := NewColSetting(part).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*ColSetting{
+		{Part: nil, V1: bitvec.New(4), V2: bitvec.New(4), T: bitvec.New(4)},
+		{Part: part, V1: bitvec.New(3), V2: bitvec.New(4), T: bitvec.New(4)},
+		{Part: part, V1: bitvec.New(4), V2: bitvec.New(5), T: bitvec.New(4)},
+		{Part: part, V1: bitvec.New(4), V2: bitvec.New(4), T: bitvec.New(2)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad setting %d validated", i)
+		}
+	}
+}
+
+func TestRowTypeString(t *testing.T) {
+	cases := map[RowType]string{RowZero: "0", RowOne: "1", RowPattern: "V", RowComplement: "~V"}
+	for rt, want := range cases {
+		if rt.String() != want {
+			t.Errorf("%d.String() = %s", rt, rt.String())
+		}
+	}
+}
+
+func TestColSettingEntryValueEq3(t *testing.T) {
+	// Eq. (3): O-hat = (1-T_j) V1_i + T_j V2_i on every combination.
+	part := partition.MustNew(2, 0b01)
+	s := NewColSetting(part)
+	s.V1.Set(0, true)  // V1 = (1, 0)
+	s.V2.Set(1, true)  // V2 = (0, 1)
+	s.T.Set(1, true)   // T  = (0, 1)
+	want := [2][2]int{ // [i][j]
+		{1, 0},
+		{0, 1},
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got := s.EntryValue(i, j); got != want[i][j] {
+				t.Errorf("EntryValue(%d,%d) = %d, want %d", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestColSettingClone(t *testing.T) {
+	part := partition.MustNew(3, 0b001)
+	s := NewColSetting(part)
+	s.V1.Set(0, true)
+	c := s.Clone()
+	c.V1.Set(1, true)
+	c.T.Set(0, true)
+	if s.V1.Get(1) || s.T.Get(0) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestToColSettingEquivalence(t *testing.T) {
+	// A row setting and its column conversion must produce identical
+	// approximate matrices, for random settings.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(4)
+		part := partition.Random(n, 1+rng.Intn(n-1), rng)
+		rs := &RowSetting{
+			Part: part,
+			V:    bitvec.New(part.Cols()),
+			S:    make([]RowType, part.Rows()),
+		}
+		for j := 0; j < part.Cols(); j++ {
+			rs.V.Set(j, rng.Intn(2) == 1)
+		}
+		for i := range rs.S {
+			rs.S[i] = RowType(rng.Intn(4))
+		}
+		cs := rs.ToColSetting()
+		for i := 0; i < part.Rows(); i++ {
+			for j := 0; j < part.Cols(); j++ {
+				if rs.EntryValue(i, j) != cs.EntryValue(i, j) {
+					t.Fatalf("trial %d: entry (%d,%d) differs", trial, i, j)
+				}
+			}
+		}
+		if !rs.ApproxTable().Equal(cs.ApproxTable()) {
+			t.Fatalf("trial %d: approx tables differ", trial)
+		}
+	}
+}
+
+func TestSettingErrorAgainstHamming(t *testing.T) {
+	// Under the uniform distribution, SettingError * 2^n equals the
+	// Hamming distance between the approximate table and the exact one.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(3)
+		part := partition.Random(n, 1+rng.Intn(n-1), rng)
+		tt := truthtable.Random(n, 1, rng)
+		m := boolmatrix.Build(tt.Component(0), part, nil)
+		s := NewColSetting(part)
+		for i := 0; i < part.Rows(); i++ {
+			s.V1.Set(i, rng.Intn(2) == 1)
+			s.V2.Set(i, rng.Intn(2) == 1)
+		}
+		for j := 0; j < part.Cols(); j++ {
+			s.T.Set(j, rng.Intn(2) == 1)
+		}
+		got := SettingError(m, s) * float64(uint64(1)<<uint(n))
+		want := float64(s.ApproxTable().HammingDistance(tt.Component(0)))
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: SettingError*2^n = %g, Hamming = %g", trial, got, want)
+		}
+	}
+}
+
+func TestRowSettingErrorAgainstHamming(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(3)
+		part := partition.Random(n, 1+rng.Intn(n-1), rng)
+		tt := truthtable.Random(n, 1, rng)
+		m := boolmatrix.Build(tt.Component(0), part, nil)
+		s := &RowSetting{Part: part, V: bitvec.New(part.Cols()), S: make([]RowType, part.Rows())}
+		for j := 0; j < part.Cols(); j++ {
+			s.V.Set(j, rng.Intn(2) == 1)
+		}
+		for i := range s.S {
+			s.S[i] = RowType(rng.Intn(4))
+		}
+		got := RowSettingError(m, s) * float64(uint64(1)<<uint(n))
+		want := float64(s.ApproxTable().HammingDistance(tt.Component(0)))
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: RowSettingError*2^n = %g, Hamming = %g", trial, got, want)
+		}
+	}
+}
+
+func TestSettingErrorPartitionMismatchPanics(t *testing.T) {
+	tt := truthtable.New(4, 1)
+	m := boolmatrix.Build(tt.Component(0), partition.MustNew(4, 0b0011), nil)
+	s := NewColSetting(partition.MustNew(4, 0b0101))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partition mismatch did not panic")
+		}
+	}()
+	SettingError(m, s)
+}
+
+func TestOverlapApproxTableUsesOnlyValidCells(t *testing.T) {
+	// With a non-disjoint partition, ApproxTable must derive each input
+	// pattern's value from its own (row, col) cell, never from an
+	// unreachable cell that happens to share a Global image.
+	rng := rand.New(rand.NewSource(11))
+	part, err := partition.NewOverlap(5, 0b00111, 0b11110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		s := NewColSetting(part)
+		for i := 0; i < part.Rows(); i++ {
+			s.V1.Set(i, rng.Intn(2) == 1)
+			s.V2.Set(i, rng.Intn(2) == 1)
+		}
+		for j := 0; j < part.Cols(); j++ {
+			s.T.Set(j, rng.Intn(2) == 1)
+		}
+		table := s.ApproxTable()
+		for x := uint64(0); x < 32; x++ {
+			i, j := part.RowOf(x), part.ColOf(x)
+			if table.Bit(int(x)) != s.EntryValue(i, j) {
+				t.Fatalf("trial %d: pattern %d disagrees with its cell", trial, x)
+			}
+		}
+		// Synthesized pair agrees pointwise too.
+		d := s.Synthesize()
+		for x := uint64(0); x < 32; x++ {
+			if d.Eval(x) != table.Bit(int(x)) {
+				t.Fatalf("trial %d: Eval(%d) != ApproxTable", trial, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package errmetric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+func TestIdenticalTablesZeroError(t *testing.T) {
+	tt := truthtable.Random(6, 4, rand.New(rand.NewSource(1)))
+	rep := MustEvaluate(tt, tt.Clone(), nil)
+	if rep.ER != 0 || rep.MED != 0 || rep.WorstED != 0 {
+		t.Fatalf("nonzero error for identical tables: %+v", rep)
+	}
+	for k, e := range rep.BitER {
+		if e != 0 {
+			t.Fatalf("BitER[%d] = %g", k, e)
+		}
+	}
+}
+
+func TestSingleFlipUniform(t *testing.T) {
+	exact := truthtable.New(4, 3)
+	approx := exact.Clone()
+	approx.SetBit(2, 5, true) // flips output bit 2 (weight 4) at pattern 5
+	rep := MustEvaluate(exact, approx, nil)
+	if math.Abs(rep.ER-1.0/16) > 1e-12 {
+		t.Errorf("ER = %g", rep.ER)
+	}
+	if math.Abs(rep.MED-4.0/16) > 1e-12 {
+		t.Errorf("MED = %g", rep.MED)
+	}
+	if rep.WorstED != 4 {
+		t.Errorf("WorstED = %d", rep.WorstED)
+	}
+	if rep.BitER[2] != 1.0/16 || rep.BitER[0] != 0 {
+		t.Errorf("BitER = %v", rep.BitER)
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	if _, err := Evaluate(truthtable.New(4, 3), truthtable.New(4, 4), nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, err := Evaluate(truthtable.New(4, 3), truthtable.New(5, 3), nil); err == nil {
+		t.Error("input mismatch accepted")
+	}
+	if _, err := Evaluate(truthtable.New(4, 3), truthtable.New(4, 3), prob.NewUniform(5)); err == nil {
+		t.Error("distribution mismatch accepted")
+	}
+}
+
+func TestERBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		a := truthtable.Random(5, 4, rng)
+		b := truthtable.Random(5, 4, rng)
+		rep := MustEvaluate(a, b, nil)
+		if rep.ER < 0 || rep.ER > 1+1e-12 {
+			t.Fatalf("ER out of range: %g", rep.ER)
+		}
+		maxMED := float64(uint64(1)<<4 - 1)
+		if rep.MED < 0 || rep.MED > maxMED {
+			t.Fatalf("MED out of range: %g", rep.MED)
+		}
+		if float64(rep.WorstED) < rep.MED {
+			t.Fatalf("WorstED %d below MED %g", rep.WorstED, rep.MED)
+		}
+	}
+}
+
+func TestMEDMatchesManualSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	exact := truthtable.Random(5, 3, rng)
+	approx := truthtable.Random(5, 3, rng)
+	dist := prob.RandomWeighted(5, rng)
+	want := 0.0
+	for x := uint64(0); x < 32; x++ {
+		d := int64(exact.Output(x)) - int64(approx.Output(x))
+		if d < 0 {
+			d = -d
+		}
+		want += dist.P(x) * float64(d)
+	}
+	if got := MED(exact, approx, dist); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MED = %g, want %g", got, want)
+	}
+}
+
+func TestComponentER(t *testing.T) {
+	exact := truthtable.New(3, 2)
+	approx := exact.Clone()
+	approx.SetBit(1, 0, true)
+	approx.SetBit(1, 1, true)
+	if got := ComponentER(exact, approx, 1, nil); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("ComponentER = %g", got)
+	}
+	if got := ComponentER(exact, approx, 0, nil); got != 0 {
+		t.Errorf("untouched component ER = %g", got)
+	}
+}
+
+func TestBitERSumBoundsER(t *testing.T) {
+	// Union bound: ER <= sum BitER; and ER >= max BitER.
+	rng := rand.New(rand.NewSource(4))
+	a := truthtable.Random(6, 5, rng)
+	b := truthtable.Random(6, 5, rng)
+	rep := MustEvaluate(a, b, nil)
+	sum, maxB := 0.0, 0.0
+	for _, e := range rep.BitER {
+		sum += e
+		if e > maxB {
+			maxB = e
+		}
+	}
+	if rep.ER > sum+1e-12 || rep.ER < maxB-1e-12 {
+		t.Fatalf("ER %g outside [max %g, sum %g]", rep.ER, maxB, sum)
+	}
+}
+
+func TestNormalizedMED(t *testing.T) {
+	exact := truthtable.New(2, 3)
+	approx := exact.Clone()
+	for x := uint64(0); x < 4; x++ {
+		approx.SetOutput(x, 7) // max error everywhere
+	}
+	if got := NormalizedMED(exact, approx, nil); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NormalizedMED = %g, want 1", got)
+	}
+}
+
+func TestWeightedZeroProbabilityRegionIgnored(t *testing.T) {
+	exact := truthtable.New(3, 2)
+	approx := exact.Clone()
+	approx.SetOutput(7, 3)
+	weights := make([]float64, 8)
+	for i := 0; i < 7; i++ {
+		weights[i] = 1
+	}
+	dist, err := prob.NewWeighted(3, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := MustEvaluate(exact, approx, dist)
+	if rep.ER != 0 || rep.MED != 0 {
+		t.Fatalf("error counted in zero-probability region: %+v", rep)
+	}
+	// WorstED is distribution-free by design.
+	if rep.WorstED != 3 {
+		t.Fatalf("WorstED = %d", rep.WorstED)
+	}
+}

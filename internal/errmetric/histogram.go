@@ -1,0 +1,137 @@
+package errmetric
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+// Histogram is the probability-weighted distribution of error distances
+// between an exact and an approximate function, bucketed by magnitude.
+// Bucket i covers ED in [Bounds[i], Bounds[i+1]); the final bucket is
+// open-ended.
+type Histogram struct {
+	Bounds []uint64  // ascending bucket lower bounds, Bounds[0] == 0
+	Mass   []float64 // probability mass per bucket, len == len(Bounds)
+}
+
+// ErrorHistogram buckets the error distance |Bin(G) - Bin(Ghat)| with
+// power-of-two bounds (0, 1, 2, 4, ... up to the output range). dist may
+// be nil (uniform).
+func ErrorHistogram(exact, approx *truthtable.Table, dist prob.Distribution) (*Histogram, error) {
+	if exact.NumInputs() != approx.NumInputs() || exact.NumOutputs() != approx.NumOutputs() {
+		return nil, fmt.Errorf("errmetric: shape mismatch (%d,%d) vs (%d,%d)",
+			exact.NumInputs(), exact.NumOutputs(), approx.NumInputs(), approx.NumOutputs())
+	}
+	n := exact.NumInputs()
+	if dist == nil {
+		dist = prob.NewUniform(n)
+	}
+	// Bounds: 0, 1, 2, 4, ..., 2^(m-1).
+	bounds := []uint64{0, 1}
+	for b := uint64(2); b < uint64(1)<<uint(exact.NumOutputs()); b *= 2 {
+		bounds = append(bounds, b)
+	}
+	h := &Histogram{Bounds: bounds, Mass: make([]float64, len(bounds))}
+	for x := uint64(0); x < exact.Size(); x++ {
+		a, b := exact.Output(x), approx.Output(x)
+		var ed uint64
+		if a > b {
+			ed = a - b
+		} else {
+			ed = b - a
+		}
+		h.Mass[h.bucketOf(ed)] += dist.P(x)
+	}
+	return h, nil
+}
+
+func (h *Histogram) bucketOf(ed uint64) int {
+	for i := len(h.Bounds) - 1; i >= 0; i-- {
+		if ed >= h.Bounds[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// TotalMass returns the summed probability (1 up to rounding for full
+// distributions).
+func (h *Histogram) TotalMass() float64 {
+	total := 0.0
+	for _, m := range h.Mass {
+		total += m
+	}
+	return total
+}
+
+// TailMass returns the probability of an error distance >= bound.
+func (h *Histogram) TailMass(bound uint64) float64 {
+	total := 0.0
+	for i, lo := range h.Bounds {
+		hi := uint64(math.MaxUint64)
+		if i+1 < len(h.Bounds) {
+			hi = h.Bounds[i+1]
+		}
+		switch {
+		case lo >= bound:
+			total += h.Mass[i]
+		case hi > bound:
+			// Partial bucket: the bucketing cannot split it, so include it
+			// conservatively (power-of-two bounds make this exact for
+			// power-of-two queries).
+			total += h.Mass[i]
+		}
+	}
+	return total
+}
+
+// Render writes the histogram as an aligned text table with bar marks.
+func (h *Histogram) Render(w io.Writer) {
+	maxMass := 0.0
+	for _, m := range h.Mass {
+		if m > maxMass {
+			maxMass = m
+		}
+	}
+	for i, lo := range h.Bounds {
+		label := ""
+		if i+1 < len(h.Bounds) {
+			if h.Bounds[i+1] == lo+1 {
+				label = fmt.Sprintf("ED = %d", lo)
+			} else {
+				label = fmt.Sprintf("ED in [%d,%d)", lo, h.Bounds[i+1])
+			}
+		} else {
+			label = fmt.Sprintf("ED >= %d", lo)
+		}
+		bar := ""
+		if maxMass > 0 {
+			bar = strings.Repeat("#", int(h.Mass[i]/maxMass*40+0.5))
+		}
+		fmt.Fprintf(w, "%-16s %8.5f %s\n", label, h.Mass[i], bar)
+	}
+}
+
+// PerInputED returns the error distance for every input pattern; useful
+// for plotting error maps over the input domain (e.g. where on the
+// trajectory a kinematics LUT deviates). The slice is indexed by pattern.
+func PerInputED(exact, approx *truthtable.Table) ([]uint64, error) {
+	if exact.NumInputs() != approx.NumInputs() || exact.NumOutputs() != approx.NumOutputs() {
+		return nil, fmt.Errorf("errmetric: shape mismatch")
+	}
+	out := make([]uint64, exact.Size())
+	for x := uint64(0); x < exact.Size(); x++ {
+		a, b := exact.Output(x), approx.Output(x)
+		if a > b {
+			out[x] = a - b
+		} else {
+			out[x] = b - a
+		}
+	}
+	return out, nil
+}

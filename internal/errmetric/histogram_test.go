@@ -1,0 +1,132 @@
+package errmetric
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"isinglut/internal/truthtable"
+)
+
+func TestHistogramIdentical(t *testing.T) {
+	tt := truthtable.Random(5, 4, rand.New(rand.NewSource(1)))
+	h, err := ErrorHistogram(tt, tt.Clone(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.Mass[0]-1) > 1e-12 {
+		t.Fatalf("ED=0 mass %g, want 1", h.Mass[0])
+	}
+	for i := 1; i < len(h.Mass); i++ {
+		if h.Mass[i] != 0 {
+			t.Fatalf("bucket %d nonzero for identical tables", i)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	exact := truthtable.New(3, 4) // all zero
+	approx := exact.Clone()
+	approx.SetOutput(0, 1) // ED 1
+	approx.SetOutput(1, 3) // ED 3 -> bucket [2,4)
+	approx.SetOutput(2, 9) // ED 9 -> bucket [8,16)
+	h, err := ErrorHistogram(exact, approx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bounds: 0,1,2,4,8. Uniform p = 1/8.
+	want := []float64{5.0 / 8, 1.0 / 8, 1.0 / 8, 0, 1.0 / 8}
+	if len(h.Mass) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(h.Mass), len(want))
+	}
+	for i := range want {
+		if math.Abs(h.Mass[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d mass %g, want %g", i, h.Mass[i], want[i])
+		}
+	}
+	if math.Abs(h.TotalMass()-1) > 1e-12 {
+		t.Fatalf("total mass %g", h.TotalMass())
+	}
+}
+
+func TestTailMassPowerOfTwo(t *testing.T) {
+	exact := truthtable.New(3, 4)
+	approx := exact.Clone()
+	approx.SetOutput(0, 2)
+	approx.SetOutput(1, 8)
+	h, _ := ErrorHistogram(exact, approx, nil)
+	if got := h.TailMass(2); math.Abs(got-2.0/8) > 1e-12 {
+		t.Fatalf("TailMass(2) = %g", got)
+	}
+	if got := h.TailMass(8); math.Abs(got-1.0/8) > 1e-12 {
+		t.Fatalf("TailMass(8) = %g", got)
+	}
+	if got := h.TailMass(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TailMass(0) = %g", got)
+	}
+}
+
+func TestHistogramShapeMismatch(t *testing.T) {
+	if _, err := ErrorHistogram(truthtable.New(3, 2), truthtable.New(3, 3), nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	exact := truthtable.New(2, 3)
+	approx := exact.Clone()
+	approx.SetOutput(0, 5)
+	h, _ := ErrorHistogram(exact, approx, nil)
+	var buf bytes.Buffer
+	h.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "ED = 0") || !strings.Contains(out, "#") {
+		t.Errorf("render output:\n%s", out)
+	}
+}
+
+func TestPerInputED(t *testing.T) {
+	exact := truthtable.New(2, 3)
+	approx := exact.Clone()
+	approx.SetOutput(2, 6)
+	eds, err := PerInputED(exact, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 0, 6, 0}
+	for i := range want {
+		if eds[i] != want[i] {
+			t.Fatalf("ED[%d] = %d, want %d", i, eds[i], want[i])
+		}
+	}
+	if _, err := PerInputED(exact, truthtable.New(3, 3)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestHistogramMeanConsistentWithMED(t *testing.T) {
+	// Sum over buckets of (mass * representative ED) brackets the MED:
+	// lower bound with bucket lower bounds, upper with upper bounds.
+	rng := rand.New(rand.NewSource(5))
+	exact := truthtable.Random(6, 5, rng)
+	approx := truthtable.Random(6, 5, rng)
+	h, _ := ErrorHistogram(exact, approx, nil)
+	med := MED(exact, approx, nil)
+	lower := 0.0
+	for i, lo := range h.Bounds {
+		lower += float64(lo) * h.Mass[i]
+	}
+	upper := 0.0
+	for i := range h.Bounds {
+		hi := float64(uint64(1) << uint(5)) // max ED bound
+		if i+1 < len(h.Bounds) {
+			hi = float64(h.Bounds[i+1] - 1)
+		}
+		upper += hi * h.Mass[i]
+	}
+	if med < lower-1e-9 || med > upper+1e-9 {
+		t.Fatalf("MED %g outside histogram bracket [%g, %g]", med, lower, upper)
+	}
+}

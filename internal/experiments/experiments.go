@@ -1,0 +1,239 @@
+// Package experiments regenerates the paper's evaluation: Table 1
+// (separate and joint modes, n = 9) and Figure 4 (joint mode, n = 16),
+// plus the solver-level ablations of the Section 3.3 design choices.
+//
+// The paper's full scale (P = 1000 candidate partitions, R = 5 rounds,
+// Gurobi capped at 3600 s per core COP) takes CPU-days; Scale lets each
+// run choose between PaperScale and the reduced QuickScale used by the
+// benchmark suite. Reduced scale preserves the comparisons' shape (who
+// wins, rough factors) because every method sees the same partitions,
+// rounds and budgets.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"isinglut/internal/benchfn"
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/core"
+	"isinglut/internal/dalta"
+	"isinglut/internal/ilp"
+	"isinglut/internal/lut"
+	"isinglut/internal/partition"
+	"isinglut/internal/sb"
+	"isinglut/internal/truthtable"
+)
+
+// Scale bundles every budget knob of a run.
+type Scale struct {
+	// Partitions is P, candidate partitions per component per round.
+	Partitions int
+	// Rounds is R.
+	Rounds int
+	// ILPTimeLimit caps each branch-and-bound core solve.
+	ILPTimeLimit time.Duration
+	// BAMoves is the SA proposal budget per core solve.
+	BAMoves int
+	// SBSteps caps the Euler iterations per bSB run.
+	SBSteps int
+	// StopF/StopS/Epsilon configure the dynamic stop criterion.
+	StopF, StopS int
+	Epsilon      float64
+}
+
+// PaperScale reproduces the paper's experimental budgets (Section 4):
+// P = 1000, R = 5, 3600 s ILP cap, dynamic stop epsilon = 1e-8.
+func PaperScale(n int) Scale {
+	f := 20
+	if n >= 16 {
+		f = 10 // the paper uses f = s = 10 at n = 16
+	}
+	return Scale{
+		Partitions:   1000,
+		Rounds:       5,
+		ILPTimeLimit: 3600 * time.Second,
+		BAMoves:      1 << 16,
+		SBSteps:      2000,
+		StopF:        f,
+		StopS:        f,
+		Epsilon:      1e-8,
+	}
+}
+
+// QuickScale is the reduced budget used by the benchmark suite and CI:
+// the same pipeline at a laptop-friendly size. The ILP cap keeps the
+// paper's "exact but slow, often time-capped" role at a per-solve budget
+// two orders of magnitude above the proposed solver's typical runtime.
+func QuickScale(n int) Scale {
+	s := Scale{
+		Partitions:   4,
+		Rounds:       2,
+		ILPTimeLimit: 100 * time.Millisecond,
+		BAMoves:      4096,
+		SBSteps:      800,
+		StopF:        20,
+		StopS:        20,
+		Epsilon:      1e-8,
+	}
+	if n >= 16 {
+		// The proposed-vs-DALTA quality comparison is sensitive to P: the
+		// best-of-P selection is what lets the stochastic bSB shine, so
+		// don't reduce P below ~8 at n = 16 (see EXPERIMENTS.md).
+		s.Partitions = 8
+		s.Rounds = 1
+		s.StopF = 10
+		s.StopS = 10
+		s.SBSteps = 1000
+	}
+	return s
+}
+
+// Solver instantiates the named core-COP solver with the scale's budgets.
+// Known names: "dalta", "dalta-ilp", "ba", "proposed", "altmin".
+func (s Scale) Solver(name string) (dalta.CoreSolver, error) {
+	switch name {
+	case "dalta":
+		return &dalta.Heuristic{}, nil
+	case "dalta-ilp":
+		return &dalta.ILP{Opts: ilp.Options{TimeLimit: s.ILPTimeLimit}}, nil
+	case "ba":
+		return &dalta.BA{Moves: s.BAMoves}, nil
+	case "proposed":
+		params := sb.DefaultParams()
+		params.Steps = s.SBSteps
+		params.Stop = &sb.StopCriteria{F: s.StopF, S: s.StopS, Epsilon: s.Epsilon}
+		return &dalta.Proposed{Opts: core.SolverOptions{SB: params, Theorem3: true}}, nil
+	case "altmin":
+		return &dalta.AltMin{}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown solver %q", name)
+}
+
+// Row is one (benchmark, method) measurement.
+type Row struct {
+	Benchmark string
+	Method    string
+	Mode      core.Mode
+	N, M      int
+	MED       float64
+	ER        float64
+	Seconds   float64
+	LUTBits   int
+	Ratio     float64 // LUT compression ratio vs flat
+}
+
+// Config describes one experiment sweep.
+type Config struct {
+	// N is the input bit width; FreeSize is |A|.
+	N, FreeSize int
+	Mode        core.Mode
+	Scale       Scale
+	Seed        int64
+	Benchmarks  []string
+	Methods     []string
+}
+
+// Table1Config returns the Table 1 setup: six continuous functions at
+// n = 9 with a 4/5 split, in the requested mode.
+func Table1Config(mode core.Mode, scale Scale, seed int64) Config {
+	methods := []string{"dalta-ilp", "proposed"}
+	if mode == core.Joint {
+		methods = []string{"dalta", "dalta-ilp", "ba", "proposed"}
+	}
+	var names []string
+	for _, b := range benchfn.ContinuousBenchmarks() {
+		names = append(names, b.Name)
+	}
+	return Config{
+		N: 9, FreeSize: 4,
+		Mode:       mode,
+		Scale:      scale,
+		Seed:       seed,
+		Benchmarks: names,
+		Methods:    methods,
+	}
+}
+
+// Fig4Config returns the Figure 4 setup: all ten benchmarks at n = 16
+// with a 7/9 split, joint mode, proposed vs DALTA.
+func Fig4Config(scale Scale, seed int64) Config {
+	return Config{
+		N: 16, FreeSize: 7,
+		Mode:       core.Joint,
+		Scale:      scale,
+		Seed:       seed,
+		Benchmarks: benchfn.Names(),
+		Methods:    []string{"dalta", "proposed"},
+	}
+}
+
+// Run executes the sweep and returns one row per (benchmark, method).
+// Every method sees the same partition stream for a benchmark (identical
+// framework seed), so comparisons are paired.
+func Run(cfg Config) ([]Row, error) {
+	var rows []Row
+	for _, name := range cfg.Benchmarks {
+		exact, err := benchfn.Build(name, cfg.N)
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range cfg.Methods {
+			solver, err := cfg.Scale.Solver(method)
+			if err != nil {
+				return nil, err
+			}
+			out, err := dalta.Run(exact, dalta.Config{
+				Rounds:     cfg.Scale.Rounds,
+				Partitions: cfg.Scale.Partitions,
+				FreeSize:   cfg.FreeSize,
+				Mode:       cfg.Mode,
+				Solver:     solver,
+				Seed:       cfg.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s: %w", name, method, err)
+			}
+			design := lut.FromOutcome(out)
+			rows = append(rows, Row{
+				Benchmark: name,
+				Method:    method,
+				Mode:      cfg.Mode,
+				N:         cfg.N,
+				M:         exact.NumOutputs(),
+				MED:       out.Report.MED,
+				ER:        out.Report.ER,
+				Seconds:   out.Elapsed.Seconds(),
+				LUTBits:   design.TotalBits(),
+				Ratio:     design.CompressionRatio(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// SampleCOP builds one core-COP instance from a benchmark for solver-level
+// ablation benches: component k of the named benchmark at n inputs, under
+// a seeded random partition with the given free size.
+func SampleCOP(name string, n, k, freeSize int, mode core.Mode, seed int64) (*core.COP, error) {
+	exact, err := benchfn.Build(name, n)
+	if err != nil {
+		return nil, err
+	}
+	if k < 0 || k >= exact.NumOutputs() {
+		return nil, fmt.Errorf("experiments: component %d out of range [0,%d)", k, exact.NumOutputs())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	part := partition.Random(n, freeSize, rng)
+	if mode == core.Separate {
+		m := boolmatrix.Build(exact.Component(k), part, nil)
+		return core.NewSeparateCOP(m), nil
+	}
+	return core.NewJointCOP(part, k, exact, exact.Clone(), nil), nil
+}
+
+// BuildBenchmark is a convenience re-export for commands.
+func BuildBenchmark(name string, n int) (*truthtable.Table, error) {
+	return benchfn.Build(name, n)
+}

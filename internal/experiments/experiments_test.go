@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"isinglut/internal/core"
+)
+
+func TestScaleSolverNames(t *testing.T) {
+	s := QuickScale(9)
+	for _, name := range []string{"dalta", "dalta-ilp", "ba", "proposed", "altmin"} {
+		solver, err := s.Solver(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if solver.Name() == "" {
+			t.Fatalf("%s: empty solver name", name)
+		}
+	}
+	if _, err := s.Solver("gurobi"); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestPaperScaleMatchesPaper(t *testing.T) {
+	s := PaperScale(9)
+	if s.Partitions != 1000 || s.Rounds != 5 {
+		t.Errorf("paper scale P=%d R=%d", s.Partitions, s.Rounds)
+	}
+	if s.ILPTimeLimit != 3600*time.Second {
+		t.Errorf("ILP cap %v", s.ILPTimeLimit)
+	}
+	if s.StopF != 20 || s.StopS != 20 {
+		t.Errorf("stop criteria f=%d s=%d at n=9", s.StopF, s.StopS)
+	}
+	s16 := PaperScale(16)
+	if s16.StopF != 10 || s16.StopS != 10 {
+		t.Errorf("stop criteria f=%d s=%d at n=16, paper says 10", s16.StopF, s16.StopS)
+	}
+	if s.Epsilon != 1e-8 {
+		t.Errorf("epsilon %g", s.Epsilon)
+	}
+}
+
+func TestTable1ConfigShape(t *testing.T) {
+	cfg := Table1Config(core.Joint, QuickScale(9), 1)
+	if cfg.N != 9 || cfg.FreeSize != 4 {
+		t.Errorf("quantization scheme n=%d |A|=%d", cfg.N, cfg.FreeSize)
+	}
+	if len(cfg.Benchmarks) != 6 {
+		t.Errorf("%d benchmarks", len(cfg.Benchmarks))
+	}
+	if len(cfg.Methods) != 4 {
+		t.Errorf("joint methods %v", cfg.Methods)
+	}
+	sep := Table1Config(core.Separate, QuickScale(9), 1)
+	if len(sep.Methods) != 2 {
+		t.Errorf("separate methods %v", sep.Methods)
+	}
+}
+
+func TestFig4ConfigShape(t *testing.T) {
+	cfg := Fig4Config(QuickScale(16), 1)
+	if cfg.N != 16 || cfg.FreeSize != 7 {
+		t.Errorf("scheme n=%d |A|=%d", cfg.N, cfg.FreeSize)
+	}
+	if len(cfg.Benchmarks) != 10 {
+		t.Errorf("%d benchmarks", len(cfg.Benchmarks))
+	}
+	if cfg.Mode != core.Joint {
+		t.Error("Fig. 4 must use joint mode")
+	}
+}
+
+func TestRunTinySweep(t *testing.T) {
+	// A minimal real sweep: one benchmark, two fast methods.
+	scale := QuickScale(9)
+	scale.Partitions = 2
+	scale.Rounds = 1
+	cfg := Config{
+		N: 9, FreeSize: 4,
+		Mode:       core.Joint,
+		Scale:      scale,
+		Seed:       3,
+		Benchmarks: []string{"erf"},
+		Methods:    []string{"dalta", "proposed"},
+	}
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MED < 0 || r.Seconds <= 0 || r.LUTBits <= 0 {
+			t.Fatalf("implausible row %+v", r)
+		}
+		if r.M != 9 {
+			t.Fatalf("m = %d", r.M)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	cfg := Config{
+		N: 9, FreeSize: 4, Scale: QuickScale(9),
+		Benchmarks: []string{"nope"}, Methods: []string{"dalta"},
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	cfg.Benchmarks = []string{"erf"}
+	cfg.Methods = []string{"nope"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	rows := []Row{
+		{Benchmark: "exp", Method: "dalta", MED: 4.22, Seconds: 2.72},
+		{Benchmark: "exp", Method: "proposed", MED: 2.66, Seconds: 1.92},
+		{Benchmark: "ln", Method: "dalta", MED: 4.69, Seconds: 6.77},
+		{Benchmark: "ln", Method: "proposed", MED: 2.72, Seconds: 2.77},
+	}
+	var buf bytes.Buffer
+	RenderTable(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"exp", "ln", "average", "dalta", "proposed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTableEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable(&buf, nil)
+	if !strings.Contains(buf.String(), "no rows") {
+		t.Error("empty render silent")
+	}
+}
+
+func TestFig4Ratios(t *testing.T) {
+	rows := []Row{
+		{Benchmark: "exp", Method: "dalta", MED: 4.0, Seconds: 10},
+		{Benchmark: "exp", Method: "proposed", MED: 3.0, Seconds: 5},
+		{Benchmark: "cos", Method: "dalta", MED: 2.0, Seconds: 8},
+		{Benchmark: "cos", Method: "proposed", MED: 2.2, Seconds: 10},
+	}
+	ratios := Fig4Ratios(rows, "")
+	if len(ratios) != 2 {
+		t.Fatalf("%d ratios", len(ratios))
+	}
+	if ratios[0].MEDRatio != 0.75 || ratios[0].TimeRatio != 0.5 {
+		t.Errorf("exp ratios %+v", ratios[0])
+	}
+	if ratios[1].MEDRatio != 1.1 {
+		t.Errorf("cos MED ratio %g", ratios[1].MEDRatio)
+	}
+	var buf bytes.Buffer
+	RenderFig4(&buf, ratios)
+	if !strings.Contains(buf.String(), "average") {
+		t.Error("RenderFig4 missing average row")
+	}
+}
+
+func TestFig4RatiosZeroBaseline(t *testing.T) {
+	rows := []Row{
+		{Benchmark: "a", Method: "dalta", MED: 0, Seconds: 1},
+		{Benchmark: "a", Method: "proposed", MED: 0, Seconds: 1},
+		{Benchmark: "b", Method: "dalta", MED: 0, Seconds: 1},
+		{Benchmark: "b", Method: "proposed", MED: 1, Seconds: 1},
+	}
+	ratios := Fig4Ratios(rows, "dalta")
+	if ratios[0].MEDRatio != 1 {
+		t.Errorf("both-zero ratio %g, want 1", ratios[0].MEDRatio)
+	}
+	if ratios[1].MEDRatio != -1 {
+		t.Errorf("zero-baseline ratio %g, want -1 flag", ratios[1].MEDRatio)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{{Benchmark: "exp", Method: "proposed", N: 9, M: 9, MED: 2.5, ER: 0.5, Seconds: 1.5, LUTBits: 216, Ratio: 2.1}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,method") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "exp,proposed,") {
+		t.Errorf("row %q", lines[1])
+	}
+}
+
+func TestSampleCOP(t *testing.T) {
+	for _, mode := range []core.Mode{core.Separate, core.Joint} {
+		cop, err := SampleCOP("erf", 9, 3, 4, mode, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cop.R != 16 || cop.C != 32 {
+			t.Fatalf("dims %dx%d", cop.R, cop.C)
+		}
+	}
+	if _, err := SampleCOP("erf", 9, 99, 4, core.Joint, 1); err == nil {
+		t.Error("out-of-range component accepted")
+	}
+	if _, err := SampleCOP("nope", 9, 0, 4, core.Joint, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestConvergenceTraces exercises the Section 3.3 convergence ablation:
+// the recorded traces must be internally consistent and the Theorem-3
+// variant must not end worse than the plain one on the same seed.
+func TestConvergenceTraces(t *testing.T) {
+	results, err := Convergence("exp", 9, 4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	byLabel := map[string]ConvergenceResult{}
+	for _, r := range results {
+		if r.Trace.Len() == 0 {
+			t.Fatalf("%s: empty trace", r.Label)
+		}
+		best, _ := r.Trace.Best()
+		if best != r.Summary.BestEnergy {
+			t.Fatalf("%s: summary disagrees with trace", r.Label)
+		}
+		byLabel[r.Label] = r
+	}
+	if byLabel["bsb+t3"].Summary.BestEnergy > byLabel["bsb"].Summary.BestEnergy+1e-9 {
+		t.Errorf("Theorem-3 variant worse: %g vs %g",
+			byLabel["bsb+t3"].Summary.BestEnergy, byLabel["bsb"].Summary.BestEnergy)
+	}
+}
+
+func TestFreeSizeSweep(t *testing.T) {
+	scale := QuickScale(9)
+	scale.Partitions = 2
+	scale.Rounds = 1
+	rows, err := FreeSizeSweep("erf", 9, 3, 5, scale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MED < 0 || r.LUTBits <= 0 {
+			t.Fatalf("implausible row %+v", r)
+		}
+	}
+	// LUT bits: free=3 gives 9*(64+2*8)=720... general check: bits match
+	// the c + 2r formula for all components decomposed.
+	for _, r := range rows {
+		c := 1 << uint(9-r.FreeSize)
+		rr := 1 << uint(r.FreeSize)
+		if r.LUTBits != 9*(c+2*rr) {
+			t.Fatalf("free=%d: bits %d != %d", r.FreeSize, r.LUTBits, 9*(c+2*rr))
+		}
+	}
+	var buf bytes.Buffer
+	RenderSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "erf") {
+		t.Error("render missing benchmark name")
+	}
+}
+
+func TestOverlapSweep(t *testing.T) {
+	scale := QuickScale(9)
+	scale.Partitions = 2
+	scale.Rounds = 1
+	rows, err := OverlapSweep("erf", 9, 4, 1, scale, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[1].LUTBits <= rows[0].LUTBits {
+		t.Error("overlap did not grow the LUT")
+	}
+}

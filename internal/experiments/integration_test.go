@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"testing"
+
+	"isinglut/internal/core"
+)
+
+// TestTable1JointIntegration runs the real Table 1 joint-mode sweep at a
+// tiny budget and asserts the paper's qualitative shape: the heuristic is
+// the fastest, the ILP the slowest, and the proposed method's average MED
+// is competitive with the ILP's. Skipped with -short.
+func TestTable1JointIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	scale := QuickScale(9)
+	scale.Partitions = 2
+	scale.Rounds = 1
+	scale.ILPTimeLimit = scale.ILPTimeLimit / 2
+	rows, err := Run(Table1Config(core.Joint, scale, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := map[string]float64{}
+	sec := map[string]float64{}
+	count := map[string]int{}
+	for _, r := range rows {
+		med[r.Method] += r.MED
+		sec[r.Method] += r.Seconds
+		count[r.Method]++
+	}
+	for _, m := range []string{"dalta", "dalta-ilp", "ba", "proposed"} {
+		if count[m] != 6 {
+			t.Fatalf("method %s has %d rows", m, count[m])
+		}
+	}
+	if sec["dalta"] > sec["dalta-ilp"] {
+		t.Errorf("heuristic slower than ILP: %g vs %g", sec["dalta"], sec["dalta-ilp"])
+	}
+	if sec["proposed"] > sec["dalta-ilp"] {
+		t.Errorf("proposed slower than ILP: %g vs %g", sec["proposed"], sec["dalta-ilp"])
+	}
+	// The proposed method should not be dramatically worse than the ILP
+	// baseline even at this tiny budget.
+	if med["proposed"] > 1.5*med["dalta-ilp"] {
+		t.Errorf("proposed MED %g far above ILP %g", med["proposed"], med["dalta-ilp"])
+	}
+}
+
+// TestFig4Integration runs one n = 16 benchmark end to end. Skipped with
+// -short.
+func TestFig4Integration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	scale := QuickScale(16)
+	scale.Partitions = 2
+	cfg := Fig4Config(scale, 7)
+	cfg.Benchmarks = []string{"multiplier"}
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := Fig4Ratios(rows, "dalta")
+	if len(ratios) != 1 {
+		t.Fatalf("%d ratio rows", len(ratios))
+	}
+	r := ratios[0]
+	if r.MEDRatio <= 0 || r.MEDRatio > 3 {
+		t.Errorf("implausible MED ratio %g", r.MEDRatio)
+	}
+	if r.BaselineMED <= 0 {
+		t.Errorf("baseline MED %g", r.BaselineMED)
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderTable writes the rows as an aligned text table grouped by
+// benchmark, in the style of the paper's Table 1.
+func RenderTable(w io.Writer, rows []Row) {
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no rows)")
+		return
+	}
+	methods := methodOrder(rows)
+	fmt.Fprintf(w, "%-12s", "benchmark")
+	for _, m := range methods {
+		fmt.Fprintf(w, " | %18s", m+" MED/time(s)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 12+len(methods)*21))
+
+	byBench := map[string]map[string]Row{}
+	var benchOrder []string
+	for _, r := range rows {
+		if byBench[r.Benchmark] == nil {
+			byBench[r.Benchmark] = map[string]Row{}
+			benchOrder = append(benchOrder, r.Benchmark)
+		}
+		byBench[r.Benchmark][r.Method] = r
+	}
+	sums := map[string][2]float64{}
+	counts := map[string]int{}
+	for _, b := range benchOrder {
+		fmt.Fprintf(w, "%-12s", b)
+		for _, m := range methods {
+			r, ok := byBench[b][m]
+			if !ok {
+				fmt.Fprintf(w, " | %18s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " | %9.3f/%7.2f", r.MED, r.Seconds)
+			s := sums[m]
+			s[0] += r.MED
+			s[1] += r.Seconds
+			sums[m] = s
+			counts[m]++
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-12s", "average")
+	for _, m := range methods {
+		if counts[m] == 0 {
+			fmt.Fprintf(w, " | %18s", "-")
+			continue
+		}
+		n := float64(counts[m])
+		fmt.Fprintf(w, " | %9.3f/%7.2f", sums[m][0]/n, sums[m][1]/n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig4Row is one benchmark's ratio pair in the style of Figure 4.
+type Fig4Row struct {
+	Benchmark   string
+	BaselineMED float64
+	MEDRatio    float64 // proposed / baseline (< 1 means proposed better)
+	BaselineSec float64
+	TimeRatio   float64 // proposed / baseline
+}
+
+// Fig4Ratios pairs the proposed method against the baseline (default
+// "dalta") per benchmark, reproducing the figure's two ratio series.
+func Fig4Ratios(rows []Row, baseline string) []Fig4Row {
+	if baseline == "" {
+		baseline = "dalta"
+	}
+	base := map[string]Row{}
+	prop := map[string]Row{}
+	var order []string
+	for _, r := range rows {
+		switch r.Method {
+		case baseline:
+			base[r.Benchmark] = r
+			order = append(order, r.Benchmark)
+		case "proposed":
+			prop[r.Benchmark] = r
+		}
+	}
+	var out []Fig4Row
+	for _, b := range order {
+		br, ok1 := base[b]
+		pr, ok2 := prop[b]
+		if !ok1 || !ok2 {
+			continue
+		}
+		fr := Fig4Row{Benchmark: b, BaselineMED: br.MED, BaselineSec: br.Seconds}
+		if br.MED > 0 {
+			fr.MEDRatio = pr.MED / br.MED
+		} else if pr.MED == 0 {
+			fr.MEDRatio = 1
+		} else {
+			fr.MEDRatio = -1 // baseline exact but proposed not: flagged
+		}
+		if br.Seconds > 0 {
+			fr.TimeRatio = pr.Seconds / br.Seconds
+		}
+		out = append(out, fr)
+	}
+	return out
+}
+
+// RenderFig4 writes the ratio rows and their averages.
+func RenderFig4(w io.Writer, ratios []Fig4Row) {
+	fmt.Fprintf(w, "%-12s | %12s | %9s | %12s | %9s\n",
+		"benchmark", "base MED", "MED ratio", "base time(s)", "time ratio")
+	fmt.Fprintln(w, strings.Repeat("-", 66))
+	sumMED, sumTime := 0.0, 0.0
+	n := 0
+	for _, r := range ratios {
+		fmt.Fprintf(w, "%-12s | %12.3f | %9.3f | %12.2f | %9.3f\n",
+			r.Benchmark, r.BaselineMED, r.MEDRatio, r.BaselineSec, r.TimeRatio)
+		if r.MEDRatio >= 0 {
+			sumMED += r.MEDRatio
+			sumTime += r.TimeRatio
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintln(w, strings.Repeat("-", 66))
+		fmt.Fprintf(w, "%-12s | %12s | %9.3f | %12s | %9.3f\n",
+			"average", "", sumMED/float64(n), "", sumTime/float64(n))
+	}
+}
+
+// WriteCSV writes the rows as CSV with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, "benchmark,method,mode,n,m,med,er,seconds,lut_bits,ratio"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%g,%g,%g,%d,%g\n",
+			r.Benchmark, r.Method, r.Mode, r.N, r.M, r.MED, r.ER, r.Seconds, r.LUTBits, r.Ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func methodOrder(rows []Row) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range rows {
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			out = append(out, r.Method)
+		}
+	}
+	// Stable canonical order: dalta, dalta-ilp, ba, altmin, proposed.
+	rank := map[string]int{"dalta": 0, "dalta-ilp": 1, "ba": 2, "altmin": 3, "proposed": 4}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, oki := rank[out[i]]
+		rj, okj := rank[out[j]]
+		if oki && okj {
+			return ri < rj
+		}
+		if oki != okj {
+			return oki
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"isinglut/internal/benchfn"
+	"isinglut/internal/core"
+	"isinglut/internal/dalta"
+	"isinglut/internal/lut"
+	"isinglut/internal/trace"
+)
+
+// SweepRow is one point of a design-space sweep (free-set size or
+// overlap) for one benchmark.
+type SweepRow struct {
+	Benchmark string
+	FreeSize  int
+	Overlap   int
+	MED       float64
+	LUTBits   int
+	Ratio     float64
+	Seconds   float64
+}
+
+// FreeSizeSweep decomposes the benchmark at every free-set size in
+// [min, max] with the proposed solver and returns the accuracy/size
+// frontier — the design-choice data behind the paper's quantization
+// schemes (|A| = 4 of 9, 7 of 16).
+func FreeSizeSweep(bench string, n, min, max int, scale Scale, seed int64) ([]SweepRow, error) {
+	exact, err := benchfn.Build(bench, n)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := scale.Solver("proposed")
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for free := min; free <= max; free++ {
+		out, err := dalta.Run(exact, dalta.Config{
+			Rounds:     scale.Rounds,
+			Partitions: scale.Partitions,
+			FreeSize:   free,
+			Mode:       core.Joint,
+			Solver:     solver,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: free size %d: %w", free, err)
+		}
+		design := lut.FromOutcome(out)
+		rows = append(rows, SweepRow{
+			Benchmark: bench,
+			FreeSize:  free,
+			MED:       out.Report.MED,
+			LUTBits:   design.TotalBits(),
+			Ratio:     design.CompressionRatio(),
+			Seconds:   out.Elapsed.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// OverlapSweep decomposes the benchmark at overlaps 0..max with the
+// proposed solver (the non-disjoint extension's accuracy/size knob).
+func OverlapSweep(bench string, n, freeSize, max int, scale Scale, seed int64) ([]SweepRow, error) {
+	exact, err := benchfn.Build(bench, n)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := scale.Solver("proposed")
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for overlap := 0; overlap <= max; overlap++ {
+		out, err := dalta.Run(exact, dalta.Config{
+			Rounds:     scale.Rounds,
+			Partitions: scale.Partitions,
+			FreeSize:   freeSize,
+			Overlap:    overlap,
+			Mode:       core.Joint,
+			Solver:     solver,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overlap %d: %w", overlap, err)
+		}
+		design := lut.FromOutcome(out)
+		rows = append(rows, SweepRow{
+			Benchmark: bench,
+			FreeSize:  freeSize,
+			Overlap:   overlap,
+			MED:       out.Report.MED,
+			LUTBits:   design.TotalBits(),
+			Ratio:     design.CompressionRatio(),
+			Seconds:   out.Elapsed.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSweep writes sweep rows as an aligned table.
+func RenderSweep(w io.Writer, rows []SweepRow) {
+	fmt.Fprintf(w, "%-12s %5s %7s %10s %10s %7s %9s\n",
+		"benchmark", "|A|", "overlap", "MED", "LUT bits", "ratio", "time(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %5d %7d %10.3f %10d %6.1fx %9.2f\n",
+			r.Benchmark, r.FreeSize, r.Overlap, r.MED, r.LUTBits, r.Ratio, r.Seconds)
+	}
+}
+
+// ConvergenceResult captures one solver configuration's trace on a core
+// COP, for the Section 3.3 convergence ablation.
+type ConvergenceResult struct {
+	Label   string
+	Summary trace.Summary
+	Trace   *trace.Trace
+}
+
+// Convergence runs bSB on one sampled core COP under several
+// configurations (with/without Theorem-3, fixed vs dynamic stop) and
+// returns their traces.
+func Convergence(bench string, n, k, freeSize int, seed int64) ([]ConvergenceResult, error) {
+	cop, err := SampleCOP(bench, n, k, freeSize, core.Joint, seed)
+	if err != nil {
+		return nil, err
+	}
+	every := 10
+	configs := []struct {
+		label string
+		t3    bool
+	}{
+		{"bsb+t3", true},
+		{"bsb", false},
+	}
+	var out []ConvergenceResult
+	for _, cfg := range configs {
+		opts := core.DefaultSolverOptions()
+		opts.Theorem3 = cfg.t3
+		opts.SB.Stop = nil
+		opts.SB.Steps = 1000
+		opts.SB.SampleEvery = every
+		opts.SB.RecordTrace = true
+		opts.SB.Seed = seed
+		sol := core.SolveBSB(cop, opts)
+		tr := trace.New(every, sol.SB.Trace)
+		out = append(out, ConvergenceResult{
+			Label:   cfg.label,
+			Summary: trace.Summarize(tr),
+			Trace:   tr,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+// Package hobo implements higher-order binary/spin optimization: energy
+// polynomials of arbitrary order over ±1 spins, and simulated bifurcation
+// for higher-order cost functions (Kanao & Goto, APEX 2023 — the paper's
+// reference [19]).
+//
+// The package exists to realize the paper's motivating counterfactual:
+// Section 3.1 observes that the *row-based* core COP requires a
+// third-order Ising model, which is why the paper introduces the
+// column-based decomposition that fits the second-order model of Eq. 1.
+// internal/core's FormulateRow builds exactly that third-order model, and
+// the ablation benches solve it with this package to quantify what the
+// column-based reformulation buys.
+package hobo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Term is one monomial: Coeff * prod_{v in Vars} s_v. Vars are sorted and
+// distinct; an empty Vars slice is a constant.
+type Term struct {
+	Coeff float64
+	Vars  []int
+}
+
+// Polynomial is an energy function E(s) = sum of terms over N spin (or
+// binary) variables. Build with NewBuilder; Polynomial itself is
+// immutable after Build.
+type Polynomial struct {
+	N     int
+	Terms []Term
+	// varTerms[v] lists indices of terms containing variable v, for
+	// gradient evaluation and incremental flips.
+	varTerms [][]int
+}
+
+// Builder accumulates monomials, merging duplicates.
+type Builder struct {
+	n     int
+	terms map[string]*Term
+}
+
+// NewBuilder returns a builder over n variables.
+func NewBuilder(n int) *Builder {
+	if n <= 0 {
+		panic(fmt.Sprintf("hobo: invalid variable count %d", n))
+	}
+	return &Builder{n: n, terms: make(map[string]*Term)}
+}
+
+// Add accumulates coeff * prod(vars). Duplicate variables within one
+// monomial are rejected (callers should simplify b^2 = b or s^2 = 1
+// themselves, as the semantics differ between binary and spin domains).
+func (b *Builder) Add(coeff float64, vars ...int) {
+	seen := map[int]bool{}
+	for _, v := range vars {
+		if v < 0 || v >= b.n {
+			panic(fmt.Sprintf("hobo: variable %d out of range [0,%d)", v, b.n))
+		}
+		if seen[v] {
+			panic(fmt.Sprintf("hobo: duplicate variable %d in monomial", v))
+		}
+		seen[v] = true
+	}
+	sorted := append([]int(nil), vars...)
+	sort.Ints(sorted)
+	key := fmt.Sprint(sorted)
+	if t, ok := b.terms[key]; ok {
+		t.Coeff += coeff
+		return
+	}
+	b.terms[key] = &Term{Coeff: coeff, Vars: sorted}
+}
+
+// Build freezes the polynomial, dropping zero terms.
+func (b *Builder) Build() *Polynomial {
+	p := &Polynomial{N: b.n}
+	for _, t := range b.terms {
+		if t.Coeff != 0 {
+			p.Terms = append(p.Terms, *t)
+		}
+	}
+	sort.Slice(p.Terms, func(i, j int) bool {
+		a, c := p.Terms[i].Vars, p.Terms[j].Vars
+		if len(a) != len(c) {
+			return len(a) < len(c)
+		}
+		for k := range a {
+			if a[k] != c[k] {
+				return a[k] < c[k]
+			}
+		}
+		return false
+	})
+	p.varTerms = make([][]int, b.n)
+	for ti := range p.Terms {
+		for _, v := range p.Terms[ti].Vars {
+			p.varTerms[v] = append(p.varTerms[v], ti)
+		}
+	}
+	return p
+}
+
+// Order returns the largest monomial degree.
+func (p *Polynomial) Order() int {
+	order := 0
+	for _, t := range p.Terms {
+		if len(t.Vars) > order {
+			order = len(t.Vars)
+		}
+	}
+	return order
+}
+
+// Energy evaluates the polynomial on ±1 spins.
+func (p *Polynomial) Energy(sigma []int8) float64 {
+	x := make([]float64, len(sigma))
+	for i, s := range sigma {
+		x[i] = float64(s)
+	}
+	return p.EnergyContinuous(x)
+}
+
+// EnergyContinuous evaluates the polynomial on real-valued variables.
+func (p *Polynomial) EnergyContinuous(x []float64) float64 {
+	if len(x) != p.N {
+		panic(fmt.Sprintf("hobo: vector length %d != N=%d", len(x), p.N))
+	}
+	total := 0.0
+	for _, t := range p.Terms {
+		prod := t.Coeff
+		for _, v := range t.Vars {
+			prod *= x[v]
+		}
+		total += prod
+	}
+	return total
+}
+
+// Gradient writes dE/dx into out.
+func (p *Polynomial) Gradient(x, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for _, t := range p.Terms {
+		// For each variable in the term, the partial is coeff times the
+		// product of the others. Terms have degree <= a small constant,
+		// so the quadratic-in-degree loop is fine.
+		for pos, v := range t.Vars {
+			prod := t.Coeff
+			for q, w := range t.Vars {
+				if q != pos {
+					prod *= x[w]
+				}
+			}
+			out[v] += prod
+		}
+	}
+}
+
+// FlipDelta returns E(sigma with spin v flipped) - E(sigma). Terms
+// containing v change sign of their contribution, so the delta is
+// -2 * (sum of v's term values).
+func (p *Polynomial) FlipDelta(sigma []int8, v int) float64 {
+	sum := 0.0
+	for _, ti := range p.varTerms[v] {
+		t := &p.Terms[ti]
+		prod := t.Coeff
+		for _, w := range t.Vars {
+			prod *= float64(sigma[w])
+		}
+		sum += prod
+	}
+	return -2 * sum
+}
+
+// BinaryToSpin rewrites a polynomial over binary variables b in {0,1}
+// into the equivalent polynomial over spins s in {-1,+1} via
+// b = (1 + s)/2, expanding products. The resulting polynomial satisfies
+// spinPoly.Energy(s) == binaryPoly evaluated at b = (s+1)/2.
+func BinaryToSpin(binary *Polynomial) *Polynomial {
+	b := NewBuilder(binary.N)
+	for _, t := range binary.Terms {
+		// prod_v (1 + s_v)/2 = 2^-k * sum over subsets S of prod_{v in S} s_v.
+		k := len(t.Vars)
+		scale := t.Coeff / float64(uint64(1)<<uint(k))
+		for mask := 0; mask < 1<<uint(k); mask++ {
+			var vars []int
+			for bit := 0; bit < k; bit++ {
+				if mask&(1<<uint(bit)) != 0 {
+					vars = append(vars, t.Vars[bit])
+				}
+			}
+			b.Add(scale, vars...)
+		}
+	}
+	return b.Build()
+}
+
+// BruteForce exhaustively minimizes the polynomial over ±1 spins.
+// It panics for N > 24.
+func BruteForce(p *Polynomial) ([]int8, float64) {
+	if p.N > 24 {
+		panic(fmt.Sprintf("hobo: BruteForce on N=%d", p.N))
+	}
+	best := make([]int8, p.N)
+	cur := make([]int8, p.N)
+	bestE := math.Inf(1)
+	for mask := uint64(0); mask < uint64(1)<<uint(p.N); mask++ {
+		for i := 0; i < p.N; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				cur[i] = 1
+			} else {
+				cur[i] = -1
+			}
+		}
+		if e := p.Energy(cur); e < bestE {
+			bestE = e
+			copy(best, cur)
+		}
+	}
+	return best, bestE
+}
+
+// Params configures the higher-order ballistic SB solver. The dynamics
+// mirror internal/sb's bSB with the local field generalized to the
+// negative energy gradient (Kanao & Goto).
+type Params struct {
+	Steps         int
+	Dt            float64
+	A0            float64
+	C0            float64 // 0 = auto from the gradient magnitude at random spins
+	InitAmplitude float64
+	Seed          int64
+	// SampleEvery evaluates the rounded state periodically for
+	// best-so-far tracking (0 = only at the end).
+	SampleEvery int
+}
+
+// DefaultParams mirrors sb.DefaultParams.
+func DefaultParams() Params {
+	return Params{Steps: 1000, Dt: 1.0, A0: 1.0, InitAmplitude: 0.1}
+}
+
+// Result reports a solve.
+type Result struct {
+	Spins      []int8
+	Energy     float64
+	Iterations int
+}
+
+// SolveBSB runs ballistic SB with the polynomial's gradient as the force.
+func SolveBSB(p *Polynomial, params Params) Result {
+	n := p.N
+	if params.Steps <= 0 || params.Dt <= 0 {
+		panic("hobo: Steps and Dt must be positive")
+	}
+	a0 := params.A0
+	if a0 <= 0 {
+		a0 = 1
+	}
+	rng := rand.New(rand.NewSource(params.Seed))
+	c0 := params.C0
+	if c0 == 0 {
+		c0 = autoC0(p, rng)
+	}
+
+	x := make([]float64, n)
+	y := make([]float64, n)
+	grad := make([]float64, n)
+	for i := range y {
+		y[i] = (rng.Float64()*2 - 1) * params.InitAmplitude
+		x[i] = (rng.Float64()*2 - 1) * params.InitAmplitude * 0.01
+	}
+
+	best := make([]int8, n)
+	bestE := math.Inf(1)
+	evaluate := func() {
+		spins := signsOf(x)
+		if e := p.Energy(spins); e < bestE {
+			bestE = e
+			copy(best, spins)
+		}
+	}
+
+	dt := params.Dt
+	for iter := 0; iter < params.Steps; iter++ {
+		at := a0 * float64(iter) / float64(params.Steps)
+		p.Gradient(x, grad)
+		for i := 0; i < n; i++ {
+			// Force is -dE/dx: descend the energy landscape.
+			y[i] += dt * (-(a0-at)*x[i] - c0*grad[i])
+			x[i] += dt * a0 * y[i]
+			if x[i] > 1 {
+				x[i] = 1
+				y[i] = 0
+			} else if x[i] < -1 {
+				x[i] = -1
+				y[i] = 0
+			}
+		}
+		if params.SampleEvery > 0 && (iter+1)%params.SampleEvery == 0 {
+			evaluate()
+		}
+	}
+	evaluate()
+	return Result{Spins: best, Energy: bestE, Iterations: params.Steps}
+}
+
+// Anneal runs simulated annealing on the polynomial with incremental
+// flip deltas; the HOBO counterpart of internal/anneal.
+func Anneal(p *Polynomial, sweeps int, tStart, tEnd float64, seed int64) Result {
+	if sweeps <= 0 || tStart <= 0 || tEnd <= 0 || tEnd > tStart {
+		panic("hobo: invalid annealing schedule")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sigma := make([]int8, p.N)
+	for i := range sigma {
+		sigma[i] = int8(2*rng.Intn(2) - 1)
+	}
+	energy := p.Energy(sigma)
+	best := append([]int8(nil), sigma...)
+	bestE := energy
+	cool := math.Pow(tEnd/tStart, 1/float64(sweeps))
+	temp := tStart
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for _, i := range rng.Perm(p.N) {
+			delta := p.FlipDelta(sigma, i)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				sigma[i] = -sigma[i]
+				energy += delta
+				if energy < bestE {
+					bestE = energy
+					copy(best, sigma)
+				}
+			}
+		}
+		temp *= cool
+	}
+	return Result{Spins: best, Energy: bestE, Iterations: sweeps}
+}
+
+func signsOf(x []float64) []int8 {
+	s := make([]int8, len(x))
+	for i, v := range x {
+		if v < 0 {
+			s[i] = -1
+		} else {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+// autoC0 scales the coupling like sb's 0.5*sqrt(N-1)/||J||_F using an
+// estimate of the gradient magnitude at random spin states.
+func autoC0(p *Polynomial, rng *rand.Rand) float64 {
+	x := make([]float64, p.N)
+	grad := make([]float64, p.N)
+	sumSq := 0.0
+	const samples = 4
+	for s := 0; s < samples; s++ {
+		for i := range x {
+			x[i] = float64(2*rng.Intn(2) - 1)
+		}
+		p.Gradient(x, grad)
+		for _, g := range grad {
+			sumSq += g * g
+		}
+	}
+	rms := math.Sqrt(sumSq / float64(samples*p.N))
+	if rms == 0 {
+		return 1
+	}
+	return 0.5 / rms
+}

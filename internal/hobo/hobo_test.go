@@ -1,0 +1,250 @@
+package hobo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomPoly builds a random polynomial of the given order.
+func randomPoly(n, order, terms int, rng *rand.Rand) *Polynomial {
+	b := NewBuilder(n)
+	for t := 0; t < terms; t++ {
+		maxDeg := order
+		if n < maxDeg {
+			maxDeg = n
+		}
+		deg := 1 + rng.Intn(maxDeg)
+		vars := rng.Perm(n)[:deg]
+		b.Add(rng.NormFloat64(), vars...)
+	}
+	return b.Build()
+}
+
+func TestEnergyMatchesManual(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(2.0, 0, 1)     // 2 s0 s1
+	b.Add(-1.5, 0, 1, 2) // -1.5 s0 s1 s2
+	b.Add(0.5, 2)        // 0.5 s2
+	b.Add(3.0)           // constant
+	p := b.Build()
+	sigma := []int8{1, -1, 1}
+	want := 2.0*1*(-1) - 1.5*1*(-1)*1 + 0.5*1 + 3.0
+	if got := p.Energy(sigma); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Energy = %g, want %g", got, want)
+	}
+}
+
+func TestBuilderMergesDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(1.0, 0, 2)
+	b.Add(2.0, 2, 0) // same monomial, different order
+	p := b.Build()
+	if len(p.Terms) != 1 {
+		t.Fatalf("%d terms, want 1", len(p.Terms))
+	}
+	if p.Terms[0].Coeff != 3.0 {
+		t.Fatalf("merged coeff %g", p.Terms[0].Coeff)
+	}
+}
+
+func TestBuilderDropsZeroTerms(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(1.0, 0)
+	b.Add(-1.0, 0)
+	p := b.Build()
+	if len(p.Terms) != 0 {
+		t.Fatalf("%d terms, want 0", len(p.Terms))
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder(3)
+	for _, f := range []func(){
+		func() { b.Add(1, 3) },
+		func() { b.Add(1, -1) },
+		func() { b.Add(1, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Add did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOrder(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(1, 0)
+	b.Add(1, 0, 1, 2)
+	p := b.Build()
+	if p.Order() != 3 {
+		t.Fatalf("Order = %d", p.Order())
+	}
+}
+
+// TestGradientMatchesFiniteDifference validates the analytic gradient.
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(5)
+		p := randomPoly(n, 3, 10, rng)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		grad := make([]float64, n)
+		p.Gradient(x, grad)
+		const h = 1e-6
+		for i := 0; i < n; i++ {
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[i] += h
+			xm[i] -= h
+			fd := (p.EnergyContinuous(xp) - p.EnergyContinuous(xm)) / (2 * h)
+			if math.Abs(fd-grad[i]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("trial %d: grad[%d] = %g, fd %g", trial, i, grad[i], fd)
+			}
+		}
+	}
+}
+
+// TestFlipDeltaMatchesRecompute validates incremental flip deltas.
+func TestFlipDeltaMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(5)
+		p := randomPoly(n, 3, 12, rng)
+		sigma := make([]int8, n)
+		for i := range sigma {
+			sigma[i] = int8(2*rng.Intn(2) - 1)
+		}
+		before := p.Energy(sigma)
+		for v := 0; v < n; v++ {
+			delta := p.FlipDelta(sigma, v)
+			sigma[v] = -sigma[v]
+			after := p.Energy(sigma)
+			sigma[v] = -sigma[v]
+			if math.Abs((after-before)-delta) > 1e-9 {
+				t.Fatalf("trial %d: FlipDelta(%d) = %g, recompute %g", trial, v, delta, after-before)
+			}
+		}
+	}
+}
+
+// TestBinaryToSpinEquivalence is the key transform property:
+// spinPoly(s) == binaryPoly((s+1)/2) for every assignment.
+func TestBinaryToSpinEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		binary := randomPoly(n, 3, 8, rng)
+		spin := BinaryToSpin(binary)
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			sigma := make([]int8, n)
+			bvals := make([]float64, n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					sigma[i] = 1
+					bvals[i] = 1
+				} else {
+					sigma[i] = -1
+				}
+			}
+			got := spin.Energy(sigma)
+			want := binary.EnergyContinuous(bvals)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d mask %b: spin %g, binary %g", trial, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestBruteForceIsMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := randomPoly(8, 3, 15, rng)
+	_, bestE := BruteForce(p)
+	sigma := make([]int8, 8)
+	for trial := 0; trial < 200; trial++ {
+		for i := range sigma {
+			sigma[i] = int8(2*rng.Intn(2) - 1)
+		}
+		if p.Energy(sigma) < bestE-1e-12 {
+			t.Fatal("random state below brute-force minimum")
+		}
+	}
+}
+
+func TestSolveBSBFindsGroundSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		p := randomPoly(8, 3, 14, rng)
+		_, want := BruteForce(p)
+		best := math.Inf(1)
+		for seed := int64(0); seed < 6; seed++ {
+			params := DefaultParams()
+			params.Steps = 800
+			params.Seed = seed
+			params.SampleEvery = 20
+			if e := SolveBSB(p, params).Energy; e < best {
+				best = e
+			}
+		}
+		if best > want+1e-9 {
+			t.Errorf("trial %d: HOBO bSB best %g, ground %g", trial, best, want)
+		}
+	}
+}
+
+func TestAnnealFindsGroundSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 8; trial++ {
+		p := randomPoly(8, 3, 14, rng)
+		_, want := BruteForce(p)
+		best := math.Inf(1)
+		for seed := int64(0); seed < 8; seed++ {
+			if e := Anneal(p, 500, 2.0, 1e-3, seed).Energy; e < best {
+				best = e
+			}
+		}
+		if best > want+1e-9 {
+			t.Errorf("trial %d: HOBO SA best %g, ground %g", trial, best, want)
+		}
+	}
+}
+
+func TestSolveBSBDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomPoly(10, 3, 20, rng)
+	params := DefaultParams()
+	params.Steps = 300
+	params.Seed = 9
+	a := SolveBSB(p, params)
+	b := SolveBSB(p, params)
+	if a.Energy != b.Energy {
+		t.Fatal("same seed produced different energies")
+	}
+}
+
+func TestAnnealValidation(t *testing.T) {
+	p := randomPoly(4, 2, 4, rand.New(rand.NewSource(8)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid schedule did not panic")
+		}
+	}()
+	Anneal(p, 0, 1, 0.1, 0)
+}
+
+func TestEnergyLengthPanics(t *testing.T) {
+	p := randomPoly(4, 2, 4, rand.New(rand.NewSource(9)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length vector did not panic")
+		}
+	}()
+	p.EnergyContinuous([]float64{1, 2})
+}

@@ -1,0 +1,329 @@
+// Package ilp provides an exact, anytime branch-and-bound solver for the
+// row-based core COP — the combinatorial problem DALTA-ILP [9] formulates
+// as a 0-1 integer linear program and hands to Gurobi.
+//
+// Given per-entry approximation costs cost(i, j, v) (the cost of setting
+// O-hat_ij = v), the row-based core COP chooses a column pattern
+// V in {0,1}^c and a row type S_i in {all-0, all-1, V, ~V} per row to
+// minimize sum_i err(i, S_i, V). Because the optimal S is determined
+// per-row once V is fixed, the solver branches only on the c pattern bits
+// and bounds each open row by its best completion:
+//
+//	bound(i) = min( err0_i, err1_i,
+//	                pat_i + suffix_i, comp_i + suffix_i )
+//
+// where pat_i/comp_i accumulate the pattern/complement cost over assigned
+// columns and suffix_i lower-bounds the unassigned remainder by
+// sum_j min(cost0, cost1). The bound is admissible, so with unlimited time
+// the result is optimal; with a deadline the solver returns the incumbent,
+// mirroring Gurobi's behaviour at the paper's 3600 s cap.
+package ilp
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"isinglut/internal/bitvec"
+	"isinglut/internal/decomp"
+)
+
+// Instance is a row-based core COP: R x C entry costs for approximating
+// each matrix cell with 0 or with 1, stored row-major.
+//
+// Separate mode uses cost(i,j,v) = p_ij * [v != O_ij]; joint mode uses
+// cost(i,j,v) = p_ij * |2^{k-1} v + D_kij| (Section 3.2.2). The solver is
+// agnostic to how the costs were produced.
+type Instance struct {
+	R, C  int
+	Cost0 []float64 // cost of O-hat = 0 at (i,j), index i*C+j
+	Cost1 []float64 // cost of O-hat = 1 at (i,j)
+}
+
+// Options controls the search.
+type Options struct {
+	// TimeLimit bounds the wall-clock search time. Zero means no limit.
+	TimeLimit time.Duration
+	// NodeLimit bounds the number of branch nodes. Zero means no limit.
+	NodeLimit int64
+}
+
+// Solution is the best setting found.
+type Solution struct {
+	V     *bitvec.Vector   // column pattern, length C
+	S     []decomp.RowType // row types, length R
+	Cost  float64
+	Nodes int64
+	// Optimal reports whether the search space was exhausted (proof of
+	// optimality); false means a limit was hit and Cost is an upper bound.
+	Optimal bool
+}
+
+type searcher struct {
+	r, c         int
+	cost0, cost1 []float64
+	order        []int     // column visit order (original indices)
+	err0, err1   []float64 // per-row all-0 / all-1 totals
+	minSum       []float64 // suffix of sum_i min(cost0,cost1) per depth
+	sufMin       []float64 // per (depth, row): suffix min-cost sums, depth-major
+	pat, comp    []float64 // per-row accumulated pattern/complement costs
+	assign       []bool    // tentative V over visit order
+	bestAssign   []bool
+	bestCost     float64
+	nodes        int64
+	nodeLimit    int64
+	deadline     time.Time
+	hasDeadline  bool
+	aborted      bool
+}
+
+// SolveRowCOP runs branch and bound on the instance.
+func SolveRowCOP(inst Instance, opts Options) Solution {
+	if inst.R <= 0 || inst.C <= 0 {
+		panic("ilp: empty instance")
+	}
+	if len(inst.Cost0) != inst.R*inst.C || len(inst.Cost1) != inst.R*inst.C {
+		panic("ilp: cost matrix size mismatch")
+	}
+	s := &searcher{
+		r:         inst.R,
+		c:         inst.C,
+		cost0:     inst.Cost0,
+		cost1:     inst.Cost1,
+		nodeLimit: opts.NodeLimit,
+	}
+	if opts.TimeLimit > 0 {
+		s.deadline = time.Now().Add(opts.TimeLimit)
+		s.hasDeadline = true
+	}
+	s.prepare()
+	s.seedIncumbent()
+	s.branch(0, 0)
+	return s.solution()
+}
+
+// prepare computes column ordering and all bound tables.
+func (s *searcher) prepare() {
+	r, c := s.r, s.c
+	// Column impact = sum_i |cost1 - cost0|: how much the V bit matters.
+	impact := make([]float64, c)
+	for i := 0; i < r; i++ {
+		base := i * c
+		for j := 0; j < c; j++ {
+			impact[j] += math.Abs(s.cost1[base+j] - s.cost0[base+j])
+		}
+	}
+	s.order = make([]int, c)
+	for j := range s.order {
+		s.order[j] = j
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return impact[s.order[a]] > impact[s.order[b]]
+	})
+
+	s.err0 = make([]float64, r)
+	s.err1 = make([]float64, r)
+	for i := 0; i < r; i++ {
+		base := i * c
+		for j := 0; j < c; j++ {
+			s.err0[i] += s.cost0[base+j]
+			s.err1[i] += s.cost1[base+j]
+		}
+	}
+
+	// sufMin[d*r+i] = sum over visit positions >= d of min(cost0, cost1)
+	// for row i.
+	s.sufMin = make([]float64, (c+1)*r)
+	for d := c - 1; d >= 0; d-- {
+		j := s.order[d]
+		for i := 0; i < r; i++ {
+			idx := i*c + j
+			m := s.cost0[idx]
+			if s.cost1[idx] < m {
+				m = s.cost1[idx]
+			}
+			s.sufMin[d*r+i] = s.sufMin[(d+1)*r+i] + m
+		}
+	}
+
+	s.pat = make([]float64, r)
+	s.comp = make([]float64, r)
+	s.assign = make([]bool, c)
+	s.bestAssign = make([]bool, c)
+	s.bestCost = math.Inf(1)
+}
+
+// seedIncumbent installs a greedy solution (per visit position, pick the
+// bit that keeps the bound lower) so pruning starts immediately.
+func (s *searcher) seedIncumbent() {
+	for d := 0; d < s.c; d++ {
+		s.assign[d] = s.incCost(d, true) < s.incCost(d, false)
+		s.apply(d, s.assign[d], 1)
+	}
+	cost := s.currentCost()
+	if cost < s.bestCost {
+		s.bestCost = cost
+		copy(s.bestAssign, s.assign)
+	}
+	// Unwind.
+	for d := s.c - 1; d >= 0; d-- {
+		s.apply(d, s.assign[d], -1)
+	}
+}
+
+// incCost estimates the immediate pattern+complement cost of assigning bit
+// value b at depth d (a greedy score, not a bound).
+func (s *searcher) incCost(d int, b bool) float64 {
+	j := s.order[d]
+	total := 0.0
+	for i := 0; i < s.r; i++ {
+		idx := i*s.c + j
+		if b {
+			total += s.cost1[idx] + s.cost0[idx]*0 // pattern takes cost1
+		} else {
+			total += s.cost0[idx]
+		}
+	}
+	return total
+}
+
+// apply adds (sign=+1) or removes (sign=-1) the contribution of assigning
+// visit position d with bit value b to the pattern/complement accumulators.
+func (s *searcher) apply(d int, b bool, sign float64) {
+	j := s.order[d]
+	for i := 0; i < s.r; i++ {
+		idx := i*s.c + j
+		if b {
+			s.pat[i] += sign * s.cost1[idx]
+			s.comp[i] += sign * s.cost0[idx]
+		} else {
+			s.pat[i] += sign * s.cost0[idx]
+			s.comp[i] += sign * s.cost1[idx]
+		}
+	}
+}
+
+// bound returns the admissible lower bound at depth d.
+func (s *searcher) bound(d int) float64 {
+	total := 0.0
+	suf := s.sufMin[d*s.r:]
+	for i := 0; i < s.r; i++ {
+		m := s.err0[i]
+		if s.err1[i] < m {
+			m = s.err1[i]
+		}
+		if v := s.pat[i] + suf[i]; v < m {
+			m = v
+		}
+		if v := s.comp[i] + suf[i]; v < m {
+			m = v
+		}
+		total += m
+	}
+	return total
+}
+
+// currentCost evaluates a full assignment (depth == c): per row, the best
+// of the four types.
+func (s *searcher) currentCost() float64 {
+	total := 0.0
+	for i := 0; i < s.r; i++ {
+		m := s.err0[i]
+		if s.err1[i] < m {
+			m = s.err1[i]
+		}
+		if s.pat[i] < m {
+			m = s.pat[i]
+		}
+		if s.comp[i] < m {
+			m = s.comp[i]
+		}
+		total += m
+	}
+	return total
+}
+
+func (s *searcher) limitHit() bool {
+	if s.aborted {
+		return true
+	}
+	if s.nodeLimit > 0 && s.nodes >= s.nodeLimit {
+		s.aborted = true
+		return true
+	}
+	// Check the clock periodically, not every node.
+	if s.hasDeadline && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
+		s.aborted = true
+		return true
+	}
+	return false
+}
+
+func (s *searcher) branch(d int, _ float64) {
+	if s.limitHit() {
+		return
+	}
+	s.nodes++
+	if d == s.c {
+		if cost := s.currentCost(); cost < s.bestCost {
+			s.bestCost = cost
+			copy(s.bestAssign, s.assign)
+		}
+		return
+	}
+	if s.bound(d) >= s.bestCost {
+		return
+	}
+	// Try the greedily-better value first.
+	first := s.incCost(d, true) < s.incCost(d, false)
+	for _, b := range [2]bool{first, !first} {
+		s.assign[d] = b
+		s.apply(d, b, 1)
+		s.branch(d+1, 0)
+		s.apply(d, b, -1)
+	}
+}
+
+func (s *searcher) solution() Solution {
+	v := bitvec.New(s.c)
+	for d, b := range s.bestAssign {
+		if b {
+			v.Set(s.order[d], true)
+		}
+	}
+	// Recover per-row types from the best V.
+	types := make([]decomp.RowType, s.r)
+	cost := 0.0
+	for i := 0; i < s.r; i++ {
+		base := i * s.c
+		patCost, compCost := 0.0, 0.0
+		for j := 0; j < s.c; j++ {
+			if v.Get(j) {
+				patCost += s.cost1[base+j]
+				compCost += s.cost0[base+j]
+			} else {
+				patCost += s.cost0[base+j]
+				compCost += s.cost1[base+j]
+			}
+		}
+		bestT, bestC := decomp.RowZero, s.err0[i]
+		if s.err1[i] < bestC {
+			bestT, bestC = decomp.RowOne, s.err1[i]
+		}
+		if patCost < bestC {
+			bestT, bestC = decomp.RowPattern, patCost
+		}
+		if compCost < bestC {
+			bestT, bestC = decomp.RowComplement, compCost
+		}
+		types[i] = bestT
+		cost += bestC
+	}
+	return Solution{
+		V:       v,
+		S:       types,
+		Cost:    cost,
+		Nodes:   s.nodes,
+		Optimal: !s.aborted,
+	}
+}

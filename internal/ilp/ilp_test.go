@@ -1,0 +1,218 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"isinglut/internal/decomp"
+)
+
+// randomInstance draws uniform [0,1) entry costs.
+func randomInstance(r, c int, rng *rand.Rand) Instance {
+	inst := Instance{R: r, C: c, Cost0: make([]float64, r*c), Cost1: make([]float64, r*c)}
+	for i := range inst.Cost0 {
+		inst.Cost0[i] = rng.Float64()
+		inst.Cost1[i] = rng.Float64()
+	}
+	return inst
+}
+
+// bruteForce enumerates all V patterns and per-row best types.
+func bruteForce(inst Instance) float64 {
+	best := math.Inf(1)
+	for mask := uint64(0); mask < uint64(1)<<uint(inst.C); mask++ {
+		total := 0.0
+		for i := 0; i < inst.R; i++ {
+			base := i * inst.C
+			var z, o, pat, comp float64
+			for j := 0; j < inst.C; j++ {
+				c0, c1 := inst.Cost0[base+j], inst.Cost1[base+j]
+				z += c0
+				o += c1
+				if mask&(1<<uint(j)) != 0 {
+					pat += c1
+					comp += c0
+				} else {
+					pat += c0
+					comp += c1
+				}
+			}
+			m := math.Min(math.Min(z, o), math.Min(pat, comp))
+			total += m
+		}
+		if total < best {
+			best = total
+		}
+	}
+	return best
+}
+
+// evalSolution recomputes the cost of a returned solution from scratch.
+func evalSolution(inst Instance, sol Solution) float64 {
+	total := 0.0
+	for i := 0; i < inst.R; i++ {
+		base := i * inst.C
+		for j := 0; j < inst.C; j++ {
+			v := 0
+			switch sol.S[i] {
+			case decomp.RowZero:
+				v = 0
+			case decomp.RowOne:
+				v = 1
+			case decomp.RowPattern:
+				v = sol.V.Bit(j)
+			case decomp.RowComplement:
+				v = 1 - sol.V.Bit(j)
+			}
+			if v == 0 {
+				total += inst.Cost0[base+j]
+			} else {
+				total += inst.Cost1[base+j]
+			}
+		}
+	}
+	return total
+}
+
+func TestOptimalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		r := 1 + rng.Intn(5)
+		c := 1 + rng.Intn(8)
+		inst := randomInstance(r, c, rng)
+		sol := SolveRowCOP(inst, Options{})
+		if !sol.Optimal {
+			t.Fatalf("trial %d: unlimited search not optimal", trial)
+		}
+		want := bruteForce(inst)
+		if math.Abs(sol.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: cost %g, brute force %g", trial, sol.Cost, want)
+		}
+		if math.Abs(evalSolution(inst, sol)-sol.Cost) > 1e-9 {
+			t.Fatalf("trial %d: reported cost does not match solution", trial)
+		}
+	}
+}
+
+func TestSolutionSelfConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := randomInstance(8, 12, rng)
+	sol := SolveRowCOP(inst, Options{})
+	if got := evalSolution(inst, sol); math.Abs(got-sol.Cost) > 1e-9 {
+		t.Fatalf("cost %g, recomputed %g", sol.Cost, got)
+	}
+	if sol.V.Len() != 12 || len(sol.S) != 8 {
+		t.Fatal("solution dimensions wrong")
+	}
+}
+
+func TestNodeLimitAnytime(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := randomInstance(10, 18, rng)
+	capped := SolveRowCOP(inst, Options{NodeLimit: 50})
+	full := SolveRowCOP(inst, Options{})
+	if capped.Optimal {
+		t.Skip("instance solved within 50 nodes; nothing to assert")
+	}
+	if capped.Cost < full.Cost-1e-9 {
+		t.Fatal("capped run beat the optimal run")
+	}
+	// The incumbent is still a valid solution.
+	if math.Abs(evalSolution(inst, capped)-capped.Cost) > 1e-9 {
+		t.Fatal("capped incumbent inconsistent")
+	}
+}
+
+func TestTimeLimitRespected(t *testing.T) {
+	// Separate-mode-like cost structure with massive ties is the B&B
+	// worst case; a short limit must return promptly with an incumbent.
+	rng := rand.New(rand.NewSource(4))
+	r, c := 16, 24
+	inst := Instance{R: r, C: c, Cost0: make([]float64, r*c), Cost1: make([]float64, r*c)}
+	p := 1.0 / float64(r*c)
+	for i := range inst.Cost0 {
+		if rng.Intn(2) == 0 {
+			inst.Cost0[i] = p
+		} else {
+			inst.Cost1[i] = p
+		}
+	}
+	start := time.Now()
+	sol := SolveRowCOP(inst, Options{TimeLimit: 50 * time.Millisecond})
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("time limit ignored: ran %s", elapsed)
+	}
+	if math.Abs(evalSolution(inst, sol)-sol.Cost) > 1e-9 {
+		t.Fatal("time-capped incumbent inconsistent")
+	}
+}
+
+func TestZeroCostInstance(t *testing.T) {
+	inst := Instance{R: 2, C: 2, Cost0: make([]float64, 4), Cost1: make([]float64, 4)}
+	sol := SolveRowCOP(inst, Options{})
+	if sol.Cost != 0 || !sol.Optimal {
+		t.Fatalf("zero instance: cost %g optimal %v", sol.Cost, sol.Optimal)
+	}
+}
+
+func TestDecomposableInstanceCostZero(t *testing.T) {
+	// Costs derived from a function that decomposes exactly: cost of the
+	// true value 0, of the flip 1. Optimal must be 0.
+	r, c := 4, 8
+	// Build entries from V-pattern rows.
+	var vmask uint64 = 0b10110101
+	rowType := []int{0, 1, 2, 3}
+	inst := Instance{R: r, C: c, Cost0: make([]float64, r*c), Cost1: make([]float64, r*c)}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			var val int
+			switch rowType[i] {
+			case 0:
+				val = 0
+			case 1:
+				val = 1
+			case 2:
+				val = int(vmask >> uint(j) & 1)
+			case 3:
+				val = 1 - int(vmask>>uint(j)&1)
+			}
+			if val == 0 {
+				inst.Cost1[i*c+j] = 1
+			} else {
+				inst.Cost0[i*c+j] = 1
+			}
+		}
+	}
+	sol := SolveRowCOP(inst, Options{})
+	if sol.Cost != 0 {
+		t.Fatalf("decomposable instance cost %g, want 0", sol.Cost)
+	}
+}
+
+func TestPanicsOnBadInstance(t *testing.T) {
+	cases := []Instance{
+		{R: 0, C: 2},
+		{R: 2, C: 2, Cost0: make([]float64, 3), Cost1: make([]float64, 4)},
+	}
+	for i, inst := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			SolveRowCOP(inst, Options{})
+		}()
+	}
+}
+
+func TestSingleRowSingleCol(t *testing.T) {
+	inst := Instance{R: 1, C: 1, Cost0: []float64{0.7}, Cost1: []float64{0.3}}
+	sol := SolveRowCOP(inst, Options{})
+	if math.Abs(sol.Cost-0.3) > 1e-12 {
+		t.Fatalf("cost %g, want 0.3", sol.Cost)
+	}
+}

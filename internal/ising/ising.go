@@ -1,0 +1,156 @@
+// Package ising implements the second-order Ising model used as the
+// optimization substrate (Eq. 1 of the paper):
+//
+//	E(sigma) = - sum_i h_i sigma_i - 1/2 sum_i sum_j J_ij sigma_i sigma_j
+//
+// with spins sigma_i in {-1, +1}, symmetric coupling J (J_ii = 0) and
+// per-spin bias h. The package provides dense and bipartite coupling
+// representations behind a common Coupler interface so that solvers
+// (simulated bifurcation, simulated annealing) only need the local field
+// J*x + h, plus brute-force ground-state search for small instances used
+// by the test suite.
+package ising
+
+import (
+	"fmt"
+	"math"
+)
+
+// Coupler supplies the coupling structure of an Ising problem. Solvers
+// interact with the couplings only through the local-field product, so
+// specialized sparse structures (e.g. the bipartite core-COP coupling)
+// can plug in without materializing a dense matrix.
+type Coupler interface {
+	// N returns the number of spins.
+	N() int
+	// Field writes J*x into out (length N). x holds continuous spin
+	// positions (SB) or ±1 spins (SA); out must not alias x.
+	Field(x, out []float64)
+	// At returns J_ij. Used by tests and by energy evaluation fallbacks.
+	At(i, j int) float64
+	// FrobeniusNorm returns sqrt(sum_ij J_ij^2); SB uses it to scale the
+	// coupling strength c0.
+	FrobeniusNorm() float64
+}
+
+// Problem is a complete Ising instance: couplings, biases, and an energy
+// offset (the constant dropped when a COP objective is rewritten as Eq. 1;
+// keeping it lets callers recover the original objective value).
+type Problem struct {
+	Coup   Coupler
+	H      []float64 // bias per spin; nil means all-zero
+	Offset float64   // E_total = E_ising + Offset maps back to the COP objective
+}
+
+// NewProblem wires a coupler and bias vector into a problem, validating
+// dimensions.
+func NewProblem(c Coupler, h []float64, offset float64) (*Problem, error) {
+	if h != nil && len(h) != c.N() {
+		return nil, fmt.Errorf("ising: bias length %d != N=%d", len(h), c.N())
+	}
+	return &Problem{Coup: c, H: h, Offset: offset}, nil
+}
+
+// N returns the spin count.
+func (p *Problem) N() int { return p.Coup.N() }
+
+// Bias returns h_i (0 when H is nil).
+func (p *Problem) Bias(i int) float64 {
+	if p.H == nil {
+		return 0
+	}
+	return p.H[i]
+}
+
+// Energy evaluates Eq. 1 on a ±1 spin vector (Offset not included).
+func (p *Problem) Energy(sigma []int8) float64 {
+	n := p.N()
+	if len(sigma) != n {
+		panic(fmt.Sprintf("ising: spin vector length %d != N=%d", len(sigma), n))
+	}
+	x := make([]float64, n)
+	for i, s := range sigma {
+		x[i] = float64(s)
+	}
+	return p.EnergyContinuous(x)
+}
+
+// EnergyContinuous evaluates Eq. 1 treating x as real-valued spins. SB
+// monitors this on sign-rounded positions; the quadratic form uses the
+// coupler's Field product so it costs one mat-vec.
+func (p *Problem) EnergyContinuous(x []float64) float64 {
+	n := p.N()
+	field := make([]float64, n)
+	p.Coup.Field(x, field)
+	e := 0.0
+	for i := 0; i < n; i++ {
+		e -= 0.5 * field[i] * x[i]
+		e -= p.Bias(i) * x[i]
+	}
+	return e
+}
+
+// ObjectiveValue maps spins back to the original COP objective:
+// Energy + Offset.
+func (p *Problem) ObjectiveValue(sigma []int8) float64 {
+	return p.Energy(sigma) + p.Offset
+}
+
+// SignsOf rounds continuous positions to ±1 spins (0 rounds to +1,
+// matching "the spin state indicated by the sign of position values").
+func SignsOf(x []float64) []int8 {
+	s := make([]int8, len(x))
+	for i, v := range x {
+		if v < 0 {
+			s[i] = -1
+		} else {
+			s[i] = 1
+		}
+	}
+	return s
+}
+
+// BruteForce exhaustively searches all 2^N spin assignments and returns a
+// ground state and its energy. It panics for N > 24; it exists for tests
+// and tiny demos.
+func BruteForce(p *Problem) ([]int8, float64) {
+	n := p.N()
+	if n > 24 {
+		panic(fmt.Sprintf("ising: BruteForce on N=%d", n))
+	}
+	best := make([]int8, n)
+	cur := make([]int8, n)
+	bestE := math.Inf(1)
+	total := uint64(1) << uint(n)
+	for mask := uint64(0); mask < total; mask++ {
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				cur[i] = 1
+			} else {
+				cur[i] = -1
+			}
+		}
+		if e := p.Energy(cur); e < bestE {
+			bestE = e
+			copy(best, cur)
+		}
+	}
+	return best, bestE
+}
+
+// SpinToBinary converts sigma in {-1,+1} to the binary variable
+// (sigma+1)/2 in {0,1}, the paper's linear transformation.
+func SpinToBinary(s int8) int {
+	if s > 0 {
+		return 1
+	}
+	return 0
+}
+
+// BinaryToSpin converts b in {0,1} to 2b-1 in {-1,+1}.
+func BinaryToSpin(b int) int8 {
+	if b != 0 {
+		return 1
+	}
+	return -1
+}

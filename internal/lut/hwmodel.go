@@ -1,0 +1,106 @@
+package lut
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostModel estimates area, per-lookup energy and latency of LUT memories
+// in the computing-with-memory style the paper targets. It is a
+// first-order CACTI-flavoured model: storage area scales with bit count,
+// access energy with the square root of the array size (word/bit-line
+// halves), and latency with the decoder depth (log2 of the word count).
+// Absolute constants default to representative 28 nm SRAM figures; only
+// *relative* comparisons between flat and decomposed designs are
+// meaningful, matching how the paper argues LUT-size reductions.
+type CostModel struct {
+	// BitArea is the storage area per bit (um^2).
+	BitArea float64
+	// AreaOverhead multiplies storage area for periphery (decoders, sense
+	// amplifiers).
+	AreaOverhead float64
+	// EnergyBase is the fixed access energy (fJ).
+	EnergyBase float64
+	// EnergyPerSqrtBit scales the array-dependent access energy (fJ).
+	EnergyPerSqrtBit float64
+	// LatencyBase is the fixed access latency (ps).
+	LatencyBase float64
+	// LatencyPerLevel is the added latency per decoder level (ps).
+	LatencyPerLevel float64
+}
+
+// DefaultCostModel returns representative 28 nm SRAM constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		BitArea:          0.12,
+		AreaOverhead:     1.35,
+		EnergyBase:       45,
+		EnergyPerSqrtBit: 1.8,
+		LatencyBase:      120,
+		LatencyPerLevel:  35,
+	}
+}
+
+// ArrayCost describes one memory array access.
+type ArrayCost struct {
+	Bits    int
+	Area    float64 // um^2
+	Energy  float64 // fJ per lookup
+	Latency float64 // ps per lookup
+}
+
+// Array estimates one LUT array holding the given number of bits,
+// organized as words addressable words.
+func (m CostModel) Array(bits, words int) ArrayCost {
+	if bits <= 0 || words <= 0 {
+		return ArrayCost{}
+	}
+	return ArrayCost{
+		Bits:    bits,
+		Area:    float64(bits) * m.BitArea * m.AreaOverhead,
+		Energy:  m.EnergyBase + m.EnergyPerSqrtBit*math.Sqrt(float64(bits)),
+		Latency: m.LatencyBase + m.LatencyPerLevel*math.Log2(float64(words)),
+	}
+}
+
+// DesignCost aggregates a whole design.
+type DesignCost struct {
+	Area float64 // um^2, all arrays
+	// Energy is the total fJ for one full-function lookup (all output
+	// bits).
+	Energy float64
+	// Latency is the critical-path ps for one lookup: decomposed
+	// components access phi then F serially; components are parallel.
+	Latency float64
+}
+
+// Estimate costs the design under the model. Flat components use one
+// array of 2^n words; decomposed components use a phi array (2^|B| words,
+// serial) feeding an F array (2^(|A|+1) words).
+func (m CostModel) Estimate(d *Design) DesignCost {
+	var out DesignCost
+	for k := range d.Components {
+		c := &d.Components[k]
+		if c.Decomp == nil {
+			words := 1 << uint(d.NumInputs)
+			a := m.Array(words, words)
+			out.Area += a.Area
+			out.Energy += a.Energy
+			out.Latency = math.Max(out.Latency, a.Latency)
+			continue
+		}
+		phiBits := c.Decomp.Phi.Len()
+		fBits := c.Decomp.F0.Len() + c.Decomp.F1.Len()
+		phi := m.Array(phiBits, phiBits)
+		f := m.Array(fBits, fBits)
+		out.Area += phi.Area + f.Area
+		out.Energy += phi.Energy + f.Energy
+		out.Latency = math.Max(out.Latency, phi.Latency+f.Latency)
+	}
+	return out
+}
+
+// String renders the cost with units.
+func (c DesignCost) String() string {
+	return fmt.Sprintf("area %.1f um^2, %.1f fJ/lookup, %.0f ps", c.Area, c.Energy, c.Latency)
+}

@@ -1,0 +1,105 @@
+package lut
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"isinglut/internal/bitvec"
+	"isinglut/internal/decomp"
+	"isinglut/internal/partition"
+	"isinglut/internal/truthtable"
+)
+
+func TestArrayMonotoneInBits(t *testing.T) {
+	m := DefaultCostModel()
+	prev := ArrayCost{}
+	for _, bits := range []int{16, 64, 256, 4096, 65536} {
+		a := m.Array(bits, bits)
+		if a.Area <= prev.Area || a.Energy <= prev.Energy || a.Latency <= prev.Latency {
+			t.Fatalf("cost not monotone at %d bits: %+v vs %+v", bits, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestArrayDegenerate(t *testing.T) {
+	m := DefaultCostModel()
+	if a := m.Array(0, 0); a.Area != 0 || a.Energy != 0 {
+		t.Fatal("zero-bit array has nonzero cost")
+	}
+}
+
+// syntheticDesign builds a one-output design with the given shape.
+func syntheticDesign(t *testing.T, n, free int, decomposed bool) *Design {
+	t.Helper()
+	var maskA uint64 = 1<<uint(free) - 1
+	part, err := partition.New(n, maskA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Design{NumInputs: n, Components: make([]ComponentLUT, 1)}
+	if decomposed {
+		d.Components[0] = ComponentLUT{K: 0, Decomp: &decomp.Decomposition{
+			Part: part,
+			Phi:  bitvec.New(part.Cols()),
+			F0:   bitvec.New(part.Rows()),
+			F1:   bitvec.New(part.Rows()),
+		}}
+	} else {
+		d.Components[0] = ComponentLUT{K: 0, Flat: truthtable.New(n, 1)}
+	}
+	return d
+}
+
+func TestEnergyCrossover(t *testing.T) {
+	// At tiny LUTs the fixed access energy dominates, so the flat design
+	// wins; at the paper's n = 16 scale the decomposed design must win on
+	// area AND energy — that is the computing-with-memory payoff.
+	m := DefaultCostModel()
+
+	smallFlat := m.Estimate(syntheticDesign(t, 6, 3, false))
+	smallDec := m.Estimate(syntheticDesign(t, 6, 3, true))
+	if smallDec.Energy < smallFlat.Energy {
+		t.Errorf("n=6: decomposed energy %.1f unexpectedly below flat %.1f", smallDec.Energy, smallFlat.Energy)
+	}
+
+	bigFlat := m.Estimate(syntheticDesign(t, 16, 7, false))
+	bigDec := m.Estimate(syntheticDesign(t, 16, 7, true))
+	if bigDec.Energy >= bigFlat.Energy {
+		t.Errorf("n=16: decomposed energy %.1f not below flat %.1f", bigDec.Energy, bigFlat.Energy)
+	}
+	if bigDec.Area >= bigFlat.Area {
+		t.Errorf("n=16: decomposed area %.1f not below flat %.1f", bigDec.Area, bigFlat.Area)
+	}
+	if bigDec.Latency <= 0 || bigFlat.Latency <= 0 {
+		t.Error("non-positive latency")
+	}
+}
+
+func TestEstimateOnRealOutcome(t *testing.T) {
+	out, _ := runQuick(t, 42)
+	design := FromOutcome(out)
+	m := DefaultCostModel()
+	cost := m.Estimate(design)
+	if cost.Area <= 0 || cost.Energy <= 0 || cost.Latency <= 0 {
+		t.Fatalf("implausible cost %+v", cost)
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	c := DesignCost{Area: 10.5, Energy: 200.25, Latency: 340}
+	s := c.String()
+	if !strings.Contains(s, "um^2") || !strings.Contains(s, "fJ") {
+		t.Errorf("String = %s", s)
+	}
+}
+
+func TestEnergySqrtScaling(t *testing.T) {
+	m := CostModel{EnergyPerSqrtBit: 2}
+	small := m.Array(100, 100).Energy
+	big := m.Array(400, 400).Energy
+	if math.Abs(big/small-2) > 1e-9 {
+		t.Fatalf("sqrt scaling broken: %g vs %g", small, big)
+	}
+}

@@ -1,0 +1,121 @@
+// Package lut synthesizes the lookup-table hardware implied by an
+// approximate disjoint decomposition and models its storage cost.
+//
+// Computing with memory stores a Boolean function in a LUT addressed by
+// its inputs (Fig. 1 of the paper). A disjoint decomposition
+// g(X) = F(phi(B), A) replaces one 2^n-bit LUT per component with a
+// phi-LUT of 2^|B| bits and an F-LUT of 2^(|A|+1) bits, reducing storage
+// from r*c to c + 2r bits. The package assembles the per-component LUT
+// pairs produced by the DALTA framework into a whole-function design,
+// reports its cost, and evaluates it — bit-exactly reproducing the
+// committed approximation, which the tests enforce.
+package lut
+
+import (
+	"fmt"
+
+	"isinglut/internal/dalta"
+	"isinglut/internal/decomp"
+	"isinglut/internal/truthtable"
+)
+
+// ComponentLUT is the synthesized hardware of one output bit: either a
+// decomposed phi/F pair or a flat LUT when the component was never
+// decomposed.
+type ComponentLUT struct {
+	K int
+	// Decomp is the phi/F pair; nil means the component uses a flat LUT.
+	Decomp *decomp.Decomposition
+	// Flat holds the flat truth table when Decomp is nil.
+	Flat *truthtable.Table
+}
+
+// Bits returns the storage cost of the component in bits.
+func (c *ComponentLUT) Bits() int {
+	if c.Decomp != nil {
+		return c.Decomp.Bits()
+	}
+	return int(c.Flat.Size())
+}
+
+// Eval computes the component's output for input pattern x.
+func (c *ComponentLUT) Eval(x uint64) int {
+	if c.Decomp != nil {
+		return c.Decomp.Eval(x)
+	}
+	return c.Flat.Bit(c.K, x)
+}
+
+// Design is the complete approximate-LUT implementation of a multi-output
+// function.
+type Design struct {
+	NumInputs  int
+	Components []ComponentLUT
+}
+
+// FromOutcome assembles a design from a DALTA run: decomposed components
+// use their committed phi/F pair, others fall back to flat LUTs over the
+// final approximate function.
+func FromOutcome(out *dalta.Outcome) *Design {
+	m := out.Approx.NumOutputs()
+	d := &Design{NumInputs: out.Approx.NumInputs(), Components: make([]ComponentLUT, m)}
+	for k := 0; k < m; k++ {
+		d.Components[k] = ComponentLUT{K: k, Flat: out.Approx}
+		if cs := out.Components[k]; cs != nil {
+			d.Components[k].Decomp = cs.Decomp
+		}
+	}
+	return d
+}
+
+// Eval computes the full m-bit output for input pattern x.
+func (d *Design) Eval(x uint64) uint64 {
+	var out uint64
+	for k := range d.Components {
+		if d.Components[k].Eval(x) == 1 {
+			out |= 1 << uint(k)
+		}
+	}
+	return out
+}
+
+// Table materializes the design as a truth table (for error evaluation
+// and round-trip tests).
+func (d *Design) Table() *truthtable.Table {
+	m := len(d.Components)
+	return truthtable.FromFunc(d.NumInputs, m, d.Eval)
+}
+
+// TotalBits returns the storage cost of the whole design.
+func (d *Design) TotalBits() int {
+	total := 0
+	for k := range d.Components {
+		total += d.Components[k].Bits()
+	}
+	return total
+}
+
+// FlatBits returns the storage cost of the undecomposed design
+// (m * 2^n bits), the baseline for the compression ratio.
+func (d *Design) FlatBits() int {
+	return len(d.Components) * (1 << uint(d.NumInputs))
+}
+
+// CompressionRatio returns FlatBits / TotalBits, e.g. 2.0 means the
+// decomposed LUTs are half the size (Fig. 1 reports 2x for the 5-input
+// example).
+func (d *Design) CompressionRatio() float64 {
+	return float64(d.FlatBits()) / float64(d.TotalBits())
+}
+
+// String summarizes the design.
+func (d *Design) String() string {
+	dec := 0
+	for k := range d.Components {
+		if d.Components[k].Decomp != nil {
+			dec++
+		}
+	}
+	return fmt.Sprintf("lut.Design(n=%d, m=%d, decomposed=%d, %d bits, %.2fx)",
+		d.NumInputs, len(d.Components), dec, d.TotalBits(), d.CompressionRatio())
+}

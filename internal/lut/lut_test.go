@@ -1,0 +1,119 @@
+package lut
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"isinglut/internal/core"
+	"isinglut/internal/dalta"
+	"isinglut/internal/truthtable"
+)
+
+func runQuick(t *testing.T, seed int64) (*dalta.Outcome, *truthtable.Table) {
+	t.Helper()
+	exact := truthtable.Random(6, 4, rand.New(rand.NewSource(seed)))
+	out, err := dalta.Run(exact, dalta.Config{
+		Rounds:     2,
+		Partitions: 3,
+		FreeSize:   3,
+		Mode:       core.Joint,
+		Solver:     dalta.NewProposed(),
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, exact
+}
+
+// TestDesignReproducesApproximation is the key LUT invariant: evaluating
+// the synthesized LUT pairs must reproduce the committed approximate
+// function bit-exactly.
+func TestDesignReproducesApproximation(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		out, _ := runQuick(t, seed)
+		design := FromOutcome(out)
+		if !design.Table().Equal(out.Approx) {
+			t.Fatalf("seed %d: design does not reproduce the approximation", seed)
+		}
+	}
+}
+
+func TestDesignEvalPointwise(t *testing.T) {
+	out, _ := runQuick(t, 6)
+	design := FromOutcome(out)
+	for x := uint64(0); x < out.Approx.Size(); x++ {
+		if design.Eval(x) != out.Approx.Output(x) {
+			t.Fatalf("Eval(%d) = %d, approx %d", x, design.Eval(x), out.Approx.Output(x))
+		}
+	}
+}
+
+func TestBitsAccounting(t *testing.T) {
+	out, _ := runQuick(t, 7)
+	design := FromOutcome(out)
+	// 6-input, free size 3: every decomposed component costs
+	// c + 2r = 8 + 16 = 24 bits; flat would be 64.
+	wantTotal := 0
+	for k := range design.Components {
+		if design.Components[k].Decomp != nil {
+			wantTotal += 24
+		} else {
+			wantTotal += 64
+		}
+	}
+	if design.TotalBits() != wantTotal {
+		t.Fatalf("TotalBits = %d, want %d", design.TotalBits(), wantTotal)
+	}
+	if design.FlatBits() != 4*64 {
+		t.Fatalf("FlatBits = %d", design.FlatBits())
+	}
+	wantRatio := float64(design.FlatBits()) / float64(wantTotal)
+	if math.Abs(design.CompressionRatio()-wantRatio) > 1e-12 {
+		t.Fatalf("ratio %g, want %g", design.CompressionRatio(), wantRatio)
+	}
+}
+
+func TestAllComponentsDecomposedGivesExpectedRatio(t *testing.T) {
+	out, _ := runQuick(t, 8)
+	for k, cs := range out.Components {
+		if cs == nil {
+			t.Fatalf("component %d not committed in this configuration", k)
+		}
+	}
+	design := FromOutcome(out)
+	// All four components decomposed: 4*24 bits vs 4*64 flat -> ratio 8/3.
+	if math.Abs(design.CompressionRatio()-64.0/24.0) > 1e-12 {
+		t.Fatalf("ratio %g, want %g", design.CompressionRatio(), 64.0/24.0)
+	}
+}
+
+func TestFlatFallback(t *testing.T) {
+	// A design built from an outcome with no commitments evaluates the
+	// flat table and costs m * 2^n bits.
+	exact := truthtable.Random(5, 3, rand.New(rand.NewSource(9)))
+	out := &dalta.Outcome{
+		Approx:     exact.Clone(),
+		Components: make([]*dalta.ComponentState, 3),
+	}
+	design := FromOutcome(out)
+	if design.TotalBits() != 3*32 {
+		t.Fatalf("TotalBits = %d", design.TotalBits())
+	}
+	if design.CompressionRatio() != 1 {
+		t.Fatalf("ratio = %g", design.CompressionRatio())
+	}
+	if !design.Table().Equal(exact) {
+		t.Fatal("flat design does not reproduce the table")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	out, _ := runQuick(t, 10)
+	s := FromOutcome(out).String()
+	if !strings.Contains(s, "n=6") || !strings.Contains(s, "m=4") {
+		t.Errorf("String = %s", s)
+	}
+}

@@ -1,0 +1,202 @@
+package lut
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"isinglut/internal/bitvec"
+	"isinglut/internal/dalta"
+	"isinglut/internal/truthtable"
+)
+
+func TestVerilogConstFormat(t *testing.T) {
+	v, _ := bitvec.Parse("1000") // bit 0 set
+	if got := verilogConst(v); got != "4'h1" {
+		t.Errorf("verilogConst = %s, want 4'h1", got)
+	}
+	v2, _ := bitvec.Parse("00011") // bits 3,4 set -> value 0b11000 = 0x18
+	if got := verilogConst(v2); got != "5'h18" {
+		t.Errorf("verilogConst = %s, want 5'h18", got)
+	}
+}
+
+func TestVerilogIdentifierValidation(t *testing.T) {
+	d := &Design{NumInputs: 2, Components: []ComponentLUT{{K: 0, Flat: truthtable.New(2, 1)}}}
+	var buf bytes.Buffer
+	for _, bad := range []string{"1abc", "a-b", "a b", ""} {
+		if bad == "" {
+			continue // empty name defaults; tested below
+		}
+		if err := WriteVerilog(&buf, d, bad); err == nil {
+			t.Errorf("module name %q accepted", bad)
+		}
+	}
+	buf.Reset()
+	if err := WriteVerilog(&buf, d, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "module approx_lut") {
+		t.Error("default module name missing")
+	}
+}
+
+// verilogModel is a minimal interpreter of the emitter's own output:
+// it parses the ROM constants and index wiring back out of the text and
+// re-evaluates the design independently of the lut package's Eval.
+type verilogModel struct {
+	flat map[int]*bitvec.Vector // k -> rom
+	phi  map[int]*bitvec.Vector
+	f0   map[int]*bitvec.Vector
+	f1   map[int]*bitvec.Vector
+	col  map[int][]int // k -> input bit per local index (LSB first)
+	row  map[int][]int
+}
+
+func parseVerilog(t *testing.T, src string) *verilogModel {
+	t.Helper()
+	m := &verilogModel{
+		flat: map[int]*bitvec.Vector{},
+		phi:  map[int]*bitvec.Vector{},
+		f0:   map[int]*bitvec.Vector{},
+		f1:   map[int]*bitvec.Vector{},
+		col:  map[int][]int{},
+		row:  map[int][]int{},
+	}
+	romRe := regexp.MustCompile(`initial rom_(\w+)_(\d+) = (\d+)'h([0-9a-f]+);`)
+	wireRe := regexp.MustCompile(`wire \[\d+:0\] (col|row)_(\d+) = \{([^}]+)\};`)
+	for _, line := range strings.Split(src, "\n") {
+		if mm := romRe.FindStringSubmatch(line); mm != nil {
+			vec := hexToVec(t, mm[4], atoi(t, mm[3]))
+			k := atoi(t, mm[2])
+			switch mm[1] {
+			case "flat":
+				m.flat[k] = vec
+			case "phi":
+				m.phi[k] = vec
+			case "f0":
+				m.f0[k] = vec
+			case "f1":
+				m.f1[k] = vec
+			}
+		}
+		if mm := wireRe.FindStringSubmatch(line); mm != nil {
+			k := atoi(t, mm[2])
+			parts := strings.Split(mm[3], ", ")
+			bits := make([]int, len(parts))
+			for i, p := range parts {
+				// Concatenation is MSB first: parts[0] is the top local bit.
+				var b int
+				fmt.Sscanf(p, "x[%d]", &b)
+				bits[len(parts)-1-i] = b
+			}
+			if mm[1] == "col" {
+				m.col[k] = bits
+			} else {
+				m.row[k] = bits
+			}
+		}
+	}
+	return m
+}
+
+func (m *verilogModel) eval(x uint64, k int) int {
+	if rom, ok := m.flat[k]; ok {
+		return rom.Bit(int(x))
+	}
+	idx := func(bits []int) int {
+		v := 0
+		for t, b := range bits {
+			if x&(1<<uint(b)) != 0 {
+				v |= 1 << uint(t)
+			}
+		}
+		return v
+	}
+	col := idx(m.col[k])
+	row := idx(m.row[k])
+	if m.phi[k].Get(col) {
+		return m.f1[k].Bit(row)
+	}
+	return m.f0[k].Bit(row)
+}
+
+func hexToVec(t *testing.T, hex string, bits int) *bitvec.Vector {
+	t.Helper()
+	v := bitvec.New(bits)
+	for i, pos := 0, 0; i < len(hex); i++ {
+		d := hex[len(hex)-1-i]
+		var val int
+		switch {
+		case d >= '0' && d <= '9':
+			val = int(d - '0')
+		case d >= 'a' && d <= 'f':
+			val = int(d-'a') + 10
+		default:
+			t.Fatalf("bad hex digit %c", d)
+		}
+		for b := 0; b < 4 && pos < bits; b++ {
+			if val&(1<<uint(b)) != 0 {
+				v.Set(pos, true)
+			}
+			pos++
+		}
+	}
+	return v
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, r := range s {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// TestVerilogRoundTrip emits Verilog for a real decomposed design and
+// re-evaluates the text through an independent interpreter: every input
+// pattern must produce the design's output.
+func TestVerilogRoundTrip(t *testing.T) {
+	out, _ := runQuick(t, 13)
+	design := FromOutcome(out)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, design, "dut"); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	if !strings.Contains(src, "module dut") {
+		t.Fatal("module header missing")
+	}
+	model := parseVerilog(t, src)
+	for x := uint64(0); x < 64; x++ {
+		for k := 0; k < len(design.Components); k++ {
+			want := design.Components[k].Eval(x)
+			if got := model.eval(x, k); got != want {
+				t.Fatalf("x=%d k=%d: verilog %d, design %d", x, k, got, want)
+			}
+		}
+	}
+}
+
+// TestVerilogFlatRoundTrip covers the flat-ROM fallback path.
+func TestVerilogFlatRoundTrip(t *testing.T) {
+	tt := truthtable.Random(5, 2, rand.New(rand.NewSource(4)))
+	out := &dalta.Outcome{Approx: tt, Components: make([]*dalta.ComponentState, 2)}
+	design := FromOutcome(out)
+	var buf bytes.Buffer
+	if err := WriteVerilog(&buf, design, "flat_dut"); err != nil {
+		t.Fatal(err)
+	}
+	model := parseVerilog(t, buf.String())
+	for x := uint64(0); x < 32; x++ {
+		for k := 0; k < 2; k++ {
+			if model.eval(x, k) != tt.Bit(k, x) {
+				t.Fatalf("flat ROM mismatch at x=%d k=%d", x, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewOverlapBasics(t *testing.T) {
+	// 4 vars, A = {x1,x2,x3}, B = {x3,x4}: x3 shared.
+	p, err := NewOverlap(4, 0b0111, 0b1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Disjoint() {
+		t.Fatal("overlapping partition reported disjoint")
+	}
+	if p.Overlap() != 1 {
+		t.Fatalf("Overlap = %d", p.Overlap())
+	}
+	if p.FreeSize() != 3 || p.BoundSize() != 2 {
+		t.Fatalf("sizes %d/%d", p.FreeSize(), p.BoundSize())
+	}
+	if p.Rows() != 8 || p.Cols() != 4 {
+		t.Fatalf("dims %dx%d", p.Rows(), p.Cols())
+	}
+}
+
+func TestNewOverlapErrors(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{0b0011, 0b0100},  // does not cover x4
+		{0, 0b1111},       // empty A
+		{0b1111, 0},       // empty B
+		{0b10000, 0b1111}, // A out of range
+	}
+	for i, c := range cases {
+		if _, err := NewOverlap(4, c.a, c.b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDisjointThroughNewIsDisjoint(t *testing.T) {
+	p := MustNew(5, 0b00011)
+	if !p.Disjoint() || p.Overlap() != 0 {
+		t.Fatal("disjoint partition misclassified")
+	}
+	for i := 0; i < p.Rows(); i++ {
+		for j := 0; j < p.Cols(); j++ {
+			if !p.Valid(i, j) {
+				t.Fatal("disjoint partition has invalid cells")
+			}
+		}
+	}
+}
+
+// TestOverlapCellBijection: the map x -> (RowOf, ColOf) is injective, its
+// image is exactly the valid cells, and Global inverts it.
+func TestOverlapCellBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		free := 1 + rng.Intn(n-1)
+		overlap := rng.Intn(free + 1)
+		p := RandomOverlap(n, free, overlap, rng)
+		seen := map[[2]int]bool{}
+		for x := uint64(0); x < uint64(1)<<uint(n); x++ {
+			i, j := p.RowOf(x), p.ColOf(x)
+			if !p.Valid(i, j) {
+				t.Fatalf("trial %d: cell of pattern %d invalid", trial, x)
+			}
+			if p.Global(i, j) != x {
+				t.Fatalf("trial %d: Global does not invert at %d", trial, x)
+			}
+			key := [2]int{i, j}
+			if seen[key] {
+				t.Fatalf("trial %d: cell collision at %v", trial, key)
+			}
+			seen[key] = true
+		}
+		// Count valid cells: must equal 2^n.
+		valid := 0
+		for i := 0; i < p.Rows(); i++ {
+			for j := 0; j < p.Cols(); j++ {
+				if p.Valid(i, j) {
+					valid++
+				}
+			}
+		}
+		if valid != 1<<uint(n) {
+			t.Fatalf("trial %d: %d valid cells, want %d", trial, valid, 1<<uint(n))
+		}
+	}
+}
+
+func TestRandomOverlapSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := RandomOverlap(8, 4, 2, rng)
+	if p.FreeSize() != 4 || p.BoundSize() != 6 || p.Overlap() != 2 {
+		t.Fatalf("sizes |A|=%d |B|=%d overlap=%d", p.FreeSize(), p.BoundSize(), p.Overlap())
+	}
+}
+
+func TestRandomOverlapValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []struct{ free, ov int }{{0, 0}, {8, 0}, {4, -1}, {4, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RandomOverlap(8,%d,%d) did not panic", c.free, c.ov)
+				}
+			}()
+			RandomOverlap(8, c.free, c.ov, rng)
+		}()
+	}
+}
+
+func TestOverlapString(t *testing.T) {
+	p, _ := NewOverlap(4, 0b0111, 0b1100)
+	if got := p.String(); got != "{A={x1,x2,x3}, B={x3,x4}, overlap=1}" {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestEqualDistinguishesOverlap(t *testing.T) {
+	disjoint := MustNew(4, 0b0011)
+	overlap, _ := NewOverlap(4, 0b0011, 0b1110)
+	if disjoint.Equal(overlap) {
+		t.Fatal("partitions with same A but different B reported equal")
+	}
+}

@@ -1,0 +1,207 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBasics(t *testing.T) {
+	p, err := New(4, 0b0011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumVars() != 4 || p.FreeSize() != 2 || p.BoundSize() != 2 {
+		t.Fatalf("sizes: n=%d |A|=%d |B|=%d", p.NumVars(), p.FreeSize(), p.BoundSize())
+	}
+	if p.Rows() != 4 || p.Cols() != 4 {
+		t.Fatalf("dims %dx%d", p.Rows(), p.Cols())
+	}
+	if got := p.String(); got != "{A={x1,x2}, B={x3,x4}}" {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cases := []struct {
+		n    int
+		mask uint64
+	}{
+		{0, 1}, {31, 1}, {4, 0}, {4, 0b1111}, {4, 0b10000},
+	}
+	for _, c := range cases {
+		if _, err := New(c.n, c.mask); err == nil {
+			t.Errorf("New(%d,%#x) accepted", c.n, c.mask)
+		}
+	}
+}
+
+func TestFromSets(t *testing.T) {
+	p, err := FromSets(5, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaskA() != 0b10101 {
+		t.Errorf("mask = %#b", p.MaskA())
+	}
+	if _, err := FromSets(5, []int{0, 0}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if _, err := FromSets(5, []int{5}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestRowColGlobalBijection(t *testing.T) {
+	p := MustNew(6, 0b010110)
+	seen := make(map[uint64]bool)
+	for i := 0; i < p.Rows(); i++ {
+		for j := 0; j < p.Cols(); j++ {
+			g := p.Global(i, j)
+			if seen[g] {
+				t.Fatalf("Global(%d,%d) = %d duplicated", i, j, g)
+			}
+			seen[g] = true
+			if p.RowOf(g) != i || p.ColOf(g) != j {
+				t.Fatalf("inverse mismatch at (%d,%d): got (%d,%d)", i, j, p.RowOf(g), p.ColOf(g))
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("covered %d patterns, want 64", len(seen))
+	}
+}
+
+// Property: the (RowOf, ColOf) pair is a bijection for random partitions.
+func TestBijectionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		free := 1 + rng.Intn(n-1)
+		p := Random(n, free, rng)
+		for x := uint64(0); x < uint64(1)<<uint(n); x++ {
+			if p.Global(p.RowOf(x), p.ColOf(x)) != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExample1Partition(t *testing.T) {
+	// Paper Example 1: A = {x1, x2}, B = {x3, x4}. Row index comes from
+	// (x1, x2) with x1 the low bit.
+	p := MustNew(4, 0b0011)
+	// Global pattern x1=1,x2=0,x3=1,x4=1 -> 0b1101 = 13.
+	if r := p.RowOf(0b1101); r != 0b01 {
+		t.Errorf("RowOf = %d", r)
+	}
+	if c := p.ColOf(0b1101); c != 0b11 {
+		t.Errorf("ColOf = %d", c)
+	}
+}
+
+func TestFreeBoundVars(t *testing.T) {
+	p := MustNew(5, 0b01010)
+	a := p.FreeVars()
+	b := p.BoundVars()
+	if len(a) != 2 || a[0] != 1 || a[1] != 3 {
+		t.Errorf("FreeVars = %v", a)
+	}
+	if len(b) != 3 || b[0] != 0 || b[1] != 2 || b[2] != 4 {
+		t.Errorf("BoundVars = %v", b)
+	}
+	// Returned slices are copies.
+	a[0] = 99
+	if p.FreeVars()[0] == 99 {
+		t.Error("FreeVars returns live slice")
+	}
+}
+
+func TestRandomHasRequestedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p := Random(9, 4, rng)
+		if p.FreeSize() != 4 || p.BoundSize() != 5 {
+			t.Fatalf("sizes %d/%d", p.FreeSize(), p.BoundSize())
+		}
+	}
+}
+
+func TestRandomPanicsOnBadFreeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, free := range []int{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Random(9,%d) did not panic", free)
+				}
+			}()
+			Random(9, free, rng)
+		}()
+	}
+}
+
+func TestRandomDistinctNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := RandomDistinct(8, 3, 20, rng)
+	if len(ps) != 20 {
+		t.Fatalf("got %d partitions", len(ps))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range ps {
+		if seen[p.MaskA()] {
+			t.Fatalf("duplicate mask %#x", p.MaskA())
+		}
+		seen[p.MaskA()] = true
+	}
+}
+
+func TestRandomDistinctExhaustsSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// C(4,2) = 6 < 100: all distinct partitions must come back.
+	ps := RandomDistinct(4, 2, 100, rng)
+	if len(ps) != 6 {
+		t.Fatalf("got %d partitions, want 6", len(ps))
+	}
+}
+
+func TestEnumerateCountsMatchBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{4, 2, 6}, {5, 2, 10}, {6, 3, 20}, {9, 4, 126},
+	}
+	for _, c := range cases {
+		got := len(Enumerate(c.n, c.k))
+		if got != c.want {
+			t.Errorf("Enumerate(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateAllHaveSize(t *testing.T) {
+	for _, p := range Enumerate(6, 2) {
+		if p.FreeSize() != 2 {
+			t.Fatalf("partition %v has |A| = %d", p, p.FreeSize())
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustNew(4, 0b0011)
+	b := MustNew(4, 0b0011)
+	c := MustNew(4, 0b0101)
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(9, 4, rand.New(rand.NewSource(99)))
+	b := Random(9, 4, rand.New(rand.NewSource(99)))
+	if !a.Equal(b) {
+		t.Error("same seed produced different partitions")
+	}
+}

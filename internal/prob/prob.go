@@ -1,0 +1,128 @@
+// Package prob models probability distributions over input patterns.
+//
+// All error metrics in approximate decomposition are expectations over the
+// input distribution p_X (Eq. 2 of the paper). The common case is the
+// uniform distribution over all 2^n input patterns, but the framework also
+// supports weighted distributions (e.g. empirical traces), so every
+// consumer works through the Distribution interface.
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Distribution assigns an occurrence probability to each input pattern of
+// an n-input Boolean function. Patterns are indexed 0 .. 2^n-1 with input
+// x1 as the least significant bit.
+type Distribution interface {
+	// NumInputs returns n, the number of input bits.
+	NumInputs() int
+	// P returns the probability of input pattern x.
+	P(x uint64) float64
+}
+
+// Uniform is the uniform distribution over 2^n patterns.
+type Uniform struct {
+	n    int
+	prob float64
+}
+
+// NewUniform returns the uniform distribution over n-input patterns.
+// It panics for n < 0 or n > 62.
+func NewUniform(n int) *Uniform {
+	if n < 0 || n > 62 {
+		panic(fmt.Sprintf("prob: unsupported input count %d", n))
+	}
+	return &Uniform{n: n, prob: 1.0 / float64(uint64(1)<<uint(n))}
+}
+
+// NumInputs implements Distribution.
+func (u *Uniform) NumInputs() int { return u.n }
+
+// P implements Distribution. Every in-range pattern has probability 2^-n.
+func (u *Uniform) P(x uint64) float64 {
+	if x >= uint64(1)<<uint(u.n) {
+		return 0
+	}
+	return u.prob
+}
+
+// Weighted is an explicit distribution with one weight per pattern,
+// normalized at construction.
+type Weighted struct {
+	n int
+	p []float64
+}
+
+// NewWeighted builds a distribution over n-input patterns from raw
+// non-negative weights (length must be exactly 2^n). Weights are
+// normalized to sum to 1. It returns an error if any weight is negative
+// or the total is zero.
+func NewWeighted(n int, weights []float64) (*Weighted, error) {
+	size := 1 << uint(n)
+	if len(weights) != size {
+		return nil, fmt.Errorf("prob: want %d weights for n=%d, got %d", size, n, len(weights))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("prob: negative weight %g at pattern %d", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("prob: all weights are zero")
+	}
+	p := make([]float64, size)
+	for i, w := range weights {
+		p[i] = w / total
+	}
+	return &Weighted{n: n, p: p}, nil
+}
+
+// NumInputs implements Distribution.
+func (w *Weighted) NumInputs() int { return w.n }
+
+// P implements Distribution.
+func (w *Weighted) P(x uint64) float64 {
+	if x >= uint64(len(w.p)) {
+		return 0
+	}
+	return w.p[x]
+}
+
+// FromCounts builds a Weighted distribution from occurrence counts of an
+// empirical trace (e.g. sampled application inputs).
+func FromCounts(n int, counts []uint64) (*Weighted, error) {
+	w := make([]float64, len(counts))
+	for i, c := range counts {
+		w[i] = float64(c)
+	}
+	return NewWeighted(n, w)
+}
+
+// RandomWeighted builds a random distribution (for tests and fuzzing) with
+// weights drawn uniformly from [0,1) using rng.
+func RandomWeighted(n int, rng *rand.Rand) *Weighted {
+	size := 1 << uint(n)
+	weights := make([]float64, size)
+	for i := range weights {
+		weights[i] = rng.Float64() + 1e-12
+	}
+	w, err := NewWeighted(n, weights)
+	if err != nil {
+		panic(err) // unreachable: weights are strictly positive
+	}
+	return w
+}
+
+// Total returns the sum of probabilities over all patterns; useful as a
+// sanity check (should be 1 up to rounding).
+func Total(d Distribution) float64 {
+	sum := 0.0
+	for x := uint64(0); x < uint64(1)<<uint(d.NumInputs()); x++ {
+		sum += d.P(x)
+	}
+	return sum
+}

@@ -1,0 +1,124 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformBasics(t *testing.T) {
+	u := NewUniform(4)
+	if u.NumInputs() != 4 {
+		t.Fatalf("NumInputs = %d", u.NumInputs())
+	}
+	want := 1.0 / 16
+	for x := uint64(0); x < 16; x++ {
+		if u.P(x) != want {
+			t.Errorf("P(%d) = %g, want %g", x, u.P(x), want)
+		}
+	}
+	if u.P(16) != 0 {
+		t.Error("out-of-range pattern has nonzero probability")
+	}
+}
+
+func TestUniformZeroInputs(t *testing.T) {
+	u := NewUniform(0)
+	if u.P(0) != 1 {
+		t.Errorf("P(0) = %g", u.P(0))
+	}
+}
+
+func TestUniformPanicsOnBadN(t *testing.T) {
+	for _, n := range []int{-1, 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewUniform(%d) did not panic", n)
+				}
+			}()
+			NewUniform(n)
+		}()
+	}
+}
+
+func TestUniformTotalIsOne(t *testing.T) {
+	for _, n := range []int{1, 4, 8} {
+		if got := Total(NewUniform(n)); math.Abs(got-1) > 1e-12 {
+			t.Errorf("Total(uniform %d) = %g", n, got)
+		}
+	}
+}
+
+func TestWeightedNormalization(t *testing.T) {
+	w, err := NewWeighted(2, []float64{1, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.P(2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(2) = %g, want 0.5", got)
+	}
+	if w.P(3) != 0 {
+		t.Errorf("P(3) = %g, want 0", w.P(3))
+	}
+	if got := Total(w); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Total = %g", got)
+	}
+}
+
+func TestWeightedErrors(t *testing.T) {
+	if _, err := NewWeighted(2, []float64{1, 2, 3}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := NewWeighted(1, []float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewWeighted(1, []float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+}
+
+func TestWeightedOutOfRange(t *testing.T) {
+	w, err := NewWeighted(1, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.P(5) != 0 {
+		t.Error("out-of-range pattern has nonzero probability")
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	w, err := FromCounts(2, []uint64{0, 3, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.P(1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P(1) = %g", got)
+	}
+}
+
+func TestRandomWeightedIsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		w := RandomWeighted(5, rng)
+		if got := Total(w); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("trial %d: Total = %g", trial, got)
+		}
+		for x := uint64(0); x < 32; x++ {
+			if w.P(x) <= 0 {
+				t.Fatalf("trial %d: non-positive probability at %d", trial, x)
+			}
+		}
+	}
+}
+
+func TestRandomWeightedDeterministic(t *testing.T) {
+	a := RandomWeighted(4, rand.New(rand.NewSource(7)))
+	b := RandomWeighted(4, rand.New(rand.NewSource(7)))
+	for x := uint64(0); x < 16; x++ {
+		if a.P(x) != b.P(x) {
+			t.Fatal("same seed produced different distributions")
+		}
+	}
+}

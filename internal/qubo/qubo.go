@@ -1,0 +1,160 @@
+// Package qubo provides quadratic unconstrained binary optimization
+// problems and their exact conversion to the Ising model.
+//
+// Many COP formulations are naturally written over binary variables
+// b in {0,1}^N as
+//
+//	f(b) = c + sum_i L_i b_i + sum_{i<j} Q_ij b_i b_j
+//
+// while the solver stack (simulated bifurcation, simulated annealing)
+// operates on spins s in {-1,+1}^N with the Ising energy of Eq. 1. The
+// standard substitution b = (1+s)/2 maps one to the other exactly; this
+// package implements the bookkeeping so that
+//
+//	problem.ObjectiveValue(spins) == qubo.Value(binaryOf(spins))
+//
+// holds bit for bit (a property the tests enforce). The column-based
+// core COP is built directly in internal/core for efficiency; this
+// package serves external users of the solver stack and the isingsolve
+// command.
+package qubo
+
+import (
+	"fmt"
+
+	"isinglut/internal/ising"
+)
+
+// Problem is a QUBO instance over N binary variables.
+type Problem struct {
+	n        int
+	constant float64
+	linear   []float64
+	// quad[i*n+j] holds Q_ij for i < j (upper triangle); the matrix is
+	// interpreted as symmetric with the coefficient attached once.
+	quad []float64
+}
+
+// New returns an all-zero QUBO over n binary variables.
+func New(n int) *Problem {
+	if n <= 0 {
+		panic(fmt.Sprintf("qubo: invalid variable count %d", n))
+	}
+	return &Problem{n: n, linear: make([]float64, n), quad: make([]float64, n*n)}
+}
+
+// N returns the number of binary variables.
+func (p *Problem) N() int { return p.n }
+
+// AddConstant accumulates onto the constant term.
+func (p *Problem) AddConstant(c float64) { p.constant += c }
+
+// AddLinear accumulates coeff * b_i.
+func (p *Problem) AddLinear(i int, coeff float64) {
+	p.check(i)
+	p.linear[i] += coeff
+}
+
+// AddQuadratic accumulates coeff * b_i * b_j (i != j). Since b_i^2 = b_i,
+// callers should fold squares into the linear term themselves.
+func (p *Problem) AddQuadratic(i, j int, coeff float64) {
+	p.check(i)
+	p.check(j)
+	if i == j {
+		panic("qubo: use AddLinear for squared terms (b^2 = b)")
+	}
+	if i > j {
+		i, j = j, i
+	}
+	p.quad[i*p.n+j] += coeff
+}
+
+func (p *Problem) check(i int) {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("qubo: variable %d out of range [0,%d)", i, p.n))
+	}
+}
+
+// Value evaluates the objective on a binary assignment.
+func (p *Problem) Value(b []int) float64 {
+	if len(b) != p.n {
+		panic(fmt.Sprintf("qubo: assignment length %d != N=%d", len(b), p.n))
+	}
+	total := p.constant
+	for i, l := range p.linear {
+		if b[i] != 0 {
+			total += l
+		}
+	}
+	for i := 0; i < p.n; i++ {
+		if b[i] == 0 {
+			continue
+		}
+		row := p.quad[i*p.n:]
+		for j := i + 1; j < p.n; j++ {
+			if b[j] != 0 {
+				total += row[j]
+			}
+		}
+	}
+	return total
+}
+
+// ToIsing converts the QUBO to an equivalent Ising problem via
+// b = (1+s)/2. The returned problem's ObjectiveValue on spins equals
+// Value on the corresponding binary assignment exactly.
+func (p *Problem) ToIsing() *ising.Problem {
+	// f = c + sum L_i (1+s_i)/2 + sum_{i<j} Q_ij (1+s_i)(1+s_j)/4
+	//   = [c + sum L_i/2 + sum Q_ij/4]                      (offset)
+	//   + sum_i [L_i/2 + sum_{j != i} Q_ij/4] s_i           (-h_i)
+	//   + sum_{i<j} Q_ij/4 s_i s_j                          (-J_ij)
+	n := p.n
+	offset := p.constant
+	h := make([]float64, n)
+	coup := ising.NewDense(n)
+	for i, l := range p.linear {
+		offset += l / 2
+		h[i] -= l / 2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			q := p.quad[i*n+j]
+			if q == 0 {
+				continue
+			}
+			offset += q / 4
+			h[i] -= q / 4
+			h[j] -= q / 4
+			coup.Add(i, j, -q/4)
+		}
+	}
+	prob, err := ising.NewProblem(coup, h, offset)
+	if err != nil {
+		panic(err) // dimensions constructed consistently
+	}
+	return prob
+}
+
+// BinaryOf converts ±1 spins to 0/1 binaries (b = (1+s)/2).
+func BinaryOf(spins []int8) []int {
+	b := make([]int, len(spins))
+	for i, s := range spins {
+		if s > 0 {
+			b[i] = 1
+		}
+	}
+	return b
+}
+
+// SpinsOf converts 0/1 binaries to ±1 spins.
+func SpinsOf(b []int) []int8 {
+	s := make([]int8, len(b))
+	for i, v := range b {
+		if v != 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/anneal"
+	"isinglut/internal/ising"
+	"isinglut/internal/sb"
+)
+
+func randomQUBO(n int, rng *rand.Rand) *Problem {
+	p := New(n)
+	p.AddConstant(rng.NormFloat64())
+	for i := 0; i < n; i++ {
+		p.AddLinear(i, rng.NormFloat64())
+		for j := i + 1; j < n; j++ {
+			p.AddQuadratic(i, j, rng.NormFloat64())
+		}
+	}
+	return p
+}
+
+// TestIsingEquivalence is the package's central property: the converted
+// Ising problem's objective equals the QUBO value on every assignment.
+func TestIsingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		p := randomQUBO(n, rng)
+		prob := p.ToIsing()
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			b := make([]int, n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					b[i] = 1
+				}
+			}
+			got := prob.ObjectiveValue(SpinsOf(b))
+			want := p.Value(b)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d mask %b: ising %g, qubo %g", trial, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestGroundStateAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		p := randomQUBO(8, rng)
+		prob := p.ToIsing()
+		spins, _ := ising.BruteForce(prob)
+		got := p.Value(BinaryOf(spins))
+		// Exhaustive QUBO minimum.
+		best := math.Inf(1)
+		for mask := 0; mask < 256; mask++ {
+			b := make([]int, 8)
+			for i := 0; i < 8; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					b[i] = 1
+				}
+			}
+			if v := p.Value(b); v < best {
+				best = v
+			}
+		}
+		if math.Abs(got-best) > 1e-9 {
+			t.Fatalf("trial %d: Ising ground %g, QUBO minimum %g", trial, got, best)
+		}
+	}
+}
+
+func TestSolveWithSBAndSA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomQUBO(10, rng)
+	prob := p.ToIsing()
+	_, ground := ising.BruteForce(prob)
+
+	best := math.Inf(1)
+	for seed := int64(0); seed < 4; seed++ {
+		params := sb.DefaultParams()
+		params.Steps = 500
+		params.Seed = seed
+		if res := sb.Solve(prob, params); res.Energy < best {
+			best = res.Energy
+		}
+	}
+	if best > ground+1e-9 {
+		t.Errorf("bSB best %g, ground %g", best, ground)
+	}
+
+	sa := anneal.Solve(prob, anneal.DefaultParams())
+	if sa.Energy > ground+0.5*math.Abs(ground) {
+		t.Errorf("SA energy %g far from ground %g", sa.Energy, ground)
+	}
+}
+
+func TestConversionRoundTrips(t *testing.T) {
+	spins := []int8{1, -1, -1, 1}
+	b := BinaryOf(spins)
+	back := SpinsOf(b)
+	for i := range spins {
+		if spins[i] != back[i] {
+			t.Fatal("round trip failed")
+		}
+	}
+	if b[0] != 1 || b[1] != 0 {
+		t.Fatal("BinaryOf wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := New(3)
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { p.AddLinear(3, 1) },
+		func() { p.AddQuadratic(0, 0, 1) },
+		func() { p.AddQuadratic(0, 3, 1) },
+		func() { p.Value([]int{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid call did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuadraticSymmetricAccumulation(t *testing.T) {
+	p := New(2)
+	p.AddQuadratic(0, 1, 1.5)
+	p.AddQuadratic(1, 0, 0.5) // reversed order accumulates onto the same entry
+	if got := p.Value([]int{1, 1}); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("Value = %g, want 2", got)
+	}
+}

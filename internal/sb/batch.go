@@ -1,0 +1,77 @@
+package sb
+
+import (
+	"runtime"
+	"sync"
+
+	"isinglut/internal/ising"
+)
+
+// BatchParams configures a multi-replica SB run. SB hardware and GPU
+// implementations always run many replicas of the oscillator network in
+// parallel and keep the best rounded state; this is the CPU counterpart
+// using goroutines.
+type BatchParams struct {
+	// Base holds the per-replica parameters; replica r runs with seed
+	// Base.Seed + r.
+	Base Params
+	// Replicas is the number of independent trajectories (default 4).
+	Replicas int
+	// Workers bounds the number of concurrent replicas (default
+	// GOMAXPROCS).
+	Workers int
+	// MakeOnSample, when non-nil, builds a fresh sample hook per replica
+	// so hooks with scratch state (like the Theorem-3 intervention) can
+	// run concurrently. It overrides Base.OnSample.
+	MakeOnSample func(replica int) func(iter int, x, y []float64)
+}
+
+// SolveBatch runs Replicas independent SB trajectories concurrently and
+// returns the best result (ties broken toward the lowest replica index,
+// so results are deterministic for a fixed Base.Seed).
+func SolveBatch(p *ising.Problem, bp BatchParams) Result {
+	replicas := bp.Replicas
+	if replicas <= 0 {
+		replicas = 4
+	}
+	workers := bp.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > replicas {
+		workers = replicas
+	}
+	if bp.Base.OnSample != nil && bp.MakeOnSample == nil && workers > 1 {
+		// A shared OnSample hook would race across replicas unless the
+		// caller made it safe; serializing keeps the contract simple.
+		// Use MakeOnSample to run stateful hooks concurrently.
+		workers = 1
+	}
+
+	results := make([]Result, replicas)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			params := bp.Base
+			params.Seed = bp.Base.Seed + int64(r)
+			if bp.MakeOnSample != nil {
+				params.OnSample = bp.MakeOnSample(r)
+			}
+			results[r] = Solve(p, params)
+		}(r)
+	}
+	wg.Wait()
+
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.Energy < best.Energy {
+			best = res
+		}
+	}
+	return best
+}

@@ -1,0 +1,361 @@
+// Package sb implements simulated-bifurcation (SB) solvers for Ising
+// problems.
+//
+// SB simulates a network of nonlinear oscillators whose adiabatic
+// bifurcation encodes the Ising ground-state search (Goto et al. 2019,
+// 2021). Positions x_i and momenta y_i evolve under symplectic Euler
+// integration while the pump amplitude a(t) ramps from 0 to a0; the spin
+// state is sign(x). The package provides the three standard variants:
+//
+//   - aSB (adiabatic): Kerr term x^3, continuous positions.
+//   - bSB (ballistic): positions clamped by perfectly inelastic walls at
+//     ±1 (the paper's engine, Section 2.1).
+//   - dSB (discrete):  like bSB but the local field is computed from
+//     sign(x), which suppresses analog error.
+//
+// Two features host the paper's Section 3.3 improvements:
+//
+//   - Params.Stop implements the dynamic stop criterion (§3.3.1): sample
+//     the energy every F iterations and halt once the variance of the last
+//     S samples drops below Epsilon.
+//   - Params.OnSample is a sample-point hook that may mutate (x, y) in
+//     place; the Theorem-3 heuristic (§3.3.2) plugs in here to reset the
+//     column-type spins to their conditional optimum.
+package sb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"isinglut/internal/ising"
+)
+
+// Variant selects the SB update rule.
+type Variant int
+
+const (
+	// Ballistic is bSB: inelastic walls at |x| = 1 (the paper's solver).
+	Ballistic Variant = iota
+	// Adiabatic is aSB: Kerr nonlinearity, no walls.
+	Adiabatic
+	// Discrete is dSB: walls plus sign(x) in the local field.
+	Discrete
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case Ballistic:
+		return "bSB"
+	case Adiabatic:
+		return "aSB"
+	case Discrete:
+		return "dSB"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// StopCriteria is the dynamic stop rule of §3.3.1: sample the energy every
+// F iterations; once S samples have accumulated, stop when the variance of
+// the last S samples is below Epsilon.
+type StopCriteria struct {
+	F       int     // sampling period in iterations
+	S       int     // window size in samples
+	Epsilon float64 // variance threshold
+	// MinIters is a burn-in: the criterion cannot fire before this many
+	// iterations. While the pump is still ramping the system is driven
+	// and metastable plateaus look steady (zero variance) even though a
+	// later pump amplitude reorganizes the spins into a better basin, so
+	// an unguarded variance test stops long before the oscillators
+	// commit. Zero means Steps/2, i.e. the stop is trusted only in the
+	// second half of the ramp.
+	MinIters int
+}
+
+// Params configures one SB run. The zero value is not usable; start from
+// DefaultParams.
+type Params struct {
+	Variant Variant
+	// Steps is the maximum number of Euler iterations.
+	Steps int
+	// Dt is the Euler time step.
+	Dt float64
+	// A0 is the final pump amplitude (detuning), typically 1.
+	A0 float64
+	// C0 is the coupling strength. Zero means auto-scale to
+	// 0.5*sqrt(N-1)/||J||_F, the standard SB prescription.
+	C0 float64
+	// InitAmplitude bounds the random initial momenta (positions start at
+	// 0, momenta uniform in ±InitAmplitude).
+	InitAmplitude float64
+	// Seed drives the deterministic RNG for initial conditions.
+	Seed int64
+	// Stop, when non-nil, enables the dynamic stop criterion. When nil the
+	// run uses exactly Steps iterations.
+	Stop *StopCriteria
+	// SampleEvery controls how often the solver evaluates the rounded
+	// solution for best-so-far tracking and invokes OnSample. Zero derives
+	// it from Stop.F, or disables mid-run sampling when Stop is nil.
+	SampleEvery int
+	// OnSample, when non-nil, is called at each sample point before energy
+	// evaluation and may mutate x and y in place (the Theorem-3 heuristic).
+	OnSample func(iter int, x, y []float64)
+	// RecordTrace, when true, stores each sampled energy in the result.
+	RecordTrace bool
+}
+
+// DefaultParams returns the solver defaults used across the repository:
+// bSB, 1000 steps, dt = 1.0, a0 = 1, auto c0.
+//
+// The wall-clamped variants (bSB, dSB) are stable at dt = 1.0; the
+// adiabatic variant's Kerr term needs dt <= 0.5 — use DefaultParamsFor
+// when selecting a variant.
+func DefaultParams() Params {
+	return Params{
+		Variant:       Ballistic,
+		Steps:         1000,
+		Dt:            1.0,
+		A0:            1.0,
+		InitAmplitude: 0.1,
+	}
+}
+
+// DefaultParamsFor returns the defaults with the variant's stable time
+// step (1.0 for bSB/dSB, 0.5 for aSB whose unbounded positions make the
+// Euler integration of the Kerr term diverge at larger steps).
+func DefaultParamsFor(v Variant) Params {
+	p := DefaultParams()
+	p.Variant = v
+	if v == Adiabatic {
+		p.Dt = 0.5
+	}
+	return p
+}
+
+// Result reports an SB run.
+type Result struct {
+	// Spins is the best rounded spin state observed.
+	Spins []int8
+	// Energy is the Ising energy of Spins (without the problem offset).
+	Energy float64
+	// Objective is Energy + problem offset, i.e. the original COP value.
+	Objective float64
+	// Iterations is the number of Euler steps actually executed.
+	Iterations int
+	// StoppedEarly reports whether the dynamic stop criterion fired.
+	StoppedEarly bool
+	// Samples is the number of energy evaluations performed.
+	Samples int
+	// Trace holds the sampled energies when Params.RecordTrace is set.
+	Trace []float64
+}
+
+// Solve runs simulated bifurcation on the problem and returns the best
+// spin state seen at any sample point or at termination.
+func Solve(p *ising.Problem, params Params) Result {
+	n := p.N()
+	if params.Steps <= 0 {
+		panic("sb: Steps must be positive")
+	}
+	if params.Dt <= 0 {
+		panic("sb: Dt must be positive")
+	}
+	a0 := params.A0
+	if a0 <= 0 {
+		a0 = 1
+	}
+	c0 := params.C0
+	if c0 == 0 {
+		c0 = autoC0(p)
+	}
+	sampleEvery := params.SampleEvery
+	if sampleEvery <= 0 {
+		if params.Stop != nil {
+			sampleEvery = params.Stop.F
+		} else {
+			sampleEvery = 0 // no mid-run sampling
+		}
+	}
+	minIters := 0
+	if params.Stop != nil {
+		if params.Stop.F <= 0 || params.Stop.S <= 1 {
+			panic("sb: StopCriteria needs F >= 1 and S >= 2")
+		}
+		minIters = params.Stop.MinIters
+		if minIters <= 0 {
+			minIters = params.Steps / 2
+		}
+	}
+
+	rng := rand.New(rand.NewSource(params.Seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	field := make([]float64, n)
+	signs := make([]float64, n) // scratch for dSB
+	for i := range y {
+		y[i] = (rng.Float64()*2 - 1) * params.InitAmplitude
+		x[i] = (rng.Float64()*2 - 1) * params.InitAmplitude * 0.01
+	}
+
+	res := Result{}
+	best := make([]int8, n)
+	bestE := math.Inf(1)
+	window := newEnergyWindow(windowSize(params))
+
+	evaluate := func(iter int) bool {
+		if params.OnSample != nil {
+			params.OnSample(iter, x, y)
+		}
+		spins := ising.SignsOf(x)
+		e := p.Energy(spins)
+		res.Samples++
+		if params.RecordTrace {
+			res.Trace = append(res.Trace, e)
+		}
+		if e < bestE {
+			bestE = e
+			copy(best, spins)
+		}
+		if params.Stop != nil {
+			// The stop window monitors the continuous oscillator-network
+			// energy, not the rounded spin energy: the rounded energy
+			// plateaus for long stretches while the positions still move
+			// toward a better basin, so testing it would stop too early.
+			window.push(p.EnergyContinuous(x))
+			if iter >= minIters && window.full() && window.variance() < params.Stop.Epsilon {
+				return true
+			}
+		}
+		return false
+	}
+
+	dt := params.Dt
+	steps := params.Steps
+	iter := 0
+	for ; iter < steps; iter++ {
+		at := a0 * float64(iter) / float64(steps) // linear pump ramp 0 -> a0
+
+		// Local field: J*x (+ h). dSB uses sign(x) in the product.
+		src := x
+		if params.Variant == Discrete {
+			for i, v := range x {
+				if v >= 0 {
+					signs[i] = 1
+				} else {
+					signs[i] = -1
+				}
+			}
+			src = signs
+		}
+		p.Coup.Field(src, field)
+		if p.H != nil {
+			for i, h := range p.H {
+				field[i] += h
+			}
+		}
+
+		switch params.Variant {
+		case Adiabatic:
+			for i := 0; i < n; i++ {
+				y[i] += dt * (-(x[i]*x[i]+a0-at)*x[i] + c0*field[i])
+				x[i] += dt * a0 * y[i]
+			}
+		default: // Ballistic and Discrete share the wall dynamics
+			for i := 0; i < n; i++ {
+				y[i] += dt * (-(a0-at)*x[i] + c0*field[i])
+				x[i] += dt * a0 * y[i]
+				if x[i] > 1 {
+					x[i] = 1
+					y[i] = 0
+				} else if x[i] < -1 {
+					x[i] = -1
+					y[i] = 0
+				}
+			}
+		}
+
+		if sampleEvery > 0 && (iter+1)%sampleEvery == 0 {
+			if evaluate(iter + 1) {
+				iter++
+				res.StoppedEarly = true
+				break
+			}
+		}
+	}
+
+	// Final evaluation (covers runs with no mid-run sampling and the last
+	// partial window).
+	if !res.StoppedEarly {
+		evaluate(iter)
+	}
+
+	res.Spins = best
+	res.Energy = bestE
+	res.Objective = bestE + p.Offset
+	res.Iterations = iter
+	return res
+}
+
+func windowSize(params Params) int {
+	if params.Stop != nil {
+		return params.Stop.S
+	}
+	return 0
+}
+
+// autoC0 computes the standard SB coupling scale 0.5*sqrt(N-1)/||J||_F,
+// falling back to 1 for degenerate problems (no couplings).
+func autoC0(p *ising.Problem) float64 {
+	frob := p.Coup.FrobeniusNorm()
+	n := p.N()
+	if frob == 0 || n < 2 {
+		return 1
+	}
+	return 0.5 * math.Sqrt(float64(n-1)) / frob
+}
+
+// energyWindow is a fixed-size ring buffer with O(1) mean/variance.
+type energyWindow struct {
+	buf        []float64
+	size       int
+	count      int
+	head       int
+	sum, sumSq float64
+}
+
+func newEnergyWindow(size int) *energyWindow {
+	return &energyWindow{buf: make([]float64, size), size: size}
+}
+
+func (w *energyWindow) push(e float64) {
+	if w.size == 0 {
+		return
+	}
+	if w.count == w.size {
+		old := w.buf[w.head]
+		w.sum -= old
+		w.sumSq -= old * old
+	} else {
+		w.count++
+	}
+	w.buf[w.head] = e
+	w.head = (w.head + 1) % w.size
+	w.sum += e
+	w.sumSq += e * e
+}
+
+func (w *energyWindow) full() bool { return w.size > 0 && w.count == w.size }
+
+// variance returns the population variance of the window contents.
+func (w *energyWindow) variance() float64 {
+	if w.count == 0 {
+		return math.Inf(1)
+	}
+	mean := w.sum / float64(w.count)
+	v := w.sumSq/float64(w.count) - mean*mean
+	if v < 0 {
+		v = 0 // guard rounding
+	}
+	return v
+}

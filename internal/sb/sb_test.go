@@ -1,0 +1,343 @@
+package sb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/ising"
+)
+
+func randomProblem(n int, seed int64) *ising.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	d := ising.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+	}
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = rng.NormFloat64() * 0.3
+	}
+	p, err := ising.NewProblem(d, h, 0)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestBallisticFindsGroundStateSmall(t *testing.T) {
+	// On small random instances, bSB with a few restarts should hit the
+	// exact ground state found by brute force.
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomProblem(8, seed)
+		_, want := ising.BruteForce(p)
+		best := math.Inf(1)
+		for restart := int64(0); restart < 5; restart++ {
+			params := DefaultParams()
+			params.Steps = 600
+			params.Seed = restart
+			res := Solve(p, params)
+			if res.Energy < best {
+				best = res.Energy
+			}
+		}
+		if best > want+1e-9 {
+			t.Errorf("seed %d: best bSB energy %g, ground %g", seed, best, want)
+		}
+	}
+}
+
+func TestVariantsRun(t *testing.T) {
+	p := randomProblem(10, 42)
+	_, ground := ising.BruteForce(p)
+	for _, v := range []Variant{Ballistic, Adiabatic, Discrete} {
+		params := DefaultParamsFor(v)
+		params.Steps = 800
+		res := Solve(p, params)
+		if len(res.Spins) != 10 {
+			t.Fatalf("%v: wrong spin count", v)
+		}
+		if res.Energy < ground-1e-9 {
+			t.Fatalf("%v: energy %g below ground %g (energy bookkeeping broken)", v, res.Energy, ground)
+		}
+		// All variants should get reasonably close on an easy instance.
+		if res.Energy > ground+0.5*math.Abs(ground) {
+			t.Logf("%v: energy %g vs ground %g (weak but not fatal)", v, res.Energy, ground)
+		}
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Ballistic.String() != "bSB" || Adiabatic.String() != "aSB" || Discrete.String() != "dSB" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	p := randomProblem(12, 7)
+	params := DefaultParams()
+	params.Steps = 300
+	params.Seed = 5
+	a := Solve(p, params)
+	b := Solve(p, params)
+	if a.Energy != b.Energy || a.Iterations != b.Iterations {
+		t.Fatal("same seed produced different results")
+	}
+	for i := range a.Spins {
+		if a.Spins[i] != b.Spins[i] {
+			t.Fatal("same seed produced different spins")
+		}
+	}
+}
+
+func TestDynamicStopTriggers(t *testing.T) {
+	// A strongly coupled easy problem converges long before the step cap,
+	// so the dynamic stop should fire.
+	d := ising.NewDense(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			d.Set(i, j, 1)
+		}
+	}
+	p, _ := ising.NewProblem(d, nil, 0)
+	params := DefaultParams()
+	params.Steps = 100000
+	params.Stop = &StopCriteria{F: 10, S: 5, Epsilon: 1e-9}
+	res := Solve(p, params)
+	if !res.StoppedEarly {
+		t.Fatal("dynamic stop did not fire on a trivially converging problem")
+	}
+	if res.Iterations >= params.Steps {
+		t.Fatal("ran to the cap despite stopping early")
+	}
+	if res.Energy != -15 { // all aligned: -1/2 * 2 * C(6,2) = -15
+		t.Errorf("energy %g, want -15", res.Energy)
+	}
+}
+
+func TestFixedIterationsWithoutStop(t *testing.T) {
+	p := randomProblem(6, 1)
+	params := DefaultParams()
+	params.Steps = 123
+	res := Solve(p, params)
+	if res.Iterations != 123 {
+		t.Fatalf("Iterations = %d, want 123", res.Iterations)
+	}
+	if res.StoppedEarly {
+		t.Fatal("StoppedEarly without stop criteria")
+	}
+	if res.Samples != 1 { // only the final evaluation
+		t.Fatalf("Samples = %d, want 1", res.Samples)
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	p := randomProblem(6, 2)
+	params := DefaultParams()
+	params.Steps = 200
+	params.SampleEvery = 20
+	params.RecordTrace = true
+	res := Solve(p, params)
+	if len(res.Trace) != res.Samples {
+		t.Fatalf("trace length %d != samples %d", len(res.Trace), res.Samples)
+	}
+	if len(res.Trace) < 10 {
+		t.Fatalf("expected ~11 samples, got %d", len(res.Trace))
+	}
+}
+
+func TestOnSampleHookCanSteer(t *testing.T) {
+	// Clamping all positions positive through the hook must force the
+	// all-up state regardless of dynamics.
+	p := randomProblem(8, 3)
+	params := DefaultParams()
+	params.Steps = 50
+	params.SampleEvery = 10
+	calls := 0
+	params.OnSample = func(_ int, x, y []float64) {
+		calls++
+		for i := range x {
+			x[i] = 1
+			y[i] = 0
+		}
+	}
+	res := Solve(p, params)
+	if calls == 0 {
+		t.Fatal("hook never called")
+	}
+	for i, s := range res.Spins {
+		if s != 1 {
+			t.Fatalf("spin %d = %d after clamping hook", i, s)
+		}
+	}
+	allUp := make([]int8, 8)
+	for i := range allUp {
+		allUp[i] = 1
+	}
+	if math.Abs(res.Energy-p.Energy(allUp)) > 1e-9 {
+		t.Fatal("energy does not match clamped state")
+	}
+}
+
+func TestWallsKeepPositionsBounded(t *testing.T) {
+	p := randomProblem(10, 4)
+	params := DefaultParams()
+	params.Steps = 100
+	params.SampleEvery = 1
+	params.OnSample = func(_ int, x, _ []float64) {
+		for i, v := range x {
+			if v > 1+1e-12 || v < -1-1e-12 {
+				t.Fatalf("position %d out of walls: %g", i, v)
+			}
+		}
+	}
+	Solve(p, params)
+}
+
+func TestBestSolutionKept(t *testing.T) {
+	// The reported energy must equal the problem energy of the reported
+	// spins and be the minimum over the trace.
+	p := randomProblem(10, 5)
+	params := DefaultParams()
+	params.Steps = 500
+	params.SampleEvery = 10
+	params.RecordTrace = true
+	res := Solve(p, params)
+	if math.Abs(p.Energy(res.Spins)-res.Energy) > 1e-9 {
+		t.Fatal("Energy does not match Spins")
+	}
+	for _, e := range res.Trace {
+		if e < res.Energy-1e-9 {
+			t.Fatal("a sampled energy is below the reported best")
+		}
+	}
+}
+
+func TestParamValidationPanics(t *testing.T) {
+	p := randomProblem(4, 6)
+	cases := []Params{
+		{Steps: 0, Dt: 1},
+		{Steps: 10, Dt: 0},
+		{Steps: 10, Dt: 1, Stop: &StopCriteria{F: 0, S: 5, Epsilon: 1}},
+		{Steps: 10, Dt: 1, Stop: &StopCriteria{F: 5, S: 1, Epsilon: 1}},
+	}
+	for i, params := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			Solve(p, params)
+		}()
+	}
+}
+
+func TestAutoC0Degenerate(t *testing.T) {
+	// No couplings at all: auto c0 must not divide by zero; the bias alone
+	// should still align spins.
+	d := ising.NewDense(4)
+	h := []float64{1, -1, 1, -1}
+	p, _ := ising.NewProblem(d, h, 0)
+	params := DefaultParams()
+	params.Steps = 400
+	res := Solve(p, params)
+	want := []int8{1, -1, 1, -1}
+	for i := range want {
+		if res.Spins[i] != want[i] {
+			t.Fatalf("spin %d = %d, want %d", i, res.Spins[i], want[i])
+		}
+	}
+}
+
+func TestEnergyWindow(t *testing.T) {
+	w := newEnergyWindow(3)
+	if w.full() {
+		t.Fatal("empty window full")
+	}
+	w.push(1)
+	w.push(1)
+	if w.full() {
+		t.Fatal("partial window full")
+	}
+	w.push(1)
+	if !w.full() {
+		t.Fatal("full window not full")
+	}
+	if v := w.variance(); v != 0 {
+		t.Fatalf("constant window variance %g", v)
+	}
+	w.push(4) // window now {1, 1, 4}
+	mean := 2.0
+	want := ((1-mean)*(1-mean) + (1-mean)*(1-mean) + (4-mean)*(4-mean)) / 3
+	if v := w.variance(); math.Abs(v-want) > 1e-12 {
+		t.Fatalf("variance %g, want %g", v, want)
+	}
+}
+
+func TestEnergyWindowEviction(t *testing.T) {
+	w := newEnergyWindow(2)
+	w.push(100)
+	w.push(5)
+	w.push(5) // 100 evicted
+	if v := w.variance(); v != 0 {
+		t.Fatalf("variance %g after eviction, want 0", v)
+	}
+}
+
+func TestBiasOnlyProblemSolvable(t *testing.T) {
+	// Regression: h-only problems exercise the h-injection path in the
+	// field computation for every variant.
+	d := ising.NewDense(3)
+	p, _ := ising.NewProblem(d, []float64{2, -3, 1}, 0)
+	_, ground := ising.BruteForce(p)
+	for _, v := range []Variant{Ballistic, Adiabatic, Discrete} {
+		params := DefaultParamsFor(v)
+		params.Steps = 500
+		params.SampleEvery = 10 // track best-seen: aSB oscillates through it
+		res := Solve(p, params)
+		if math.Abs(res.Energy-ground) > 1e-9 {
+			t.Errorf("%v: energy %g, ground %g", v, res.Energy, ground)
+		}
+	}
+}
+
+// TestSolveBoundedEnergy: reported energies can never drop below the
+// instance's brute-force ground energy, across variants and seeds.
+func TestSolveBoundedEnergy(t *testing.T) {
+	for seed := int64(20); seed < 26; seed++ {
+		p := randomProblem(9, seed)
+		_, ground := ising.BruteForce(p)
+		for _, v := range []Variant{Ballistic, Adiabatic, Discrete} {
+			params := DefaultParamsFor(v)
+			params.Steps = 300
+			params.Seed = seed
+			params.SampleEvery = 25
+			res := Solve(p, params)
+			if res.Energy < ground-1e-9 {
+				t.Fatalf("seed %d %v: energy %g below ground %g", seed, v, res.Energy, ground)
+			}
+		}
+	}
+}
+
+// TestStopNeverFiresBeforeBurnIn: with an explicit MinIters the criterion
+// must not fire earlier even on a trivially flat landscape.
+func TestStopNeverFiresBeforeBurnIn(t *testing.T) {
+	d := ising.NewDense(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			d.Set(i, j, 1)
+		}
+	}
+	p, _ := ising.NewProblem(d, nil, 0)
+	params := DefaultParams()
+	params.Steps = 2000
+	params.Stop = &StopCriteria{F: 5, S: 3, Epsilon: 1e-6, MinIters: 800}
+	res := Solve(p, params)
+	if res.StoppedEarly && res.Iterations < 800 {
+		t.Fatalf("stopped at iteration %d before burn-in 800", res.Iterations)
+	}
+}

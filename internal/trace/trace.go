@@ -1,0 +1,160 @@
+// Package trace collects and analyzes solver convergence traces.
+//
+// The dynamic stop criterion (paper Section 3.3.1) is a statement about
+// the time series of sampled energies; this package makes that series a
+// first-class object: recording, summary statistics (iterations to best,
+// plateau lengths, variance windows), and CSV export for plotting. The
+// exptables command uses it for the convergence ablation, and the tests
+// use it to characterize solver behaviour quantitatively.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace is a sampled energy series with its sampling period.
+type Trace struct {
+	// Every is the number of solver iterations between samples.
+	Every int
+	// Energies holds the sampled energies in sample order.
+	Energies []float64
+}
+
+// New wraps a sampled series.
+func New(every int, energies []float64) *Trace {
+	if every <= 0 {
+		panic(fmt.Sprintf("trace: invalid sampling period %d", every))
+	}
+	return &Trace{Every: every, Energies: append([]float64(nil), energies...)}
+}
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.Energies) }
+
+// Best returns the minimum sampled energy and the iteration at which it
+// first appeared. It returns (0, 0) for an empty trace.
+func (t *Trace) Best() (float64, int) {
+	if len(t.Energies) == 0 {
+		return 0, 0
+	}
+	best := t.Energies[0]
+	at := 0
+	for i, e := range t.Energies[1:] {
+		if e < best {
+			best = e
+			at = i + 1
+		}
+	}
+	return best, (at + 1) * t.Every
+}
+
+// Final returns the last sampled energy.
+func (t *Trace) Final() float64 {
+	if len(t.Energies) == 0 {
+		return math.NaN()
+	}
+	return t.Energies[len(t.Energies)-1]
+}
+
+// PlateauAt returns the length (in samples) of the final plateau: the
+// maximal suffix whose values stay within eps of the final value.
+func (t *Trace) PlateauAt(eps float64) int {
+	if len(t.Energies) == 0 {
+		return 0
+	}
+	final := t.Final()
+	count := 0
+	for i := len(t.Energies) - 1; i >= 0; i-- {
+		if math.Abs(t.Energies[i]-final) > eps {
+			break
+		}
+		count++
+	}
+	return count
+}
+
+// WindowVariance returns the population variance of the last s samples
+// (the quantity the dynamic stop criterion thresholds); +Inf when fewer
+// than s samples exist.
+func (t *Trace) WindowVariance(s int) float64 {
+	if s <= 0 || len(t.Energies) < s {
+		return math.Inf(1)
+	}
+	window := t.Energies[len(t.Energies)-s:]
+	mean := 0.0
+	for _, e := range window {
+		mean += e
+	}
+	mean /= float64(s)
+	v := 0.0
+	for _, e := range window {
+		d := e - mean
+		v += d * d
+	}
+	return v / float64(s)
+}
+
+// StopIteration simulates the paper's dynamic stop rule offline: it
+// returns the iteration at which a variance window of size s would first
+// drop below eps (ignoring any burn-in), or -1 if it never fires.
+func (t *Trace) StopIteration(s int, eps float64) int {
+	for i := s; i <= len(t.Energies); i++ {
+		sub := &Trace{Every: t.Every, Energies: t.Energies[:i]}
+		if sub.WindowVariance(s) < eps {
+			return i * t.Every
+		}
+	}
+	return -1
+}
+
+// Improvement returns first - best: how much the search improved over its
+// initial sample.
+func (t *Trace) Improvement() float64 {
+	if len(t.Energies) == 0 {
+		return 0
+	}
+	best, _ := t.Best()
+	return t.Energies[0] - best
+}
+
+// WriteCSV writes "iteration,energy" rows with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "iteration,energy"); err != nil {
+		return err
+	}
+	for i, e := range t.Energies {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", (i+1)*t.Every, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary is a compact numeric digest of a trace.
+type Summary struct {
+	Samples     int
+	BestEnergy  float64
+	BestAtIter  int
+	FinalEnergy float64
+	Improvement float64
+}
+
+// Summarize computes the digest.
+func Summarize(t *Trace) Summary {
+	best, at := t.Best()
+	return Summary{
+		Samples:     t.Len(),
+		BestEnergy:  best,
+		BestAtIter:  at,
+		FinalEnergy: t.Final(),
+		Improvement: t.Improvement(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("samples=%d best=%.6g@%d final=%.6g improvement=%.6g",
+		s.Samples, s.BestEnergy, s.BestAtIter, s.FinalEnergy, s.Improvement)
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBestAndFinal(t *testing.T) {
+	tr := New(10, []float64{5, 3, 4, 2, 2, 2})
+	best, at := tr.Best()
+	if best != 2 || at != 40 {
+		t.Fatalf("Best = (%g, %d)", best, at)
+	}
+	if tr.Final() != 2 {
+		t.Fatalf("Final = %g", tr.Final())
+	}
+	if tr.Improvement() != 3 {
+		t.Fatalf("Improvement = %g", tr.Improvement())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New(5, nil)
+	if b, at := tr.Best(); b != 0 || at != 0 {
+		t.Fatal("empty Best wrong")
+	}
+	if !math.IsNaN(tr.Final()) {
+		t.Fatal("empty Final not NaN")
+	}
+	if tr.PlateauAt(1) != 0 {
+		t.Fatal("empty plateau nonzero")
+	}
+}
+
+func TestPlateau(t *testing.T) {
+	tr := New(1, []float64{9, 5, 5.0001, 5, 5})
+	if got := tr.PlateauAt(0.001); got != 4 {
+		t.Fatalf("PlateauAt = %d, want 4", got)
+	}
+	if got := tr.PlateauAt(0); got != 2 {
+		t.Fatalf("PlateauAt(0) = %d, want 2", got)
+	}
+}
+
+func TestWindowVariance(t *testing.T) {
+	tr := New(1, []float64{1, 2, 3, 3, 3})
+	if v := tr.WindowVariance(3); v != 0 {
+		t.Fatalf("variance of constant tail %g", v)
+	}
+	if v := tr.WindowVariance(5); math.Abs(v-0.64) > 1e-12 {
+		t.Fatalf("variance %g, want 0.64", v)
+	}
+	if !math.IsInf(tr.WindowVariance(6), 1) {
+		t.Fatal("short trace variance not +Inf")
+	}
+}
+
+func TestStopIteration(t *testing.T) {
+	tr := New(10, []float64{9, 7, 5, 5, 5, 5})
+	// Window of 3 constant 5s first completes at sample 5 -> iteration 50.
+	if got := tr.StopIteration(3, 1e-9); got != 50 {
+		t.Fatalf("StopIteration = %d, want 50", got)
+	}
+	noisy := New(10, []float64{9, 7, 5, 6, 5, 7})
+	if got := noisy.StopIteration(3, 1e-9); got != -1 {
+		t.Fatalf("noisy StopIteration = %d, want -1", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New(20, []float64{3, 1})
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[1] != "20,3" || lines[2] != "40,1" {
+		t.Fatalf("CSV output %q", buf.String())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize(New(10, []float64{4, 2, 3}))
+	str := s.String()
+	if !strings.Contains(str, "best=2@20") {
+		t.Errorf("summary %q", str)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid period accepted")
+		}
+	}()
+	New(0, nil)
+}

@@ -1,0 +1,178 @@
+package truthtable
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePLA serializes the table in espresso PLA format: one fully
+// specified minterm per input pattern, variable x1 as the leftmost input
+// column and output bit 0 (LSB) as the leftmost output column. The format
+// is accepted by espresso, ABC, and most logic-synthesis flows.
+func (t *Table) WritePLA(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n.p %d\n", t.n, t.m, t.Size())
+	inBuf := make([]byte, t.n)
+	outBuf := make([]byte, t.m)
+	for x := uint64(0); x < t.Size(); x++ {
+		for b := 0; b < t.n; b++ {
+			if x&(1<<uint(b)) != 0 {
+				inBuf[b] = '1'
+			} else {
+				inBuf[b] = '0'
+			}
+		}
+		out := t.Output(x)
+		for k := 0; k < t.m; k++ {
+			if out&(1<<uint(k)) != 0 {
+				outBuf[k] = '1'
+			} else {
+				outBuf[k] = '0'
+			}
+		}
+		bw.Write(inBuf)
+		bw.WriteByte(' ')
+		bw.Write(outBuf)
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}
+
+// ReadPLA parses an espresso PLA description into a table. Input cubes
+// may contain '-' (don't care), which expands to both values; output
+// columns accept '1', '0', and '~'/'-' (treated as 0). Later cubes
+// override earlier ones on overlap, matching common PLA semantics for
+// fully specified reads.
+func ReadPLA(r io.Reader) (*Table, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		t         *Table
+		n, m      = -1, -1
+		lineNo    int
+		sawTerm   bool
+		declaredP = -1
+		products  int
+	)
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".i "):
+			v, err := strconv.Atoi(strings.TrimSpace(line[3:]))
+			if err != nil || v <= 0 || v > MaxInputs {
+				return nil, fmt.Errorf("truthtable: line %d: bad .i directive %q", lineNo, line)
+			}
+			n = v
+		case strings.HasPrefix(line, ".o "):
+			v, err := strconv.Atoi(strings.TrimSpace(line[3:]))
+			if err != nil || v <= 0 || v > 63 {
+				return nil, fmt.Errorf("truthtable: line %d: bad .o directive %q", lineNo, line)
+			}
+			m = v
+		case strings.HasPrefix(line, ".p "):
+			v, err := strconv.Atoi(strings.TrimSpace(line[3:]))
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("truthtable: line %d: bad .p directive %q", lineNo, line)
+			}
+			declaredP = v
+		case line == ".e" || line == ".end":
+			sawTerm = true
+		case strings.HasPrefix(line, "."):
+			// Ignore other directives (.ilb, .ob, .type fr, ...).
+		default:
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("truthtable: line %d: cube before .i/.o", lineNo)
+			}
+			if t == nil {
+				t = New(n, m)
+			}
+			if err := applyCube(t, line, lineNo); err != nil {
+				return nil, err
+			}
+			products++
+		}
+		if sawTerm {
+			break
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("truthtable: missing .i/.o directives")
+	}
+	if t == nil {
+		t = New(n, m)
+	}
+	if declaredP >= 0 && declaredP != products {
+		return nil, fmt.Errorf("truthtable: .p declares %d products, found %d", declaredP, products)
+	}
+	return t, nil
+}
+
+// applyCube writes one PLA product line into the table, expanding input
+// don't-cares.
+func applyCube(t *Table, line string, lineNo int) error {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return fmt.Errorf("truthtable: line %d: want 'inputs outputs', got %q", lineNo, line)
+	}
+	in, out := fields[0], fields[1]
+	if len(in) != t.n {
+		return fmt.Errorf("truthtable: line %d: input cube has %d columns, want %d", lineNo, len(in), t.n)
+	}
+	if len(out) != t.m {
+		return fmt.Errorf("truthtable: line %d: output part has %d columns, want %d", lineNo, len(out), t.m)
+	}
+	var outWord uint64
+	var outMask uint64
+	for k := 0; k < t.m; k++ {
+		switch out[k] {
+		case '1':
+			outWord |= 1 << uint(k)
+			outMask |= 1 << uint(k)
+		case '0':
+			outMask |= 1 << uint(k)
+		case '-', '~':
+			// Output don't-care: leave the bit as is.
+		default:
+			return fmt.Errorf("truthtable: line %d: bad output character %q", lineNo, out[k])
+		}
+	}
+	// Collect fixed bits and don't-care positions.
+	var base uint64
+	var dc []int
+	for b := 0; b < t.n; b++ {
+		switch in[b] {
+		case '1':
+			base |= 1 << uint(b)
+		case '0':
+		case '-':
+			dc = append(dc, b)
+		default:
+			return fmt.Errorf("truthtable: line %d: bad input character %q", lineNo, in[b])
+		}
+	}
+	if len(dc) > 24 {
+		return fmt.Errorf("truthtable: line %d: cube with %d don't-cares too broad", lineNo, len(dc))
+	}
+	for mask := 0; mask < 1<<uint(len(dc)); mask++ {
+		x := base
+		for t2, b := range dc {
+			if mask&(1<<uint(t2)) != 0 {
+				x |= 1 << uint(b)
+			}
+		}
+		cur := t.Output(x)
+		t.SetOutput(x, (cur&^outMask)|outWord)
+	}
+	return nil
+}

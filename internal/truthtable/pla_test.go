@@ -1,0 +1,129 @@
+package truthtable
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPLARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		orig := Random(3+rng.Intn(4), 1+rng.Intn(5), rng)
+		var buf bytes.Buffer
+		if err := orig.WritePLA(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadPLA(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !orig.Equal(back) {
+			t.Fatalf("trial %d: PLA round trip changed the table", trial)
+		}
+	}
+}
+
+func TestPLAHeaderFormat(t *testing.T) {
+	tt := FromFunc(2, 1, func(x uint64) uint64 { return x & 1 })
+	var buf bytes.Buffer
+	if err := tt.WritePLA(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{".i 2", ".o 1", ".p 4", ".e"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Pattern x=01 (x1=1, x2=0) outputs 1.
+	if !strings.Contains(out, "10 1") {
+		t.Errorf("expected minterm '10 1' in:\n%s", out)
+	}
+}
+
+func TestReadPLADontCares(t *testing.T) {
+	src := `# two-input AND via cube expansion
+.i 2
+.o 1
+0- 0
+-0 0
+11 1
+.e
+`
+	tt, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 0, 0, 1}
+	for x := uint64(0); x < 4; x++ {
+		if tt.Output(x) != want[x] {
+			t.Errorf("Output(%d) = %d, want %d", x, tt.Output(x), want[x])
+		}
+	}
+}
+
+func TestReadPLAOutputDontCare(t *testing.T) {
+	src := ".i 1\n.o 2\n0 1~\n1 ~1\n.e\n"
+	tt, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Output(0) != 1 || tt.Output(1) != 2 {
+		t.Errorf("outputs %d, %d", tt.Output(0), tt.Output(1))
+	}
+}
+
+func TestReadPLALaterCubesOverride(t *testing.T) {
+	src := ".i 1\n.o 1\n- 1\n0 0\n.e\n"
+	tt, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Output(0) != 0 || tt.Output(1) != 1 {
+		t.Errorf("override semantics wrong: %d, %d", tt.Output(0), tt.Output(1))
+	}
+}
+
+func TestReadPLAErrors(t *testing.T) {
+	cases := map[string]string{
+		"no-header":    "01 1\n",
+		"bad-i":        ".i x\n.o 1\n",
+		"bad-o":        ".i 2\n.o 0\n",
+		"short-cube":   ".i 3\n.o 1\n01 1\n",
+		"short-out":    ".i 2\n.o 2\n01 1\n",
+		"bad-char":     ".i 2\n.o 1\n0z 1\n",
+		"bad-out-char": ".i 2\n.o 1\n00 z\n",
+		"p-mismatch":   ".i 1\n.o 1\n.p 2\n0 1\n.e\n",
+		"missing-io":   "# nothing\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadPLA(strings.NewReader(src)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadPLAIgnoresUnknownDirectives(t *testing.T) {
+	src := ".i 1\n.o 1\n.ilb a\n.ob f\n.type fr\n1 1\n.e\n"
+	tt, err := ReadPLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Output(1) != 1 {
+		t.Error("cube not applied")
+	}
+}
+
+func TestReadPLAEmptyBody(t *testing.T) {
+	tt, err := ReadPLA(strings.NewReader(".i 2\n.o 1\n.e\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 4; x++ {
+		if tt.Output(x) != 0 {
+			t.Error("empty PLA not all-zero")
+		}
+	}
+}

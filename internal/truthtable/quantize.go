@@ -1,0 +1,93 @@
+package truthtable
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantizeSpec describes how a real-valued function f: [InLo, InHi] -> R
+// is turned into an n-input, m-output Boolean function, following the
+// paper's quantization schemes (n = 9 or 16 input bits, m output bits).
+//
+// Input pattern x in [0, 2^n) maps to the real point
+//
+//	t = InLo + (InHi-InLo) * x / (2^n - 1)
+//
+// and output value y = f(t) maps to the fixed-point code
+//
+//	round((y - OutLo) / (OutHi-OutLo) * (2^m - 1))
+//
+// clamped to [0, 2^m-1]. When OutLo/OutHi are zero they are inferred by
+// scanning f over the grid, which reproduces the paper's "range" column.
+type QuantizeSpec struct {
+	NumInputs  int
+	NumOutputs int
+	InLo, InHi float64
+	// OutLo, OutHi define the output range. If both are zero the range is
+	// inferred as the min/max of f over the input grid.
+	OutLo, OutHi float64
+}
+
+// Quantize evaluates f over the quantization grid and returns its truth
+// table together with the output range that was used.
+func Quantize(spec QuantizeSpec, f func(float64) float64) (*Table, float64, float64, error) {
+	if spec.NumInputs <= 0 || spec.NumInputs > MaxInputs {
+		return nil, 0, 0, fmt.Errorf("truthtable: bad input count %d", spec.NumInputs)
+	}
+	if spec.NumOutputs <= 0 || spec.NumOutputs > 63 {
+		return nil, 0, 0, fmt.Errorf("truthtable: bad output count %d", spec.NumOutputs)
+	}
+	if !(spec.InHi > spec.InLo) {
+		return nil, 0, 0, fmt.Errorf("truthtable: empty input domain [%g,%g]", spec.InLo, spec.InHi)
+	}
+	size := uint64(1) << uint(spec.NumInputs)
+	step := (spec.InHi - spec.InLo) / float64(size-1)
+
+	values := make([]float64, size)
+	outLo, outHi := spec.OutLo, spec.OutHi
+	infer := outLo == 0 && outHi == 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for x := uint64(0); x < size; x++ {
+		y := f(spec.InLo + step*float64(x))
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, 0, 0, fmt.Errorf("truthtable: f is not finite at grid point %d", x)
+		}
+		values[x] = y
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if infer {
+		outLo, outHi = lo, hi
+	}
+	if !(outHi > outLo) {
+		return nil, 0, 0, fmt.Errorf("truthtable: degenerate output range [%g,%g]", outLo, outHi)
+	}
+
+	maxCode := float64(uint64(1)<<uint(spec.NumOutputs) - 1)
+	t := New(spec.NumInputs, spec.NumOutputs)
+	for x := uint64(0); x < size; x++ {
+		code := math.Round((values[x] - outLo) / (outHi - outLo) * maxCode)
+		if code < 0 {
+			code = 0
+		}
+		if code > maxCode {
+			code = maxCode
+		}
+		t.SetOutput(x, uint64(code))
+	}
+	return t, outLo, outHi, nil
+}
+
+// MustQuantize is Quantize that panics on error; for registries of known
+// good benchmark definitions.
+func MustQuantize(spec QuantizeSpec, f func(float64) float64) *Table {
+	t, _, _, err := Quantize(spec, f)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,114 @@
+package truthtable
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantizeIdentityRamp(t *testing.T) {
+	// f(x) = x over [0, 1] with matching widths must be the identity code.
+	tt, lo, hi, err := Quantize(QuantizeSpec{NumInputs: 6, NumOutputs: 6, InLo: 0, InHi: 1},
+		func(x float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 1 {
+		t.Fatalf("inferred range [%g,%g]", lo, hi)
+	}
+	for x := uint64(0); x < 64; x++ {
+		if tt.Output(x) != x {
+			t.Fatalf("Output(%d) = %d", x, tt.Output(x))
+		}
+	}
+}
+
+func TestQuantizeMonotone(t *testing.T) {
+	tt, _, _, err := Quantize(QuantizeSpec{NumInputs: 9, NumOutputs: 9, InLo: 0, InHi: 3}, math.Exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	for x := uint64(0); x < tt.Size(); x++ {
+		out := tt.Output(x)
+		if out < prev {
+			t.Fatalf("exp quantization not monotone at %d: %d < %d", x, out, prev)
+		}
+		prev = out
+	}
+	if tt.Output(0) != 0 {
+		t.Errorf("min code = %d, want 0", tt.Output(0))
+	}
+	if tt.Output(tt.Size()-1) != 511 {
+		t.Errorf("max code = %d, want 511", tt.Output(tt.Size()-1))
+	}
+}
+
+func TestQuantizeExplicitRangeClamps(t *testing.T) {
+	// Out range [0, 0.5] clamps the upper half of a [0,1] ramp to max code.
+	tt, _, _, err := Quantize(QuantizeSpec{NumInputs: 4, NumOutputs: 4, InLo: 0, InHi: 1, OutLo: 0, OutHi: 0.5},
+		func(x float64) float64 { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Output(15) != 15 {
+		t.Errorf("clamped top = %d", tt.Output(15))
+	}
+	if tt.Output(8) != 15 { // 8/15 > 0.5 -> clamp
+		t.Errorf("Output(8) = %d, want clamp to 15", tt.Output(8))
+	}
+}
+
+func TestQuantizeErrors(t *testing.T) {
+	ramp := func(x float64) float64 { return x }
+	cases := []QuantizeSpec{
+		{NumInputs: 0, NumOutputs: 4, InLo: 0, InHi: 1},
+		{NumInputs: 4, NumOutputs: 0, InLo: 0, InHi: 1},
+		{NumInputs: 4, NumOutputs: 4, InLo: 1, InHi: 1},
+		{NumInputs: 4, NumOutputs: 4, InLo: 2, InHi: 1},
+	}
+	for i, spec := range cases {
+		if _, _, _, err := Quantize(spec, ramp); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+	if _, _, _, err := Quantize(QuantizeSpec{NumInputs: 4, NumOutputs: 4, InLo: 0, InHi: 1},
+		func(x float64) float64 { return math.NaN() }); err == nil {
+		t.Error("NaN output accepted")
+	}
+	if _, _, _, err := Quantize(QuantizeSpec{NumInputs: 4, NumOutputs: 4, InLo: 0, InHi: 1},
+		func(x float64) float64 { return 7 }); err == nil {
+		t.Error("constant function (degenerate range) accepted")
+	}
+}
+
+func TestQuantizeCoversDomainEndpoints(t *testing.T) {
+	seen0, seen1 := false, false
+	_, lo, hi, err := Quantize(QuantizeSpec{NumInputs: 5, NumOutputs: 5, InLo: -2, InHi: 2},
+		func(x float64) float64 {
+			if x == -2 {
+				seen0 = true
+			}
+			if x == 2 {
+				seen1 = true
+			}
+			return x
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen0 || !seen1 {
+		t.Error("grid does not include the domain endpoints")
+	}
+	if lo != -2 || hi != 2 {
+		t.Errorf("range [%g,%g]", lo, hi)
+	}
+}
+
+func TestMustQuantizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustQuantize did not panic on bad spec")
+		}
+	}()
+	MustQuantize(QuantizeSpec{}, math.Exp)
+}

@@ -1,0 +1,159 @@
+package truthtable
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"isinglut/internal/bitvec"
+)
+
+func TestNewShape(t *testing.T) {
+	tt := New(4, 3)
+	if tt.NumInputs() != 4 || tt.NumOutputs() != 3 {
+		t.Fatalf("shape (%d,%d)", tt.NumInputs(), tt.NumOutputs())
+	}
+	if tt.Size() != 16 {
+		t.Fatalf("Size = %d", tt.Size())
+	}
+	for x := uint64(0); x < 16; x++ {
+		if tt.Output(x) != 0 {
+			t.Fatalf("fresh table nonzero at %d", x)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{-1, 1}, {27, 1}, {4, 0}, {4, 64}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.n, c.m)
+				}
+			}()
+			New(c.n, c.m)
+		}()
+	}
+}
+
+func TestSetOutputRoundTrip(t *testing.T) {
+	tt := New(3, 5)
+	for x := uint64(0); x < 8; x++ {
+		tt.SetOutput(x, x*3)
+	}
+	for x := uint64(0); x < 8; x++ {
+		if got := tt.Output(x); got != (x*3)&0x1F {
+			t.Errorf("Output(%d) = %d, want %d", x, got, (x*3)&0x1F)
+		}
+	}
+}
+
+func TestSetOutputMasksHighBits(t *testing.T) {
+	tt := New(2, 2)
+	tt.SetOutput(0, 0xFF)
+	if tt.Output(0) != 3 {
+		t.Errorf("Output = %d, want 3 (masked to m bits)", tt.Output(0))
+	}
+}
+
+func TestBitMatchesOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tt := Random(5, 7, rng)
+	for x := uint64(0); x < tt.Size(); x++ {
+		out := tt.Output(x)
+		for k := 0; k < 7; k++ {
+			want := int((out >> uint(k)) & 1)
+			if tt.Bit(k, x) != want {
+				t.Fatalf("Bit(%d,%d) = %d, want %d", k, x, tt.Bit(k, x), want)
+			}
+		}
+	}
+}
+
+func TestFromFunc(t *testing.T) {
+	tt := FromFunc(4, 5, func(x uint64) uint64 { return x + 1 })
+	for x := uint64(0); x < 16; x++ {
+		if tt.Output(x) != x+1 {
+			t.Errorf("Output(%d) = %d", x, tt.Output(x))
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	a := Random(4, 4, rand.New(rand.NewSource(2)))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.SetBit(2, 5, !b.Component(2).Get(5))
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.DiffCount(b) != 1 {
+		t.Fatalf("DiffCount = %d, want 1", a.DiffCount(b))
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if New(3, 2).Equal(New(3, 3)) {
+		t.Error("different m Equal")
+	}
+	if New(3, 2).Equal(New(4, 2)) {
+		t.Error("different n Equal")
+	}
+}
+
+func TestSetComponent(t *testing.T) {
+	tt := New(3, 2)
+	comp := tt.Component(1).Clone()
+	comp.SetAll(true)
+	tt.SetComponent(1, comp)
+	if tt.Output(0) != 2 {
+		t.Errorf("Output(0) = %d after SetComponent", tt.Output(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SetComponent wrong length did not panic")
+		}
+	}()
+	tt.SetComponent(0, bitvec.New(4))
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(6, 3, rand.New(rand.NewSource(11)))
+	b := Random(6, 3, rand.New(rand.NewSource(11)))
+	if !a.Equal(b) {
+		t.Error("same seed produced different tables")
+	}
+}
+
+func TestDump(t *testing.T) {
+	tt := FromFunc(2, 2, func(x uint64) uint64 { return x })
+	d := tt.Dump()
+	if !strings.Contains(d, "00 -> 00") || !strings.Contains(d, "11 -> 11") {
+		t.Errorf("Dump output unexpected:\n%s", d)
+	}
+}
+
+func TestDumpPanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dump on 13-input table did not panic")
+		}
+	}()
+	New(13, 1).Dump()
+}
+
+// Property: Output/SetOutput round-trips for arbitrary patterns.
+func TestOutputRoundTripProperty(t *testing.T) {
+	tt := New(6, 8)
+	f := func(x uint64, out uint64) bool {
+		x %= tt.Size()
+		tt.SetOutput(x, out)
+		return tt.Output(x) == out&0xFF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package isinglut
+
+import (
+	"fmt"
+
+	"isinglut/internal/anneal"
+	"isinglut/internal/ising"
+	"isinglut/internal/sb"
+)
+
+// IsingProblem is a public builder for standalone second-order Ising
+// instances (Eq. 1): E = -sum h_i s_i - 1/2 sum J_ij s_i s_j. It exposes
+// the same solver stack the decomposer uses (bSB/aSB/dSB and simulated
+// annealing) for unrelated combinatorial problems such as max-cut.
+type IsingProblem struct {
+	dense *ising.Dense
+	h     []float64
+}
+
+// NewIsingProblem allocates an n-spin problem with zero couplings and
+// biases.
+func NewIsingProblem(n int) *IsingProblem {
+	return &IsingProblem{dense: ising.NewDense(n), h: make([]float64, n)}
+}
+
+// N returns the spin count.
+func (p *IsingProblem) N() int { return p.dense.N() }
+
+// SetCoupling assigns J_ij = J_ji = v (i != j).
+func (p *IsingProblem) SetCoupling(i, j int, v float64) { p.dense.Set(i, j, v) }
+
+// SetBias assigns h_i = v.
+func (p *IsingProblem) SetBias(i int, v float64) { p.h[i] = v }
+
+// Energy evaluates Eq. 1 on a ±1 spin assignment.
+func (p *IsingProblem) Energy(spins []int8) float64 {
+	return p.problem().Energy(spins)
+}
+
+func (p *IsingProblem) problem() *ising.Problem {
+	prob, err := ising.NewProblem(p.dense, p.h, 0)
+	if err != nil {
+		panic(err) // builder keeps dimensions consistent
+	}
+	return prob
+}
+
+// SBVariant selects the simulated-bifurcation update rule.
+type SBVariant = sb.Variant
+
+// Simulated-bifurcation variants.
+const (
+	BallisticSB = sb.Ballistic
+	AdiabaticSB = sb.Adiabatic
+	DiscreteSB  = sb.Discrete
+)
+
+// SBOptions configures SolveIsing's simulated-bifurcation run.
+type SBOptions struct {
+	Variant SBVariant
+	// Steps caps the Euler iterations (default 1000).
+	Steps int
+	// Dt is the Euler step (default 1.0).
+	Dt float64
+	// Seed drives the deterministic initial conditions.
+	Seed int64
+	// DynamicStop enables the paper's variance-based stop criterion with
+	// window F samples every F iterations and threshold Epsilon.
+	DynamicStop bool
+	F, S        int
+	Epsilon     float64
+	// Trace records the sampled energies in the result.
+	Trace bool
+}
+
+// IsingResult reports a standalone Ising solve.
+type IsingResult struct {
+	Spins      []int8
+	Energy     float64
+	Iterations int
+	Stopped    bool // dynamic stop fired
+	// Trace holds the sampled energies when requested; SampleEvery is the
+	// iteration period between samples.
+	Trace       []float64
+	SampleEvery int
+}
+
+// SolveIsing searches the problem's ground state with simulated
+// bifurcation.
+func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
+	params := sb.DefaultParams()
+	params.Variant = opts.Variant
+	if opts.Steps > 0 {
+		params.Steps = opts.Steps
+	}
+	if opts.Dt > 0 {
+		params.Dt = opts.Dt
+	}
+	params.Seed = opts.Seed
+	if opts.DynamicStop {
+		f, s, eps := opts.F, opts.S, opts.Epsilon
+		if f <= 0 {
+			f = 20
+		}
+		if s <= 1 {
+			s = 20
+		}
+		if eps <= 0 {
+			eps = 1e-8
+		}
+		params.Stop = &sb.StopCriteria{F: f, S: s, Epsilon: eps}
+	}
+	if opts.Trace {
+		params.RecordTrace = true
+		if params.SampleEvery <= 0 && params.Stop == nil {
+			params.SampleEvery = 10
+		}
+	}
+	res := sb.Solve(p.problem(), params)
+	sampleEvery := params.SampleEvery
+	if sampleEvery <= 0 && params.Stop != nil {
+		sampleEvery = params.Stop.F
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = params.Steps
+	}
+	return IsingResult{
+		Spins:       res.Spins,
+		Energy:      res.Energy,
+		Iterations:  res.Iterations,
+		Stopped:     res.StoppedEarly,
+		Trace:       res.Trace,
+		SampleEvery: sampleEvery,
+	}, nil
+}
+
+// AnnealIsing searches the problem's ground state with simulated
+// annealing (sweeps full passes, geometric cooling tStart -> tEnd).
+func AnnealIsing(p *IsingProblem, sweeps int, tStart, tEnd float64, seed int64) (IsingResult, error) {
+	if sweeps <= 0 || tStart <= 0 || tEnd <= 0 || tEnd > tStart {
+		return IsingResult{}, fmt.Errorf("isinglut: invalid annealing schedule (sweeps=%d, T %g->%g)", sweeps, tStart, tEnd)
+	}
+	res := anneal.Solve(p.problem(), anneal.Params{Sweeps: sweeps, TStart: tStart, TEnd: tEnd, Seed: seed})
+	return IsingResult{Spins: res.Spins, Energy: res.Energy, Iterations: res.Sweeps}, nil
+}

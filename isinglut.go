@@ -1,0 +1,328 @@
+// Package isinglut is an Ising-model-based approximate decomposition
+// solver for lookup-table (LUT) compression, reproducing "Efficient
+// Approximate Decomposition Solver using Ising Model" (DAC 2024).
+//
+// Computing with memory stores Boolean functions in LUTs; disjoint
+// decomposition g(X) = F(phi(B), A) splits one 2^n-bit LUT per output bit
+// into two exponentially smaller ones. Most functions do not decompose
+// exactly, so the function is approximated until it does — and the core
+// combinatorial problem of choosing the best approximation is solved here
+// on a second-order Ising model searched by ballistic simulated
+// bifurcation (bSB), with the paper's two improvement strategies (dynamic
+// stop criterion and the Theorem-3 intervention heuristic).
+//
+// The package is the stable public surface over the internal substrates:
+//
+//	exact, _ := isinglut.Benchmark("exp", 9)
+//	res, err := isinglut.Decompose(exact, isinglut.DefaultOptions(9))
+//	fmt.Println(res.MED, res.Design.CompressionRatio())
+//
+// Baseline methods (DALTA heuristic, DALTA-ILP branch and bound, BA
+// simulated annealing) are selectable through Options.Method, and the
+// standalone Ising/SB solver stack is exposed through SolveIsing for
+// problems unrelated to decomposition.
+package isinglut
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"isinglut/internal/benchfn"
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/core"
+	"isinglut/internal/dalta"
+	"isinglut/internal/decomp"
+	"isinglut/internal/errmetric"
+	"isinglut/internal/lut"
+	"isinglut/internal/partition"
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+// Function is an n-input, m-output Boolean function stored as a truth
+// table. Construct with NewFunction, FunctionFromFunc, Quantize, or
+// Benchmark.
+type Function = truthtable.Table
+
+// Partition is an input partition w = {A, B} into free and bound sets.
+type Partition = partition.Partition
+
+// Distribution assigns occurrence probabilities to input patterns; nil
+// means uniform everywhere it is accepted.
+type Distribution = prob.Distribution
+
+// Mode selects the core-COP objective.
+type Mode = core.Mode
+
+// Objective modes (see the paper, Section 2.4).
+const (
+	// Separate minimizes each output bit's own error rate.
+	Separate = core.Separate
+	// Joint minimizes the mean error distance of the full output word.
+	Joint = core.Joint
+)
+
+// Design is the synthesized LUT implementation of a decomposed function.
+type Design = lut.Design
+
+// Decomposition is a synthesized phi/F LUT pair for one output bit.
+type Decomposition = decomp.Decomposition
+
+// NewFunction returns an all-zero function with n inputs and m outputs.
+func NewFunction(n, m int) *Function { return truthtable.New(n, m) }
+
+// FunctionFromFunc builds a function by evaluating f on every input
+// pattern (low m bits of the returned word are the outputs).
+func FunctionFromFunc(n, m int, f func(x uint64) uint64) *Function {
+	return truthtable.FromFunc(n, m, f)
+}
+
+// QuantizeSpec re-exports the fixed-point quantization parameters.
+type QuantizeSpec = truthtable.QuantizeSpec
+
+// Quantize converts a real-valued function into a fixed-point Boolean
+// function per the spec, returning the table and the output range used.
+func Quantize(spec QuantizeSpec, f func(float64) float64) (*Function, float64, float64, error) {
+	return truthtable.Quantize(spec, f)
+}
+
+// Benchmark builds one of the paper's benchmark functions ("cos", "tan",
+// "exp", "ln", "erf", "denoise", "brent-kung", "forwardk2j", "inversek2j",
+// "multiplier") at n input bits.
+func Benchmark(name string, n int) (*Function, error) {
+	return benchfn.Build(name, n)
+}
+
+// BenchmarkNames lists the paper's ten benchmark functions in evaluation
+// order.
+func BenchmarkNames() []string { return benchfn.Names() }
+
+// AllBenchmarkNames lists every registered benchmark, including the
+// extension kernels beyond the paper's evaluation set (sqrt, sin,
+// sigmoid, gaussian, rsqrt, log2).
+func AllBenchmarkNames() []string { return benchfn.AllNames() }
+
+// NewPartition builds a partition of n variables from the free-set mask
+// (bit b set means variable b is in the free set A).
+func NewPartition(n int, maskA uint64) (*Partition, error) {
+	return partition.New(n, maskA)
+}
+
+// UniformDistribution returns the uniform distribution over n-bit inputs.
+func UniformDistribution(n int) Distribution { return prob.NewUniform(n) }
+
+// WeightedDistribution builds a distribution from raw non-negative
+// weights (length 2^n), normalized to sum to 1.
+func WeightedDistribution(n int, weights []float64) (Distribution, error) {
+	return prob.NewWeighted(n, weights)
+}
+
+// ExactlyDecomposable reports whether output bit k of f has an exact
+// disjoint decomposition over the partition (Theorem 2's column test).
+func ExactlyDecomposable(f *Function, k int, part *Partition) bool {
+	return decomp.Decomposable(f.Component(k), part)
+}
+
+// ExactDecompose returns the phi/F LUT pair of output bit k over the
+// partition when an exact disjoint decomposition exists.
+func ExactDecompose(f *Function, k int, part *Partition) (*Decomposition, bool) {
+	m := boolmatrix.Build(f.Component(k), part, nil)
+	setting, ok := decomp.CheckColDecomposable(m)
+	if !ok {
+		return nil, false
+	}
+	return setting.Synthesize(), true
+}
+
+// Method selects the core-COP solver.
+type Method string
+
+// Registered methods.
+const (
+	// MethodProposed is the paper's solver: column-based core COP on a
+	// second-order Ising model searched by bSB.
+	MethodProposed Method = "proposed"
+	// MethodDALTA is the fast row-based heuristic of DALTA [9].
+	MethodDALTA Method = "dalta"
+	// MethodILP is DALTA-ILP [9]: exact/anytime branch and bound.
+	MethodILP Method = "dalta-ilp"
+	// MethodBA is the simulated-annealing baseline [10].
+	MethodBA Method = "ba"
+	// MethodAltMin is the deterministic column-based coordinate descent.
+	MethodAltMin Method = "altmin"
+)
+
+// Options configures Decompose. Start from DefaultOptions.
+type Options struct {
+	// Method picks the core-COP solver (default MethodProposed).
+	Method Method
+	// Mode picks the objective (default Joint).
+	Mode Mode
+	// Rounds is R, passes over all output bits.
+	Rounds int
+	// Partitions is P, candidate partitions per output bit per round.
+	Partitions int
+	// FreeSize is |A|; |B| = n - FreeSize + Overlap.
+	FreeSize int
+	// Overlap shares this many free-set variables into the bound set (the
+	// non-disjoint decomposition extension; 0 = the paper's disjoint
+	// setting). Larger overlap lowers the error at a higher LUT cost.
+	Overlap int
+	// Dist is the input distribution (nil = uniform).
+	Dist Distribution
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// SolverOptions, when non-nil, overrides the proposed solver's SB
+	// configuration (steps, dynamic stop, Theorem-3 heuristic).
+	SolverOptions *core.SolverOptions
+	// Workers evaluates candidate partitions concurrently with up to this
+	// many goroutines (0 or 1 = serial). Results are identical to the
+	// serial run for a fixed Seed.
+	Workers int
+	// Elitism re-offers each output bit's committed partition as an extra
+	// candidate in later rounds.
+	Elitism bool
+}
+
+// DefaultOptions mirrors the paper's configuration scaled to interactive
+// budgets: joint mode, proposed solver with dynamic stop and the
+// Theorem-3 heuristic, P = 16, R = 3, |A| chosen as the paper does
+// (4 of 9, 7 of 16; otherwise just under half).
+func DefaultOptions(n int) Options {
+	free := n / 2
+	if n >= 3 {
+		free = (n - 1) / 2 // 9 -> 4, 16 -> 7 like the paper's schemes
+	}
+	return Options{
+		Method:     MethodProposed,
+		Mode:       Joint,
+		Rounds:     3,
+		Partitions: 16,
+		FreeSize:   free,
+		Seed:       1,
+	}
+}
+
+// ComponentResult describes the committed decomposition of one output bit.
+type ComponentResult struct {
+	// K is the output bit (0 = least significant).
+	K int
+	// Partition is the committed input partition.
+	Partition *Partition
+	// Decomp is the synthesized phi/F LUT pair.
+	Decomp *Decomposition
+}
+
+// Result reports a Decompose run.
+type Result struct {
+	// Approx is the approximate function implemented by the LUTs.
+	Approx *Function
+	// MED and ER measure Approx against the exact input (Eq. 2).
+	MED float64
+	ER  float64
+	// WorstED is the maximum error distance over all inputs.
+	WorstED uint64
+	// Design is the synthesized LUT implementation with its cost model.
+	Design *Design
+	// Components lists the committed decompositions (nil entries were
+	// never decomposed and fall back to flat LUTs in Design).
+	Components []*ComponentResult
+	// RoundTrace holds the objective after each round.
+	RoundTrace []float64
+	// CoreSolves counts core-COP solver invocations.
+	CoreSolves int
+	// Elapsed is the wall-clock runtime.
+	Elapsed time.Duration
+}
+
+// Decompose approximately decomposes every output bit of exact so that
+// each has a disjoint decomposition, minimizing the configured error
+// objective, and synthesizes the resulting LUT design.
+func Decompose(exact *Function, opts Options) (*Result, error) {
+	solver, err := coreSolver(opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := dalta.Run(exact, dalta.Config{
+		Rounds:     opts.Rounds,
+		Partitions: opts.Partitions,
+		FreeSize:   opts.FreeSize,
+		Overlap:    opts.Overlap,
+		Mode:       opts.Mode,
+		Solver:     solver,
+		Dist:       opts.Dist,
+		Seed:       opts.Seed,
+		Workers:    opts.Workers,
+		Elitism:    opts.Elitism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Gate the result on the structural invariants (LUT pairs reproduce
+	// the approximation, committed components decompose, report matches a
+	// re-evaluation); a failure here is a library bug, never user error.
+	if err := dalta.Verify(exact, out, opts.Dist); err != nil {
+		return nil, fmt.Errorf("isinglut: internal verification failed: %w", err)
+	}
+	res := &Result{
+		Approx:     out.Approx,
+		MED:        out.Report.MED,
+		ER:         out.Report.ER,
+		WorstED:    out.Report.WorstED,
+		Design:     lut.FromOutcome(out),
+		Components: make([]*ComponentResult, len(out.Components)),
+		RoundTrace: out.RoundMED,
+		CoreSolves: out.CoreSolves,
+		Elapsed:    out.Elapsed,
+	}
+	for k, cs := range out.Components {
+		if cs != nil {
+			res.Components[k] = &ComponentResult{K: cs.K, Partition: cs.Part, Decomp: cs.Decomp}
+		}
+	}
+	return res, nil
+}
+
+// WriteVerilog emits a synthesizable Verilog-2001 module implementing
+// the design (one ROM per LUT array, wired per the decompositions).
+func WriteVerilog(w io.Writer, d *Design, moduleName string) error {
+	return lut.WriteVerilog(w, d, moduleName)
+}
+
+// EstimateHardware returns first-order SRAM area/energy/latency figures
+// for the design under the default cost model; see lut.CostModel for the
+// modelling assumptions.
+func EstimateHardware(d *Design) lut.DesignCost {
+	return lut.DefaultCostModel().Estimate(d)
+}
+
+// Error measures approx against exact under dist (nil = uniform),
+// returning (ER, MED).
+func Error(exact, approx *Function, dist Distribution) (float64, float64, error) {
+	rep, err := errmetric.Evaluate(exact, approx, dist)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rep.ER, rep.MED, nil
+}
+
+func coreSolver(opts Options) (dalta.CoreSolver, error) {
+	switch opts.Method {
+	case MethodProposed, "":
+		p := dalta.NewProposed()
+		if opts.SolverOptions != nil {
+			p.Opts = *opts.SolverOptions
+		}
+		return p, nil
+	case MethodDALTA:
+		return &dalta.Heuristic{}, nil
+	case MethodILP:
+		return &dalta.ILP{}, nil
+	case MethodBA:
+		return &dalta.BA{}, nil
+	case MethodAltMin:
+		return &dalta.AltMin{}, nil
+	}
+	return nil, fmt.Errorf("isinglut: unknown method %q", opts.Method)
+}

@@ -1,0 +1,310 @@
+package isinglut_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"isinglut"
+)
+
+func quickOptions(n int) isinglut.Options {
+	opts := isinglut.DefaultOptions(n)
+	opts.Partitions = 3
+	opts.Rounds = 2
+	return opts
+}
+
+func TestDefaultOptionsMatchPaperSchemes(t *testing.T) {
+	if o := isinglut.DefaultOptions(9); o.FreeSize != 4 {
+		t.Errorf("n=9: FreeSize %d, paper scheme says 4", o.FreeSize)
+	}
+	if o := isinglut.DefaultOptions(16); o.FreeSize != 7 {
+		t.Errorf("n=16: FreeSize %d, paper scheme says 7", o.FreeSize)
+	}
+}
+
+func TestDecomposeEndToEnd(t *testing.T) {
+	exact, err := isinglut.Benchmark("erf", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := isinglut.Decompose(exact, quickOptions(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MED <= 0 {
+		t.Error("expected nonzero MED for approximate decomposition")
+	}
+	// The LUT design must reproduce the approximation bit-exactly.
+	if !res.Design.Table().Equal(res.Approx) {
+		t.Fatal("design does not reproduce approximation")
+	}
+	// Error metrics must agree with direct evaluation.
+	er, med, err := isinglut.Error(exact, res.Approx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(er-res.ER) > 1e-12 || math.Abs(med-res.MED) > 1e-12 {
+		t.Fatalf("reported (%g,%g), direct (%g,%g)", res.ER, res.MED, er, med)
+	}
+	// All 9 components decomposed: compression ratio (2^9*9)/(9*(32+2*16)).
+	want := float64(512*9) / float64(9*(32+2*16))
+	if math.Abs(res.Design.CompressionRatio()-want) > 1e-9 {
+		t.Errorf("compression ratio %g, want %g", res.Design.CompressionRatio(), want)
+	}
+	if res.CoreSolves != 2*9*3 {
+		t.Errorf("CoreSolves = %d", res.CoreSolves)
+	}
+}
+
+func TestDecomposeAllMethods(t *testing.T) {
+	exact, err := isinglut.Benchmark("cos", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []isinglut.Method{
+		isinglut.MethodProposed, isinglut.MethodDALTA, isinglut.MethodBA, isinglut.MethodAltMin,
+	} {
+		opts := quickOptions(9)
+		opts.Rounds = 1
+		opts.Partitions = 2
+		opts.Method = m
+		res, err := isinglut.Decompose(exact, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		for k, c := range res.Components {
+			if c == nil {
+				t.Fatalf("%s: component %d missing", m, k)
+			}
+			if !isinglut.ExactlyDecomposable(res.Approx, k, c.Partition) {
+				t.Fatalf("%s: component %d not decomposable over committed partition", m, k)
+			}
+		}
+	}
+}
+
+func TestDecomposeUnknownMethod(t *testing.T) {
+	exact, _ := isinglut.Benchmark("cos", 9)
+	opts := quickOptions(9)
+	opts.Method = "quantum"
+	if _, err := isinglut.Decompose(exact, opts); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestExactDecomposeFig1Style(t *testing.T) {
+	// A 5-input function built as H(G(x1,x2,x3), x4, x5) decomposes
+	// exactly over bound set {x1,x2,x3}; the synthesized pair halves the
+	// LUT cost (Fig. 1).
+	g := func(x uint64) uint64 { // 3-input majority
+		b := (x & 1) + (x >> 1 & 1) + (x >> 2 & 1)
+		if b >= 2 {
+			return 1
+		}
+		return 0
+	}
+	f := isinglut.FunctionFromFunc(5, 1, func(x uint64) uint64 {
+		phi := g(x & 7)
+		a := x >> 3 & 3
+		return phi ^ (a & 1) ^ (a >> 1) // H(phi, x4, x5)
+	})
+	part, err := isinglut.NewPartition(5, 0b11000) // A = {x4,x5}, B = {x1,x2,x3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isinglut.ExactlyDecomposable(f, 0, part) {
+		t.Fatal("constructed function not decomposable")
+	}
+	d, ok := isinglut.ExactDecompose(f, 0, part)
+	if !ok {
+		t.Fatal("ExactDecompose failed")
+	}
+	if d.Bits() != 16 { // 8 (phi) + 2*4 (F) vs 32 flat: the paper's 2x
+		t.Errorf("bits = %d, want 16", d.Bits())
+	}
+	for x := uint64(0); x < 32; x++ {
+		if d.Eval(x) != int(f.Output(x)) {
+			t.Fatalf("decomposition wrong at %d", x)
+		}
+	}
+}
+
+func TestQuantizePublic(t *testing.T) {
+	f, lo, hi, err := isinglut.Quantize(isinglut.QuantizeSpec{
+		NumInputs: 6, NumOutputs: 6, InLo: 0, InHi: 1,
+	}, func(x float64) float64 { return x * x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 || hi != 1 {
+		t.Errorf("range [%g,%g]", lo, hi)
+	}
+	if f.Output(63) != 63 {
+		t.Errorf("top code %d", f.Output(63))
+	}
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := isinglut.BenchmarkNames()
+	if len(names) != 10 {
+		t.Fatalf("%d benchmarks", len(names))
+	}
+	for _, name := range names {
+		if _, err := isinglut.Benchmark(name, 8); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestWeightedDistributionDecompose(t *testing.T) {
+	exact, _ := isinglut.Benchmark("erf", 9)
+	weights := make([]float64, 512)
+	for i := range weights {
+		weights[i] = float64(i%7) + 1
+	}
+	dist, err := isinglut.WeightedDistribution(9, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOptions(9)
+	opts.Dist = dist
+	res, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, med, _ := isinglut.Error(exact, res.Approx, dist)
+	if math.Abs(er-res.ER) > 1e-12 || math.Abs(med-res.MED) > 1e-12 {
+		t.Fatal("weighted metrics inconsistent")
+	}
+}
+
+func TestDecomposeReproducible(t *testing.T) {
+	exact, _ := isinglut.Benchmark("ln", 9)
+	opts := quickOptions(9)
+	a, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MED != b.MED || !a.Approx.Equal(b.Approx) {
+		t.Fatal("same options+seed produced different results")
+	}
+}
+
+func TestRoundTraceLengthAndMonotone(t *testing.T) {
+	exact, _ := isinglut.Benchmark("tan", 9)
+	opts := quickOptions(9)
+	opts.Rounds = 3
+	res, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundTrace) != 3 {
+		t.Fatalf("trace length %d", len(res.RoundTrace))
+	}
+	for i := 1; i < len(res.RoundTrace); i++ {
+		if res.RoundTrace[i] > res.RoundTrace[i-1]+1e-9 {
+			t.Fatalf("MED increased across rounds: %v", res.RoundTrace)
+		}
+	}
+}
+
+func TestWriteVerilogPublic(t *testing.T) {
+	exact, _ := isinglut.Benchmark("erf", 8)
+	opts := quickOptions(8)
+	opts.Rounds = 1
+	opts.Partitions = 2
+	res, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := isinglut.WriteVerilog(&buf, res.Design, "dut"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "module dut") {
+		t.Error("verilog output missing module")
+	}
+	hw := isinglut.EstimateHardware(res.Design)
+	if hw.Area <= 0 || hw.Energy <= 0 || hw.Latency <= 0 {
+		t.Errorf("implausible hardware estimate %+v", hw)
+	}
+}
+
+func TestDecomposeWithOverlapPublic(t *testing.T) {
+	exact, _ := isinglut.Benchmark("cos", 8)
+	opts := quickOptions(8)
+	opts.Rounds = 1
+	opts.Partitions = 2
+	base, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Overlap = 1
+	over, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Design.TotalBits() <= base.Design.TotalBits() {
+		t.Error("overlap did not grow the LUT budget")
+	}
+}
+
+func TestDecomposeParallelPublic(t *testing.T) {
+	exact, _ := isinglut.Benchmark("ln", 8)
+	opts := quickOptions(8)
+	serial, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	parallel, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MED != parallel.MED || !serial.Approx.Equal(parallel.Approx) {
+		t.Error("parallel Decompose differs from serial")
+	}
+}
+
+func TestAcceleratorPublic(t *testing.T) {
+	exact, _ := isinglut.Benchmark("sqrt", 8)
+	opts := quickOptions(8)
+	opts.Rounds = 1
+	opts.Partitions = 2
+	res, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := isinglut.NewAccelerator(res.Design)
+	workload := isinglut.SineWorkload(8, 256, 2)
+	quality, stats, err := isinglut.EvaluateAccelerator(acc, exact, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Lookups != 256 || stats.EnergyFJ <= 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if quality.Samples != 256 {
+		t.Fatalf("quality %+v", quality)
+	}
+	// Full-domain profile mass sums to 1.
+	hist, err := isinglut.Profile(exact, res.Approx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hist.TotalMass()-1) > 1e-9 {
+		t.Fatalf("histogram mass %g", hist.TotalMass())
+	}
+	// Ramp workload covers the whole domain.
+	ramp := isinglut.RampWorkload(8)
+	if len(ramp) != 256 || ramp[255] != 255 {
+		t.Fatal("ramp workload wrong")
+	}
+}
