@@ -250,11 +250,13 @@ func BenchmarkAblationCoupling(b *testing.B) {
 		x[i] = float64(i%3) - 1
 	}
 	b.Run("bipartite", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			bip.Field(x, out)
 		}
 	})
 	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			dense.Field(x, out)
 		}
@@ -271,6 +273,7 @@ func BenchmarkCoreSolveN16(b *testing.B) {
 	opts := core.DefaultSolverOptions()
 	opts.SB.Stop = &sb.StopCriteria{F: 10, S: 10, Epsilon: 1e-8}
 	var cost float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cost = core.SolveBSB(cop, opts).Cost
@@ -288,6 +291,7 @@ func BenchmarkParallelWorkers(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := dalta.Run(exact, dalta.Config{
 					Rounds:     1,

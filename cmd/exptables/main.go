@@ -5,6 +5,7 @@
 //
 //	exptables -exp table1-joint              # quick scale (default)
 //	exptables -exp fig4 -P 16 -R 3           # custom budgets
+//	exptables -exp fig4 -workers 0           # parallel partitions (GOMAXPROCS)
 //	exptables -exp table1-separate -paper    # the paper's full budgets
 //	exptables -exp fig4 -csv out.csv         # also dump raw rows as CSV
 //
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"isinglut/internal/core"
 	"isinglut/internal/experiments"
@@ -28,6 +30,7 @@ func main() {
 		paper    = flag.Bool("paper", false, "use the paper's full budgets (CPU-days)")
 		p        = flag.Int("P", 0, "override candidate partitions per component per round")
 		r        = flag.Int("R", 0, "override rounds")
+		workers  = flag.Int("workers", 1, "candidate-partition worker pool size (0 = GOMAXPROCS); quality columns are identical across worker counts, only wall-clock varies (dalta-ilp is additionally time-capped, so its rows vary run to run regardless)")
 		seed     = flag.Int64("seed", 7, "random seed")
 		csvPath  = flag.String("csv", "", "also write raw rows as CSV to this file")
 		baseline = flag.String("baseline", "dalta", "fig4 baseline method")
@@ -49,9 +52,13 @@ func main() {
 	if *r > 0 {
 		scale.Rounds = *r
 	}
+	scale.Workers = *workers
+	if *workers <= 0 {
+		scale.Workers = runtime.GOMAXPROCS(0)
+	}
 
 	if *exp == "sweep" || *exp == "convergence" {
-		runAux(*exp, *bench, *seed)
+		runAux(*exp, *bench, scale.Workers, *seed)
 		return
 	}
 
@@ -67,8 +74,8 @@ func main() {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}
 
-	fmt.Printf("experiment %s: n=%d |A|=%d mode=%s P=%d R=%d\n\n",
-		*exp, cfg.N, cfg.FreeSize, cfg.Mode, scale.Partitions, scale.Rounds)
+	fmt.Printf("experiment %s: n=%d |A|=%d mode=%s P=%d R=%d workers=%d\n\n",
+		*exp, cfg.N, cfg.FreeSize, cfg.Mode, scale.Partitions, scale.Rounds, scale.Workers)
 
 	rows, err := experiments.Run(cfg)
 	if err != nil {
@@ -96,10 +103,11 @@ func main() {
 
 // runAux handles the design-space experiments that do not fit the
 // benchmark x method row shape.
-func runAux(exp, bench string, seed int64) {
+func runAux(exp, bench string, workers int, seed int64) {
 	switch exp {
 	case "sweep":
 		scale := experiments.QuickScale(9)
+		scale.Workers = workers
 		fmt.Printf("free-set sweep for %s (n=9, joint, proposed)\n\n", bench)
 		rows, err := experiments.FreeSizeSweep(bench, 9, 2, 7, scale, seed)
 		if err != nil {

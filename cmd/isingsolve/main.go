@@ -13,6 +13,7 @@
 // encoding E(s) = -sum_i h_i s_i - 1/2 sum_ij J_ij s_i s_j. Usage:
 //
 //	isingsolve -in problem.json -solver bsb -steps 2000 -stop
+//	isingsolve -in problem.json -replicas 8 -workers 4   # replica batch, best kept
 //	isingsolve -demo ring -demo-n 11 -solver sa
 //
 // The -demo flag generates built-in instances (ring: antiferromagnetic
@@ -44,20 +45,22 @@ type couplingJSON struct {
 
 func main() {
 	var (
-		in     = flag.String("in", "", "JSON problem file")
-		demo   = flag.String("demo", "", "built-in instance: ring, spinglass")
-		demoN  = flag.Int("demo-n", 11, "demo instance size")
-		solver = flag.String("solver", "bsb", "solver: bsb, asb, dsb, sa")
-		steps  = flag.Int("steps", 2000, "SB iterations / SA sweeps")
-		dt     = flag.Float64("dt", 0, "SB time step (0 = variant default)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		stop   = flag.Bool("stop", false, "enable the dynamic stop criterion")
-		fIter  = flag.Int("f", 20, "dynamic stop: sample every f iterations")
-		sWin   = flag.Int("s", 20, "dynamic stop: variance window size")
-		eps    = flag.Float64("eps", 1e-8, "dynamic stop: variance threshold")
-		tStart = flag.Float64("tstart", 2.0, "SA start temperature")
-		tEnd   = flag.Float64("tend", 1e-3, "SA end temperature")
-		csv    = flag.String("tracecsv", "", "write the sampled energy trace as CSV to this file (SB only)")
+		in       = flag.String("in", "", "JSON problem file")
+		demo     = flag.String("demo", "", "built-in instance: ring, spinglass")
+		demoN    = flag.Int("demo-n", 11, "demo instance size")
+		solver   = flag.String("solver", "bsb", "solver: bsb, asb, dsb, sa")
+		steps    = flag.Int("steps", 2000, "SB iterations / SA sweeps")
+		dt       = flag.Float64("dt", 0, "SB time step (0 = variant default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		replicas = flag.Int("replicas", 1, "SB replicas: independent trajectories, best kept")
+		workers  = flag.Int("workers", 0, "concurrent SB replicas (0 = GOMAXPROCS)")
+		stop     = flag.Bool("stop", false, "enable the dynamic stop criterion")
+		fIter    = flag.Int("f", 20, "dynamic stop: sample every f iterations")
+		sWin     = flag.Int("s", 20, "dynamic stop: variance window size")
+		eps      = flag.Float64("eps", 1e-8, "dynamic stop: variance threshold")
+		tStart   = flag.Float64("tstart", 2.0, "SA start temperature")
+		tEnd     = flag.Float64("tend", 1e-3, "SA end temperature")
+		csv      = flag.String("tracecsv", "", "write the sampled energy trace as CSV to this file (SB only)")
 	)
 	flag.Parse()
 
@@ -82,11 +85,13 @@ func main() {
 			variant = isinglut.DiscreteSB
 		}
 		opts := isinglut.SBOptions{
-			Variant: variant,
-			Steps:   *steps,
-			Dt:      *dt,
-			Seed:    *seed,
-			Trace:   *csv != "",
+			Variant:  variant,
+			Steps:    *steps,
+			Dt:       *dt,
+			Seed:     *seed,
+			Trace:    *csv != "",
+			Replicas: *replicas,
+			Workers:  *workers,
 		}
 		if variant == isinglut.AdiabaticSB && *dt == 0 {
 			opts.Dt = 0.5 // aSB stability limit
@@ -185,6 +190,9 @@ func report(solver string, res isinglut.IsingResult) {
 	fmt.Printf("solver     : %s\n", solver)
 	fmt.Printf("energy     : %.6f\n", res.Energy)
 	fmt.Printf("iterations : %d\n", res.Iterations)
+	if res.Replicas > 1 {
+		fmt.Printf("replicas   : %d (%d stopped early)\n", res.Replicas, res.EarlyStops)
+	}
 	if res.Stopped {
 		fmt.Println("stopped    : dynamic stop criterion fired")
 	}

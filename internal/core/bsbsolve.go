@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"isinglut/internal/bitvec"
 	"isinglut/internal/decomp"
 	"isinglut/internal/sb"
@@ -33,7 +35,16 @@ type Solution struct {
 	Setting *decomp.ColSetting
 	Cost    float64   // objective value (SettingCost of Setting)
 	SB      sb.Result // underlying SB run diagnostics
+	// Batch holds the per-replica portfolio when the solve ran as a batch
+	// (SolveBSBBatch); nil for single-trajectory solves.
+	Batch *sb.Stats
 }
+
+// wsPool recycles SB workspaces across core-COP solves. The DALTA outer
+// loop performs P*R*m solves per run — with candidate partitions fanned
+// out over a worker pool, each pool goroutine ends up reusing a warm
+// workspace instead of reallocating the oscillator state per solve.
+var wsPool = sync.Pool{New: func() any { return new(sb.Workspace) }}
 
 // SolveBSB solves the column-based core COP with the proposed method:
 // formulate as a second-order Ising model and search with ballistic
@@ -48,7 +59,10 @@ func SolveBSB(cop *COP, opts SolverOptions) Solution {
 	if opts.Theorem3 {
 		params.OnSample = theorem3Hook(f)
 	}
-	res := sb.Solve(f.Problem, params)
+	ws := wsPool.Get().(*sb.Workspace)
+	res := sb.SolveWith(f.Problem, params, ws)
+	res.Spins = append([]int8(nil), res.Spins...) // own the spins before the workspace is recycled
+	wsPool.Put(ws)
 	setting := f.DecodeSpins(res.Spins)
 	return Solution{
 		Setting: setting,
@@ -97,11 +111,12 @@ func SolveBSBBatch(cop *COP, opts SolverOptions, replicas, workers int) Solution
 			return theorem3Hook(f)
 		}
 	}
-	res := sb.SolveBatch(f.Problem, bp)
+	res, stats := sb.SolveBatch(f.Problem, bp)
 	setting := f.DecodeSpins(res.Spins)
 	return Solution{
 		Setting: setting,
 		Cost:    cop.SettingCost(setting),
 		SB:      res,
+		Batch:   &stats,
 	}
 }

@@ -41,6 +41,12 @@ type Scale struct {
 	// StopF/StopS/Epsilon configure the dynamic stop criterion.
 	StopF, StopS int
 	Epsilon      float64
+	// Workers fans each component's P candidate-partition solves out over
+	// a bounded worker pool (0 or 1 = serial). Rows are bit-identical to a
+	// serial run for a fixed seed — only wall-clock changes — because the
+	// per-partition solver seeds are drawn up front and the best candidate
+	// is merged in deterministic partition-index order.
+	Workers int
 }
 
 // PaperScale reproduces the paper's experimental budgets (Section 4):
@@ -191,6 +197,7 @@ func Run(cfg Config) ([]Row, error) {
 				Mode:       cfg.Mode,
 				Solver:     solver,
 				Seed:       cfg.Seed,
+				Workers:    cfg.Scale.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", name, method, err)

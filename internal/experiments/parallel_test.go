@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"isinglut/internal/core"
+)
+
+// runRows executes one small Table-1-style sweep at the given worker
+// count and strips the wall-clock column (the only field allowed to vary
+// across worker counts).
+func runRows(t *testing.T, n, freeSize, workers int, benchmarks []string) []Row {
+	t.Helper()
+	scale := QuickScale(n)
+	scale.Partitions = 4
+	scale.Rounds = 1
+	scale.Workers = workers
+	cfg := Config{
+		N: n, FreeSize: freeSize,
+		Mode:       core.Joint,
+		Scale:      scale,
+		Seed:       7,
+		Benchmarks: benchmarks,
+		Methods:    []string{"proposed"},
+	}
+	rows, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	for i := range rows {
+		rows[i].Seconds = 0
+	}
+	return rows
+}
+
+// TestWorkersDeterminism: the candidate-partition worker pool must not
+// change any result — for a fixed seed the experiment rows are identical
+// for Workers = 1, 2, and 8 (only wall-clock may differ). Run under
+// -race this also exercises the pool for data races.
+func TestWorkersDeterminism(t *testing.T) {
+	serial := runRows(t, 9, 4, 1, []string{"erf"})
+	if len(serial) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, workers := range []int{2, 8} {
+		rows := runRows(t, 9, 4, workers, []string{"erf"})
+		if len(rows) != len(serial) {
+			t.Fatalf("workers=%d: %d rows, serial has %d", workers, len(rows), len(serial))
+		}
+		for i := range rows {
+			if rows[i] != serial[i] {
+				t.Errorf("workers=%d row %d: %+v != serial %+v", workers, i, rows[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestWorkersDeterminismFig4 repeats the check at the Fig-4 scale
+// (n = 16, joint mode) where partitions per round and component counts
+// are larger; skipped in -short mode.
+func TestWorkersDeterminismFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4-scale determinism check skipped in short mode")
+	}
+	serial := runRows(t, 16, 7, 1, []string{"gaussian"})
+	if len(serial) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, workers := range []int{4} {
+		rows := runRows(t, 16, 7, workers, []string{"gaussian"})
+		if len(rows) != len(serial) {
+			t.Fatalf("workers=%d: %d rows, serial has %d", workers, len(rows), len(serial))
+		}
+		for i := range rows {
+			if rows[i] != serial[i] {
+				t.Errorf("workers=%d row %d: %+v != serial %+v", workers, i, rows[i], serial[i])
+			}
+		}
+	}
+}

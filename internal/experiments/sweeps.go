@@ -45,6 +45,7 @@ func FreeSizeSweep(bench string, n, min, max int, scale Scale, seed int64) ([]Sw
 			Mode:       core.Joint,
 			Solver:     solver,
 			Seed:       seed,
+			Workers:    scale.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: free size %d: %w", free, err)
@@ -83,6 +84,7 @@ func OverlapSweep(bench string, n, freeSize, max int, scale Scale, seed int64) (
 			Mode:       core.Joint,
 			Solver:     solver,
 			Seed:       seed,
+			Workers:    scale.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: overlap %d: %w", overlap, err)

@@ -65,26 +65,48 @@ func (p *Problem) Bias(i int) float64 {
 // Energy evaluates Eq. 1 on a ±1 spin vector (Offset not included).
 func (p *Problem) Energy(sigma []int8) float64 {
 	n := p.N()
+	return p.EnergySpinsInto(sigma, make([]float64, n), make([]float64, n))
+}
+
+// EnergySpinsInto evaluates Eq. 1 on a ±1 spin vector using caller-owned
+// scratch: xs receives the float64 view of sigma and scratch the field
+// product, both length N. The call performs no heap allocations, so
+// solver hot loops can evaluate sampled spin states for free.
+func (p *Problem) EnergySpinsInto(sigma []int8, xs, scratch []float64) float64 {
+	n := p.N()
 	if len(sigma) != n {
 		panic(fmt.Sprintf("ising: spin vector length %d != N=%d", len(sigma), n))
 	}
-	x := make([]float64, n)
-	for i, s := range sigma {
-		x[i] = float64(s)
+	if len(xs) != n || len(scratch) != n {
+		panic(fmt.Sprintf("ising: scratch lengths %d/%d != N=%d", len(xs), len(scratch), n))
 	}
-	return p.EnergyContinuous(x)
+	for i, s := range sigma {
+		xs[i] = float64(s)
+	}
+	return p.EnergyContinuousInto(xs, scratch)
 }
 
 // EnergyContinuous evaluates Eq. 1 treating x as real-valued spins. SB
 // monitors this on sign-rounded positions; the quadratic form uses the
 // coupler's Field product so it costs one mat-vec.
 func (p *Problem) EnergyContinuous(x []float64) float64 {
+	return p.EnergyContinuousInto(x, make([]float64, p.N()))
+}
+
+// EnergyContinuousInto is EnergyContinuous with a caller-owned scratch
+// buffer (length N) for the field product; it performs no heap
+// allocations. Both couplers route their energy evaluations through this
+// single mat-vec, so the cost is one Field call regardless of structure.
+// scratch must not alias x.
+func (p *Problem) EnergyContinuousInto(x, scratch []float64) float64 {
 	n := p.N()
-	field := make([]float64, n)
-	p.Coup.Field(x, field)
+	if len(x) != n || len(scratch) != n {
+		panic(fmt.Sprintf("ising: vector lengths %d/%d != N=%d", len(x), len(scratch), n))
+	}
+	p.Coup.Field(x, scratch)
 	e := 0.0
 	for i := 0; i < n; i++ {
-		e -= 0.5 * field[i] * x[i]
+		e -= 0.5 * scratch[i] * x[i]
 		e -= p.Bias(i) * x[i]
 	}
 	return e
@@ -99,15 +121,23 @@ func (p *Problem) ObjectiveValue(sigma []int8) float64 {
 // SignsOf rounds continuous positions to ±1 spins (0 rounds to +1,
 // matching "the spin state indicated by the sign of position values").
 func SignsOf(x []float64) []int8 {
-	s := make([]int8, len(x))
+	return SignsInto(x, make([]int8, len(x)))
+}
+
+// SignsInto is SignsOf writing into a caller-owned slice (len(dst) must
+// equal len(x)); it performs no heap allocations and returns dst.
+func SignsInto(x []float64, dst []int8) []int8 {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("ising: SignsInto dst length %d != %d", len(dst), len(x)))
+	}
 	for i, v := range x {
 		if v < 0 {
-			s[i] = -1
+			dst[i] = -1
 		} else {
-			s[i] = 1
+			dst[i] = 1
 		}
 	}
-	return s
+	return dst
 }
 
 // BruteForce exhaustively searches all 2^N spin assignments and returns a

@@ -222,3 +222,103 @@ func TestEnergyLengthPanics(t *testing.T) {
 	}()
 	p.Energy([]int8{1, 1})
 }
+
+// TestEnergyContinuousIntoMatches: the scratch-based energy evaluation
+// must agree exactly with the allocating one on both coupler types.
+func TestEnergyContinuousIntoMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d, h := randomDense(8, rng)
+	b := NewBipartite(3, 5)
+	for u := 0; u < 3; u++ {
+		for w := 0; w < 5; w++ {
+			b.SetCross(u, w, rng.NormFloat64())
+		}
+	}
+	for _, p := range []*Problem{
+		mustProblem(d, h),
+		mustProblem(b, h),
+	} {
+		n := p.N()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		scratch := make([]float64, n)
+		if got, want := p.EnergyContinuousInto(x, scratch), p.EnergyContinuous(x); got != want {
+			t.Fatalf("EnergyContinuousInto = %g, EnergyContinuous = %g", got, want)
+		}
+		sigma := SignsOf(x)
+		xs := make([]float64, n)
+		if got, want := p.EnergySpinsInto(sigma, xs, scratch), p.Energy(sigma); got != want {
+			t.Fatalf("EnergySpinsInto = %g, Energy = %g", got, want)
+		}
+	}
+}
+
+func mustProblem(c Coupler, h []float64) *Problem {
+	p, err := NewProblem(c, h, 0)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestEnergyContinuousIntoZeroAllocs pins the hot-path contract for both
+// coupler types: an energy evaluation with caller-owned scratch performs
+// no heap allocations.
+func TestEnergyContinuousIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d, h := randomDense(16, rng)
+	bip := NewBipartite(6, 10)
+	for u := 0; u < 6; u++ {
+		for w := 0; w < 10; w++ {
+			bip.SetCross(u, w, rng.NormFloat64())
+		}
+	}
+	for name, p := range map[string]*Problem{
+		"dense":     mustProblem(d, h),
+		"bipartite": mustProblem(bip, h),
+	} {
+		n := p.N()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+		}
+		scratch := make([]float64, n)
+		sigma := make([]int8, n)
+		xs := make([]float64, n)
+		var sink float64
+		if allocs := testing.AllocsPerRun(20, func() {
+			sink += p.EnergyContinuousInto(x, scratch)
+		}); allocs != 0 {
+			t.Errorf("%s: EnergyContinuousInto allocates %.1f times per call, want 0", name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(20, func() {
+			SignsInto(x, sigma)
+			sink += p.EnergySpinsInto(sigma, xs, scratch)
+		}); allocs != 0 {
+			t.Errorf("%s: SignsInto+EnergySpinsInto allocates %.1f times per call, want 0", name, allocs)
+		}
+		_ = sink
+	}
+}
+
+// TestSignsInto: shared rounding semantics with SignsOf (0 rounds to +1)
+// and dimension validation.
+func TestSignsInto(t *testing.T) {
+	x := []float64{-0.5, 0, 3, -1e-12}
+	dst := make([]int8, 4)
+	got := SignsInto(x, dst)
+	want := SignsOf(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SignsInto[%d] = %d, SignsOf = %d", i, got[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	SignsInto(x, make([]int8, 3))
+}

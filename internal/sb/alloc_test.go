@@ -1,0 +1,66 @@
+package sb
+
+import (
+	"testing"
+)
+
+// TestSolveWithZeroAllocs pins the workspace contract: once the workspace
+// has warmed up to the problem size, SolveWith performs zero heap
+// allocations per run — across all three variants and with the dynamic
+// stop criterion (whose ring buffer lives in the workspace) engaged.
+func TestSolveWithZeroAllocs(t *testing.T) {
+	p := randomProblem(24, 9)
+	for _, v := range []Variant{Ballistic, Adiabatic, Discrete} {
+		params := DefaultParamsFor(v)
+		params.Steps = 200
+		params.Stop = &StopCriteria{F: 10, S: 5, Epsilon: 1e-12}
+		params.Seed = 3
+		ws := NewWorkspace(p.N())
+		SolveWith(p, params, ws) // warm up
+		allocs := testing.AllocsPerRun(20, func() {
+			SolveWith(p, params, ws)
+		})
+		if allocs != 0 {
+			t.Errorf("%v: SolveWith allocates %.1f times per run, want 0", v, allocs)
+		}
+	}
+}
+
+// TestSolveWithZeroAllocsAcrossSeeds re-seeds between runs (the batch
+// solver's access pattern: one workspace, many replica seeds) — reseeding
+// the workspace RNG must not allocate either.
+func TestSolveWithZeroAllocsAcrossSeeds(t *testing.T) {
+	p := randomProblem(16, 11)
+	params := DefaultParams()
+	params.Steps = 150
+	ws := NewWorkspace(p.N())
+	SolveWith(p, params, ws) // warm up
+	seed := int64(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		params.Seed = seed
+		seed++
+		SolveWith(p, params, ws)
+	})
+	if allocs != 0 {
+		t.Errorf("SolveWith allocates %.1f times per run across seeds, want 0", allocs)
+	}
+}
+
+// TestWorkspaceGrowsAndShrinks: one workspace must serve problems of
+// different sizes (the core-COP pool reuses workspaces across COP shapes).
+func TestWorkspaceGrowsAndShrinks(t *testing.T) {
+	ws := new(Workspace)
+	params := DefaultParams()
+	params.Steps = 100
+	for _, n := range []int{6, 12, 4} {
+		p := randomProblem(n, int64(n))
+		res := SolveWith(p, params, ws)
+		if len(res.Spins) != n {
+			t.Fatalf("n=%d: %d spins", n, len(res.Spins))
+		}
+		want := Solve(p, params)
+		if res.Energy != want.Energy {
+			t.Fatalf("n=%d: reused workspace energy %g != fresh %g", n, res.Energy, want.Energy)
+		}
+	}
+}

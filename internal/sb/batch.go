@@ -18,7 +18,8 @@ type BatchParams struct {
 	// Replicas is the number of independent trajectories (default 4).
 	Replicas int
 	// Workers bounds the number of concurrent replicas (default
-	// GOMAXPROCS).
+	// GOMAXPROCS). Each worker owns one Workspace reused across all
+	// replicas it runs, so a batch allocates per worker, not per replica.
 	Workers int
 	// MakeOnSample, when non-nil, builds a fresh sample hook per replica
 	// so hooks with scratch state (like the Theorem-3 intervention) can
@@ -26,10 +27,44 @@ type BatchParams struct {
 	MakeOnSample func(replica int) func(iter int, x, y []float64)
 }
 
+// Stats reports the full replica portfolio of one SolveBatch call, so
+// callers can see the spread behind the winner: how tight the energy
+// distribution is, how many replicas the dynamic stop cut short, and how
+// much iteration budget the batch actually consumed.
+type Stats struct {
+	// Replicas is the number of trajectories run.
+	Replicas int
+	// Energies holds each replica's best rounded energy, indexed by
+	// replica.
+	Energies []float64
+	// Iterations holds each replica's executed Euler steps.
+	Iterations []int
+	// EarlyStopped marks the replicas whose dynamic stop criterion fired;
+	// EarlyStops is their count.
+	EarlyStopped []bool
+	EarlyStops   int
+	// BestReplica is the index of the winning replica (lowest energy,
+	// ties toward the lowest index).
+	BestReplica int
+}
+
+// TotalIterations sums the executed Euler steps across replicas — the
+// batch's whole iteration bill, for budget accounting.
+func (s Stats) TotalIterations() int {
+	total := 0
+	for _, it := range s.Iterations {
+		total += it
+	}
+	return total
+}
+
 // SolveBatch runs Replicas independent SB trajectories concurrently and
 // returns the best result (ties broken toward the lowest replica index,
-// so results are deterministic for a fixed Base.Seed).
-func SolveBatch(p *ising.Problem, bp BatchParams) Result {
+// so results are deterministic for a fixed Base.Seed) together with the
+// per-replica statistics. Each worker goroutine reuses one Workspace
+// across its replicas, so the batch performs O(workers) allocations
+// rather than O(replicas).
+func SolveBatch(p *ising.Problem, bp BatchParams) (Result, Stats) {
 	replicas := bp.Replicas
 	if replicas <= 0 {
 		replicas = 4
@@ -48,30 +83,72 @@ func SolveBatch(p *ising.Problem, bp BatchParams) Result {
 		workers = 1
 	}
 
-	results := make([]Result, replicas)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for r := 0; r < replicas; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			params := bp.Base
-			params.Seed = bp.Base.Seed + int64(r)
-			if bp.MakeOnSample != nil {
-				params.OnSample = bp.MakeOnSample(r)
-			}
-			results[r] = Solve(p, params)
-		}(r)
+	stats := Stats{
+		Replicas:     replicas,
+		Energies:     make([]float64, replicas),
+		Iterations:   make([]int, replicas),
+		EarlyStopped: make([]bool, replicas),
 	}
+
+	// Each worker keeps only its local winner (with spins copied out of
+	// the reused workspace); the final merge across workers re-applies the
+	// same (energy, replica index) order a serial scan would use.
+	type localBest struct {
+		replica int
+		res     Result
+	}
+	bests := make([]localBest, workers)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := NewWorkspace(p.N())
+			var spinsBuf []int8
+			local := localBest{replica: -1}
+			for r := range next {
+				params := bp.Base
+				params.Seed = bp.Base.Seed + int64(r)
+				if bp.MakeOnSample != nil {
+					params.OnSample = bp.MakeOnSample(r)
+				}
+				res := SolveWith(p, params, ws)
+				stats.Energies[r] = res.Energy
+				stats.Iterations[r] = res.Iterations
+				stats.EarlyStopped[r] = res.StoppedEarly
+				// Replicas arrive in increasing order per worker, so a
+				// strict < keeps the lowest index among equal energies.
+				if local.replica < 0 || res.Energy < local.res.Energy {
+					spinsBuf = append(spinsBuf[:0], res.Spins...)
+					res.Spins = spinsBuf
+					local = localBest{replica: r, res: res}
+				}
+			}
+			bests[w] = local
+		}(w)
+	}
+	for r := 0; r < replicas; r++ {
+		next <- r
+	}
+	close(next)
 	wg.Wait()
 
-	best := results[0]
-	for _, res := range results[1:] {
-		if res.Energy < best.Energy {
-			best = res
+	best := localBest{replica: -1}
+	for _, b := range bests {
+		if b.replica < 0 {
+			continue
+		}
+		if best.replica < 0 || b.res.Energy < best.res.Energy ||
+			(b.res.Energy == best.res.Energy && b.replica < best.replica) {
+			best = b
 		}
 	}
-	return best
+	stats.BestReplica = best.replica
+	for _, stopped := range stats.EarlyStopped {
+		if stopped {
+			stats.EarlyStops++
+		}
+	}
+	return best.res, stats
 }

@@ -11,12 +11,31 @@ func TestSolveBatchAtLeastSingle(t *testing.T) {
 	base := DefaultParams()
 	base.Steps = 400
 	single := Solve(p, base)
-	batch := SolveBatch(p, BatchParams{Base: base, Replicas: 6, Workers: 3})
+	batch, stats := SolveBatch(p, BatchParams{Base: base, Replicas: 6, Workers: 3})
 	if batch.Energy > single.Energy+1e-12 {
 		t.Fatalf("batch %g worse than its first replica %g", batch.Energy, single.Energy)
 	}
 	if math.Abs(p.Energy(batch.Spins)-batch.Energy) > 1e-9 {
 		t.Fatal("batch energy does not match spins")
+	}
+	if stats.Replicas != 6 || len(stats.Energies) != 6 || len(stats.Iterations) != 6 {
+		t.Fatalf("stats shape %+v", stats)
+	}
+	// Replica 0 reuses the single-run seed, so its stats entry must match.
+	if stats.Energies[0] != single.Energy {
+		t.Fatalf("replica 0 energy %g != single run %g", stats.Energies[0], single.Energy)
+	}
+	for r, e := range stats.Energies {
+		if e < batch.Energy-1e-12 {
+			t.Fatalf("replica %d energy %g below reported winner %g", r, e, batch.Energy)
+		}
+	}
+	if stats.Energies[stats.BestReplica] != batch.Energy {
+		t.Fatalf("BestReplica %d energy %g != winner %g",
+			stats.BestReplica, stats.Energies[stats.BestReplica], batch.Energy)
+	}
+	if stats.TotalIterations() < 6*400 {
+		t.Fatalf("total iterations %d below 6 full runs", stats.TotalIterations())
 	}
 }
 
@@ -25,16 +44,29 @@ func TestSolveBatchDeterministic(t *testing.T) {
 	base := DefaultParams()
 	base.Steps = 300
 	bp := BatchParams{Base: base, Replicas: 5, Workers: 4}
-	a := SolveBatch(p, bp)
-	b := SolveBatch(p, bp)
+	a, as := SolveBatch(p, bp)
+	b, bs := SolveBatch(p, bp)
 	if a.Energy != b.Energy {
 		t.Fatal("batch not deterministic")
 	}
-	// And identical to a serial batch.
+	// And identical to a serial batch, stats included.
 	bp.Workers = 1
-	c := SolveBatch(p, bp)
+	c, cs := SolveBatch(p, bp)
 	if a.Energy != c.Energy {
 		t.Fatal("parallel batch differs from serial batch")
+	}
+	if as.BestReplica != cs.BestReplica || as.BestReplica != bs.BestReplica {
+		t.Fatalf("winning replica varies: %d/%d/%d", as.BestReplica, bs.BestReplica, cs.BestReplica)
+	}
+	for r := range as.Energies {
+		if as.Energies[r] != cs.Energies[r] || as.Iterations[r] != cs.Iterations[r] {
+			t.Fatalf("replica %d stats differ between parallel and serial", r)
+		}
+	}
+	for i := range a.Spins {
+		if a.Spins[i] != c.Spins[i] {
+			t.Fatal("parallel batch spins differ from serial batch")
+		}
 	}
 }
 
@@ -42,9 +74,12 @@ func TestSolveBatchDefaults(t *testing.T) {
 	p := randomProblem(8, 5)
 	base := DefaultParams()
 	base.Steps = 200
-	res := SolveBatch(p, BatchParams{Base: base}) // default replicas/workers
+	res, stats := SolveBatch(p, BatchParams{Base: base}) // default replicas/workers
 	if len(res.Spins) != 8 {
 		t.Fatal("no result from default batch")
+	}
+	if stats.Replicas != 4 {
+		t.Fatalf("default replicas %d, want 4", stats.Replicas)
 	}
 }
 
@@ -58,7 +93,7 @@ func TestSolveBatchSharedHookSerializes(t *testing.T) {
 	base.SampleEvery = 10
 	calls := 0 // deliberately not atomic: safe only if serialized
 	base.OnSample = func(int, []float64, []float64) { calls++ }
-	SolveBatch(p, BatchParams{Base: base, Replicas: 4, Workers: 4})
+	_, _ = SolveBatch(p, BatchParams{Base: base, Replicas: 4, Workers: 4})
 	if calls == 0 {
 		t.Fatal("hook never ran")
 	}
@@ -78,7 +113,7 @@ func TestSolveBatchHookFactoryParallel(t *testing.T) {
 			return func(int, []float64, []float64) { atomic.AddInt64(&calls, 1) }
 		},
 	}
-	SolveBatch(p, bp)
+	_, _ = SolveBatch(p, bp)
 	if atomic.LoadInt64(&calls) == 0 {
 		t.Fatal("factory hooks never ran")
 	}

@@ -26,7 +26,6 @@ package sb
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"isinglut/internal/ising"
 )
@@ -97,6 +96,11 @@ type Params struct {
 	// SampleEvery controls how often the solver evaluates the rounded
 	// solution for best-so-far tracking and invokes OnSample. Zero derives
 	// it from Stop.F, or disables mid-run sampling when Stop is nil.
+	//
+	// SampleEvery is independent of the stop criterion: the §3.3.1 window
+	// is always pushed every Stop.F iterations, so setting SampleEvery to
+	// a different cadence changes only how often the rounded solution is
+	// inspected, never the effective F (a regression test pins this).
 	SampleEvery int
 	// OnSample, when non-nil, is called at each sample point before energy
 	// evaluation and may mutate x and y in place (the Theorem-3 heuristic).
@@ -152,8 +156,23 @@ type Result struct {
 }
 
 // Solve runs simulated bifurcation on the problem and returns the best
-// spin state seen at any sample point or at termination.
+// spin state seen at any sample point or at termination. It allocates a
+// fresh Workspace; callers in a hot loop should hold one and use
+// SolveWith.
 func Solve(p *ising.Problem, params Params) Result {
+	return SolveWith(p, params, NewWorkspace(p.N()))
+}
+
+// SolveWith is Solve running entirely inside the caller-owned workspace:
+// after the workspace has warmed up to the problem size it performs zero
+// heap allocations per run (pinned by the allocation-regression test),
+// except that Params.RecordTrace grows the per-run trace slice and a
+// caller-supplied OnSample hook may of course allocate on its own.
+//
+// Result.Spins aliases workspace memory and is only valid until the next
+// SolveWith call on the same workspace; copy it to keep it. Results are
+// bit-identical to Solve for equal parameters and seed.
+func SolveWith(p *ising.Problem, params Params, ws *Workspace) Result {
 	n := p.N()
 	if params.Steps <= 0 {
 		panic("sb: Steps must be positive")
@@ -177,57 +196,61 @@ func Solve(p *ising.Problem, params Params) Result {
 			sampleEvery = 0 // no mid-run sampling
 		}
 	}
+	stopF := 0
 	minIters := 0
 	if params.Stop != nil {
 		if params.Stop.F <= 0 || params.Stop.S <= 1 {
 			panic("sb: StopCriteria needs F >= 1 and S >= 2")
 		}
+		stopF = params.Stop.F
 		minIters = params.Stop.MinIters
 		if minIters <= 0 {
 			minIters = params.Steps / 2
 		}
 	}
 
-	rng := rand.New(rand.NewSource(params.Seed))
-	x := make([]float64, n)
-	y := make([]float64, n)
-	field := make([]float64, n)
-	signs := make([]float64, n) // scratch for dSB
+	ws.ensure(n)
+	ws.window.reset(windowSize(params))
+	ws.rng.Seed(params.Seed)
+	x, y, field, signs := ws.x, ws.y, ws.field, ws.signs
 	for i := range y {
-		y[i] = (rng.Float64()*2 - 1) * params.InitAmplitude
-		x[i] = (rng.Float64()*2 - 1) * params.InitAmplitude * 0.01
+		y[i] = (ws.rng.Float64()*2 - 1) * params.InitAmplitude
+		x[i] = (ws.rng.Float64()*2 - 1) * params.InitAmplitude * 0.01
 	}
 
 	res := Result{}
-	best := make([]int8, n)
 	bestE := math.Inf(1)
-	window := newEnergyWindow(windowSize(params))
+	lastSampled := -1
 
-	evaluate := func(iter int) bool {
+	// sample inspects the rounded solution at iteration iter: run the
+	// OnSample hook, track the best rounded state, record the trace.
+	sample := func(iter int) {
 		if params.OnSample != nil {
 			params.OnSample(iter, x, y)
 		}
-		spins := ising.SignsOf(x)
-		e := p.Energy(spins)
+		ising.SignsInto(x, ws.spins)
+		e := p.EnergySpinsInto(ws.spins, ws.xspin, ws.field)
 		res.Samples++
 		if params.RecordTrace {
 			res.Trace = append(res.Trace, e)
 		}
 		if e < bestE {
 			bestE = e
-			copy(best, spins)
+			copy(ws.best, ws.spins)
 		}
-		if params.Stop != nil {
-			// The stop window monitors the continuous oscillator-network
-			// energy, not the rounded spin energy: the rounded energy
-			// plateaus for long stretches while the positions still move
-			// toward a better basin, so testing it would stop too early.
-			window.push(p.EnergyContinuous(x))
-			if iter >= minIters && window.full() && window.variance() < params.Stop.Epsilon {
-				return true
-			}
-		}
-		return false
+		lastSampled = iter
+	}
+
+	// stopCheck pushes the §3.3.1 window at the Stop.F cadence — always at
+	// Stop.F, independent of SampleEvery, so tuning the sampling rate can
+	// never silently change the criterion's effective F. The window
+	// monitors the continuous oscillator-network energy, not the rounded
+	// spin energy: the rounded energy plateaus for long stretches while
+	// the positions still move toward a better basin, so testing it would
+	// stop too early.
+	stopCheck := func(iter int) bool {
+		ws.window.push(p.EnergyContinuousInto(x, ws.field))
+		return iter >= minIters && ws.window.full() && ws.window.variance() < params.Stop.Epsilon
 	}
 
 	dt := params.Dt
@@ -275,22 +298,24 @@ func Solve(p *ising.Problem, params Params) Result {
 			}
 		}
 
-		if sampleEvery > 0 && (iter+1)%sampleEvery == 0 {
-			if evaluate(iter + 1) {
-				iter++
-				res.StoppedEarly = true
-				break
-			}
+		it := iter + 1
+		if sampleEvery > 0 && it%sampleEvery == 0 {
+			sample(it)
+		}
+		if stopF > 0 && it%stopF == 0 && stopCheck(it) {
+			iter++
+			res.StoppedEarly = true
+			break
 		}
 	}
 
-	// Final evaluation (covers runs with no mid-run sampling and the last
-	// partial window).
-	if !res.StoppedEarly {
-		evaluate(iter)
+	// Final evaluation (covers runs with no mid-run sampling, termination
+	// between sample points, and a stop fired off the sampling cadence).
+	if lastSampled != iter {
+		sample(iter)
 	}
 
-	res.Spins = best
+	res.Spins = ws.best
 	res.Energy = bestE
 	res.Objective = bestE + p.Offset
 	res.Iterations = iter
@@ -325,7 +350,23 @@ type energyWindow struct {
 }
 
 func newEnergyWindow(size int) *energyWindow {
-	return &energyWindow{buf: make([]float64, size), size: size}
+	w := &energyWindow{}
+	w.reset(size)
+	return w
+}
+
+// reset re-sizes the window for a new run, reusing the buffer when its
+// capacity suffices (the Workspace reuse path).
+func (w *energyWindow) reset(size int) {
+	if cap(w.buf) < size {
+		w.buf = make([]float64, size)
+	}
+	w.buf = w.buf[:size]
+	w.size = size
+	w.count = 0
+	w.head = 0
+	w.sum = 0
+	w.sumSq = 0
 }
 
 func (w *energyWindow) push(e float64) {

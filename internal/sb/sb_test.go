@@ -323,6 +323,78 @@ func TestSolveBoundedEnergy(t *testing.T) {
 	}
 }
 
+// TestStopCadenceIndependentOfSampleEvery: the §3.3.1 window must be
+// pushed every Stop.F iterations regardless of SampleEvery. Before the
+// fix, an explicit SampleEvery re-timed the window pushes and silently
+// changed the criterion's effective F; without an OnSample hook the
+// dynamics are identical across sampling rates, so the stop iteration
+// must be too.
+func TestStopCadenceIndependentOfSampleEvery(t *testing.T) {
+	d := ising.NewDense(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			d.Set(i, j, 1)
+		}
+	}
+	p, _ := ising.NewProblem(d, nil, 0)
+	base := DefaultParams()
+	base.Steps = 100000
+	base.Stop = &StopCriteria{F: 10, S: 5, Epsilon: 1e-9, MinIters: 200}
+
+	ref := Solve(p, base) // SampleEvery derived from F
+	if !ref.StoppedEarly {
+		t.Fatal("reference run did not stop early")
+	}
+	for _, every := range []int{1, 7, 1000} {
+		params := base
+		params.SampleEvery = every
+		res := Solve(p, params)
+		if !res.StoppedEarly {
+			t.Fatalf("SampleEvery=%d: stop did not fire", every)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Errorf("SampleEvery=%d: stopped at %d, reference (F cadence) at %d — sampling rate changed the effective F",
+				every, res.Iterations, ref.Iterations)
+		}
+		if res.Iterations%base.Stop.F != 0 {
+			t.Errorf("SampleEvery=%d: stop iteration %d not on the F=%d cadence",
+				every, res.Iterations, base.Stop.F)
+		}
+		// The best state at the stop point must be captured even when the
+		// stop fires off the sampling cadence.
+		if res.Energy != ref.Energy {
+			t.Errorf("SampleEvery=%d: energy %g != reference %g", every, res.Energy, ref.Energy)
+		}
+	}
+}
+
+// TestSolveWithMatchesSolve: for equal parameters and seed the
+// workspace-reusing entry point must produce bit-identical results, even
+// when the workspace is warm from an unrelated run.
+func TestSolveWithMatchesSolve(t *testing.T) {
+	ws := NewWorkspace(0)
+	for seed := int64(0); seed < 4; seed++ {
+		p := randomProblem(10+int(seed), 30+seed)
+		for _, v := range []Variant{Ballistic, Adiabatic, Discrete} {
+			params := DefaultParamsFor(v)
+			params.Steps = 400
+			params.Seed = seed
+			params.Stop = &StopCriteria{F: 15, S: 4, Epsilon: 1e-10}
+			want := Solve(p, params)
+			got := SolveWith(p, params, ws) // ws warm from the previous iteration
+			if got.Energy != want.Energy || got.Iterations != want.Iterations ||
+				got.Samples != want.Samples || got.StoppedEarly != want.StoppedEarly {
+				t.Fatalf("seed %d %v: SolveWith %+v != Solve %+v", seed, v, got, want)
+			}
+			for i := range want.Spins {
+				if got.Spins[i] != want.Spins[i] {
+					t.Fatalf("seed %d %v: spin %d differs", seed, v, i)
+				}
+			}
+		}
+	}
+}
+
 // TestStopNeverFiresBeforeBurnIn: with an explicit MinIters the criterion
 // must not fire earlier even on a trivially flat landscape.
 func TestStopNeverFiresBeforeBurnIn(t *testing.T) {

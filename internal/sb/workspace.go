@@ -1,0 +1,60 @@
+package sb
+
+import (
+	"math/rand"
+)
+
+// Workspace owns every buffer an SB run needs: oscillator positions and
+// momenta, the local-field product, the dSB sign scratch, the rounded-spin
+// and energy-evaluation scratch, the best-so-far state, the dynamic-stop
+// ring buffer, and the reseedable RNG for initial conditions.
+//
+// A warm workspace makes SolveWith allocation-free, which matters because
+// the DALTA harness performs thousands of core-COP solves per run and the
+// batch solver runs many replicas per solve; the allocation-regression
+// test pins the zero-allocs property. A Workspace is NOT safe for
+// concurrent use — give each goroutine its own (SolveBatch does exactly
+// that, one per worker, reused across that worker's replicas).
+type Workspace struct {
+	x, y   []float64
+	field  []float64
+	signs  []float64 // dSB sign view of x
+	xspin  []float64 // float64 view of the rounded spins for energy evaluation
+	spins  []int8    // rounded spins at the current sample point
+	best   []int8    // best rounded spins seen this run
+	window energyWindow
+	rng    *rand.Rand
+}
+
+// NewWorkspace returns a workspace pre-sized for n-spin problems. The
+// workspace grows on demand, so sizing is an optimization, not a contract:
+// any Workspace (including the zero value via new(Workspace)) works for
+// any problem size.
+func NewWorkspace(n int) *Workspace {
+	ws := &Workspace{}
+	ws.ensure(n)
+	return ws
+}
+
+// ensure sizes every buffer for an n-spin run, reusing existing capacity.
+func (ws *Workspace) ensure(n int) {
+	if ws.rng == nil {
+		ws.rng = rand.New(rand.NewSource(0))
+	}
+	if cap(ws.x) < n {
+		ws.x = make([]float64, n)
+		ws.y = make([]float64, n)
+		ws.field = make([]float64, n)
+		ws.signs = make([]float64, n)
+		ws.xspin = make([]float64, n)
+		ws.spins = make([]int8, n)
+		ws.best = make([]int8, n)
+	}
+	ws.x = ws.x[:n]
+	ws.y = ws.y[:n]
+	ws.field = ws.field[:n]
+	ws.signs = ws.signs[:n]
+	ws.xspin = ws.xspin[:n]
+	ws.spins = ws.spins[:n]
+	ws.best = ws.best[:n]
+}

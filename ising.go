@@ -71,6 +71,13 @@ type SBOptions struct {
 	Epsilon     float64
 	// Trace records the sampled energies in the result.
 	Trace bool
+	// Replicas > 1 runs that many independent trajectories (seeds
+	// Seed, Seed+1, ...) and keeps the best — the software counterpart of
+	// SB hardware's parallel replica execution. Workers bounds their
+	// concurrency (0 = GOMAXPROCS); results are deterministic for a fixed
+	// seed regardless of Workers.
+	Replicas int
+	Workers  int
 }
 
 // IsingResult reports a standalone Ising solve.
@@ -83,6 +90,11 @@ type IsingResult struct {
 	// iteration period between samples.
 	Trace       []float64
 	SampleEvery int
+	// Replicas is the number of trajectories run (1 for a single solve);
+	// EarlyStops counts the replicas whose dynamic stop fired. For a batch
+	// the scalar fields above describe the winning replica.
+	Replicas   int
+	EarlyStops int
 }
 
 // SolveIsing searches the problem's ground state with simulated
@@ -116,7 +128,25 @@ func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
 			params.SampleEvery = 10
 		}
 	}
-	res := sb.Solve(p.problem(), params)
+	prob := p.problem()
+	replicas := 1
+	earlyStops := 0
+	var res sb.Result
+	if opts.Replicas > 1 {
+		batch, stats := sb.SolveBatch(prob, sb.BatchParams{
+			Base:     params,
+			Replicas: opts.Replicas,
+			Workers:  opts.Workers,
+		})
+		res = batch
+		replicas = stats.Replicas
+		earlyStops = stats.EarlyStops
+	} else {
+		res = sb.Solve(prob, params)
+		if res.StoppedEarly {
+			earlyStops = 1
+		}
+	}
 	sampleEvery := params.SampleEvery
 	if sampleEvery <= 0 && params.Stop != nil {
 		sampleEvery = params.Stop.F
@@ -131,6 +161,8 @@ func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
 		Stopped:     res.StoppedEarly,
 		Trace:       res.Trace,
 		SampleEvery: sampleEvery,
+		Replicas:    replicas,
+		EarlyStops:  earlyStops,
 	}, nil
 }
 
@@ -141,5 +173,5 @@ func AnnealIsing(p *IsingProblem, sweeps int, tStart, tEnd float64, seed int64) 
 		return IsingResult{}, fmt.Errorf("isinglut: invalid annealing schedule (sweeps=%d, T %g->%g)", sweeps, tStart, tEnd)
 	}
 	res := anneal.Solve(p.problem(), anneal.Params{Sweeps: sweeps, TStart: tStart, TEnd: tEnd, Seed: seed})
-	return IsingResult{Spins: res.Spins, Energy: res.Energy, Iterations: res.Sweeps}, nil
+	return IsingResult{Spins: res.Spins, Energy: res.Energy, Iterations: res.Sweeps, Replicas: 1}, nil
 }
