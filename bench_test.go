@@ -20,6 +20,7 @@
 package isinglut_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -55,7 +56,7 @@ func runFramework(b *testing.B, bench, method string, n, freeSize int, mode core
 	var med float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := dalta.Run(exact, dalta.Config{
+		out, err := dalta.Run(context.Background(), exact, dalta.Config{
 			Rounds:     scale.Rounds,
 			Partitions: scale.Partitions,
 			FreeSize:   freeSize,
@@ -136,7 +137,7 @@ func BenchmarkAblationDynamicStop(b *testing.B) {
 						opts.SB.Stop = nil
 						opts.SB.Steps = 1000
 					}
-					cost += core.SolveBSB(cop, opts).Cost
+					cost += core.SolveBSB(context.Background(), cop, opts).Cost
 				}
 			}
 			b.ReportMetric(cost, "cost")
@@ -156,7 +157,7 @@ func BenchmarkAblationTheorem3(b *testing.B) {
 				for _, cop := range cops {
 					opts := core.DefaultSolverOptions()
 					opts.Theorem3 = variant == "with-t3"
-					cost += core.SolveBSB(cop, opts).Cost
+					cost += core.SolveBSB(context.Background(), cop, opts).Cost
 				}
 			}
 			b.ReportMetric(cost, "cost")
@@ -176,7 +177,7 @@ func BenchmarkAblationSBVariant(b *testing.B) {
 				for _, cop := range cops {
 					params := sb.DefaultParamsFor(v)
 					params.Stop = &sb.StopCriteria{F: 20, S: 20, Epsilon: 1e-8}
-					sol := core.SolveBSB(cop, core.SolverOptions{SB: params, Theorem3: true})
+					sol := core.SolveBSB(context.Background(), cop, core.SolverOptions{SB: params, Theorem3: true})
 					cost += sol.Cost
 				}
 			}
@@ -189,7 +190,7 @@ func BenchmarkAblationSBVariant(b *testing.B) {
 			cost = 0
 			for _, cop := range cops {
 				f := core.Formulate(cop)
-				res := anneal.Solve(f.Problem, anneal.DefaultParams())
+				res := anneal.Solve(context.Background(), f.Problem, anneal.DefaultParams())
 				cost += cop.SettingCost(f.DecodeSpins(res.Spins))
 			}
 		}
@@ -210,7 +211,7 @@ func BenchmarkAblationRowVsColumn(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cost = 0
 			for _, cop := range cops {
-				cost += core.SolveBSB(cop, core.DefaultSolverOptions()).Cost
+				cost += core.SolveBSB(context.Background(), cop, core.DefaultSolverOptions()).Cost
 			}
 		}
 		b.ReportMetric(cost, "cost")
@@ -276,7 +277,7 @@ func BenchmarkCoreSolveN16(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cost = core.SolveBSB(cop, opts).Cost
+		cost = core.SolveBSB(context.Background(), cop, opts).Cost
 	}
 	b.ReportMetric(cost, "cost")
 }
@@ -293,7 +294,7 @@ func BenchmarkParallelWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_, err := dalta.Run(exact, dalta.Config{
+				_, err := dalta.Run(context.Background(), exact, dalta.Config{
 					Rounds:     1,
 					Partitions: 8,
 					FreeSize:   4,

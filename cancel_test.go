@@ -1,0 +1,88 @@
+package isinglut_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"isinglut"
+)
+
+// TestDecomposeContextTimeout drives the public cancellation surface end
+// to end: a deadline that expires mid-run yields a verified partial
+// decomposition with StopReason "deadline", and the un-interrupted call
+// reports "converged".
+func TestDecomposeContextTimeout(t *testing.T) {
+	exact, err := isinglut.Benchmark("exp", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := isinglut.DefaultOptions(9)
+	opts.Rounds = 2
+	opts.Partitions = 4
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := isinglut.DecomposeContext(ctx, exact, opts)
+	if err != nil {
+		t.Fatalf("interrupted Decompose returned error: %v", err)
+	}
+	if res.StopReason != "deadline" {
+		t.Fatalf("StopReason = %q, want %q", res.StopReason, "deadline")
+	}
+	if res.Design == nil || res.Approx == nil {
+		t.Fatal("interrupted Decompose returned incomplete result")
+	}
+
+	full, err := isinglut.Decompose(exact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.StopReason != "converged" {
+		t.Fatalf("full run StopReason = %q, want %q", full.StopReason, "converged")
+	}
+	if full.CoreSolves <= res.CoreSolves {
+		t.Fatalf("full run solved %d COPs, interrupted run %d", full.CoreSolves, res.CoreSolves)
+	}
+}
+
+// TestSolveIsingContextCancelled: the standalone Ising surface reports
+// the interruption and still returns a valid spin state.
+func TestSolveIsingContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 24
+	p := isinglut.NewIsingProblem(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p.SetCoupling(i, j, rng.NormFloat64())
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := isinglut.SolveIsingContext(ctx, p, isinglut.SBOptions{Steps: 100000, Replicas: 4})
+	if err != nil {
+		t.Fatalf("cancelled solve returned error: %v", err)
+	}
+	if res.StopReason != "cancelled" {
+		t.Fatalf("StopReason = %q, want %q", res.StopReason, "cancelled")
+	}
+	if len(res.Spins) != n {
+		t.Fatalf("got %d spins, want %d", len(res.Spins), n)
+	}
+	if got := p.Energy(res.Spins); got != res.Energy {
+		t.Fatalf("energy %g does not match spins (%g)", res.Energy, got)
+	}
+
+	// And the annealer surface.
+	ares, err := isinglut.AnnealIsingContext(ctx, p, 500, 2.0, 1e-3, 1)
+	if err != nil {
+		t.Fatalf("cancelled anneal returned error: %v", err)
+	}
+	if ares.StopReason != "cancelled" {
+		t.Fatalf("anneal StopReason = %q, want %q", ares.StopReason, "cancelled")
+	}
+	if len(ares.Spins) != n {
+		t.Fatalf("anneal returned %d spins, want %d", len(ares.Spins), n)
+	}
+}

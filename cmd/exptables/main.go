@@ -15,13 +15,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves /debug/pprof/* and /debug/vars
 	"os"
+	"os/signal"
 	"runtime"
+	"time"
 
 	"isinglut/internal/core"
 	"isinglut/internal/experiments"
+	"isinglut/internal/metrics"
 )
 
 func main() {
@@ -35,8 +42,20 @@ func main() {
 		csvPath  = flag.String("csv", "", "also write raw rows as CSV to this file")
 		baseline = flag.String("baseline", "dalta", "fig4 baseline method")
 		bench    = flag.String("bench", "erf", "benchmark for sweep/convergence experiments")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry the sweep stops at the next row boundary and the completed rows are rendered (0 = no limit)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar (incl. isinglut.metrics) on this address, e.g. localhost:6060")
+		showMet  = flag.Bool("metrics", false, "print the solver metrics snapshot to stderr on exit")
 	)
 	flag.Parse()
+
+	ctx, cancel := rootContext(*timeout)
+	defer cancel()
+	servePprof(*pprof)
+	if *showMet {
+		// Snapshot inside the closure: defer evaluates call arguments
+		// immediately, which would capture the pre-run (empty) registry.
+		defer func() { metrics.Render(os.Stderr, metrics.Snapshot()) }()
+	}
 
 	n := 9
 	if *exp == "fig4" {
@@ -58,7 +77,7 @@ func main() {
 	}
 
 	if *exp == "sweep" || *exp == "convergence" {
-		runAux(*exp, *bench, scale.Workers, *seed)
+		runAux(ctx, *exp, *bench, scale.Workers, *seed)
 		return
 	}
 
@@ -77,9 +96,12 @@ func main() {
 	fmt.Printf("experiment %s: n=%d |A|=%d mode=%s P=%d R=%d workers=%d\n\n",
 		*exp, cfg.N, cfg.FreeSize, cfg.Mode, scale.Partitions, scale.Rounds, scale.Workers)
 
-	rows, err := experiments.Run(cfg)
+	rows, err := experiments.Run(ctx, cfg)
 	if err != nil {
-		fatal(err)
+		if !interrupted(err) || len(rows) == 0 {
+			fatal(err)
+		}
+		fmt.Printf("run interrupted (%v): rendering the %d completed rows\n\n", err, len(rows))
 	}
 
 	if *exp == "fig4" {
@@ -103,26 +125,26 @@ func main() {
 
 // runAux handles the design-space experiments that do not fit the
 // benchmark x method row shape.
-func runAux(exp, bench string, workers int, seed int64) {
+func runAux(ctx context.Context, exp, bench string, workers int, seed int64) {
 	switch exp {
 	case "sweep":
 		scale := experiments.QuickScale(9)
 		scale.Workers = workers
 		fmt.Printf("free-set sweep for %s (n=9, joint, proposed)\n\n", bench)
-		rows, err := experiments.FreeSizeSweep(bench, 9, 2, 7, scale, seed)
-		if err != nil {
+		rows, err := experiments.FreeSizeSweep(ctx, bench, 9, 2, 7, scale, seed)
+		if err != nil && (!interrupted(err) || len(rows) == 0) {
 			fatal(err)
 		}
 		experiments.RenderSweep(os.Stdout, rows)
 		fmt.Printf("\noverlap sweep for %s (|A|=4)\n\n", bench)
-		orows, err := experiments.OverlapSweep(bench, 9, 4, 2, scale, seed)
-		if err != nil {
+		orows, err := experiments.OverlapSweep(ctx, bench, 9, 4, 2, scale, seed)
+		if err != nil && (!interrupted(err) || len(orows) == 0) {
 			fatal(err)
 		}
 		experiments.RenderSweep(os.Stdout, orows)
 	case "convergence":
 		fmt.Printf("bSB convergence on a %s core COP (n=9, k=4)\n\n", bench)
-		results, err := experiments.Convergence(bench, 9, 4, 4, seed)
+		results, err := experiments.Convergence(ctx, bench, 9, 4, 4, seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -130,6 +152,34 @@ func runAux(exp, bench string, workers int, seed int64) {
 			fmt.Printf("%-8s %s\n", r.Label, r.Summary)
 		}
 	}
+}
+
+// rootContext derives the command's context: cancelled by SIGINT, and by
+// the -timeout budget when one is set.
+func rootContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	if timeout <= 0 {
+		return ctx, cancel
+	}
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { tcancel(); cancel() }
+}
+
+// servePprof starts the diagnostics endpoint (pprof profiles plus expvar,
+// where the metrics registry publishes itself as isinglut.metrics).
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "exptables: pprof:", err)
+		}
+	}()
+}
+
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func fatal(err error) {

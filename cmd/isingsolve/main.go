@@ -21,13 +21,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves /debug/pprof/* and /debug/vars
 	"os"
+	"os/signal"
+	"time"
 
 	"isinglut"
+	"isinglut/internal/metrics"
 	"isinglut/internal/trace"
 )
 
@@ -61,8 +67,20 @@ func main() {
 		tStart   = flag.Float64("tstart", 2.0, "SA start temperature")
 		tEnd     = flag.Float64("tend", 1e-3, "SA end temperature")
 		csv      = flag.String("tracecsv", "", "write the sampled energy trace as CSV to this file (SB only)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry the solver returns its best-so-far state (0 = no limit)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar (incl. isinglut.metrics) on this address, e.g. localhost:6060")
+		showMet  = flag.Bool("metrics", false, "print the solver metrics snapshot to stderr on exit")
 	)
 	flag.Parse()
+
+	ctx, cancel := rootContext(*timeout)
+	defer cancel()
+	servePprof(*pprof)
+	if *showMet {
+		// Snapshot inside the closure: defer evaluates call arguments
+		// immediately, which would capture the pre-run (empty) registry.
+		defer func() { metrics.Render(os.Stderr, metrics.Snapshot()) }()
+	}
 
 	prob, err := loadProblem(*in, *demo, *demoN, *seed)
 	if err != nil {
@@ -71,7 +89,7 @@ func main() {
 
 	switch *solver {
 	case "sa":
-		res, err := isinglut.AnnealIsing(prob, *steps, *tStart, *tEnd, *seed)
+		res, err := isinglut.AnnealIsingContext(ctx, prob, *steps, *tStart, *tEnd, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +120,7 @@ func main() {
 			opts.S = *sWin
 			opts.Epsilon = *eps
 		}
-		res, err := isinglut.SolveIsing(prob, opts)
+		res, err := isinglut.SolveIsingContext(ctx, prob, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -196,6 +214,9 @@ func report(solver string, res isinglut.IsingResult) {
 	if res.Stopped {
 		fmt.Println("stopped    : dynamic stop criterion fired")
 	}
+	if res.StopReason != "" && res.StopReason != "converged" && res.StopReason != "max-iters" {
+		fmt.Printf("stop reason: %s (best-so-far state reported)\n", res.StopReason)
+	}
 	fmt.Printf("spins      : ")
 	for _, s := range res.Spins {
 		if s > 0 {
@@ -205,6 +226,30 @@ func report(solver string, res isinglut.IsingResult) {
 		}
 	}
 	fmt.Println()
+}
+
+// rootContext derives the command's context: cancelled by SIGINT, and by
+// the -timeout budget when one is set.
+func rootContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	if timeout <= 0 {
+		return ctx, cancel
+	}
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { tcancel(); cancel() }
+}
+
+// servePprof starts the diagnostics endpoint (pprof profiles plus expvar,
+// where the metrics registry publishes itself as isinglut.metrics).
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "isingsolve: pprof:", err)
+		}
+	}()
 }
 
 func fatal(err error) {

@@ -7,11 +7,18 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
+	"time"
 
 	"isinglut/internal/ising"
+	"isinglut/internal/metrics"
 )
+
+// met instruments the annealer: one run observation plus sweep/acceptance
+// totals per Solve call.
+var met = metrics.ForSolver("sa")
 
 // Params configures a simulated-annealing run with a geometric cooling
 // schedule from TStart to TEnd over Sweeps full sweeps.
@@ -33,12 +40,22 @@ type Result struct {
 	Spins     []int8
 	Energy    float64
 	Objective float64
-	Sweeps    int
-	Accepted  int
+	// Sweeps is the number of full sweeps actually executed; it is below
+	// Params.Sweeps when the context interrupted the schedule.
+	Sweeps   int
+	Accepted int
+	// Stopped reports why the run ended: StopMaxIters when the schedule
+	// ran its course, StopCancelled/StopDeadline when the context cut it
+	// short (Spins still holds the best state seen so far).
+	Stopped metrics.StopReason
 }
 
 // Solve anneals the problem and returns the best spin state encountered.
-func Solve(p *ising.Problem, params Params) Result {
+// The context is polled once per sweep (the annealer's natural sample
+// point); an interrupted run returns the best-so-far state with
+// Result.Stopped set rather than an error.
+func Solve(ctx context.Context, p *ising.Problem, params Params) Result {
+	start := time.Now()
 	n := p.N()
 	if params.Sweeps <= 0 {
 		panic("anneal: Sweeps must be positive")
@@ -72,7 +89,14 @@ func Solve(p *ising.Problem, params Params) Result {
 	temp := params.TStart
 	accepted := 0
 
+	stopped := metrics.StopMaxIters
+	executed := 0
+	pollCtx := ctx.Done() != nil
 	for sweep := 0; sweep < params.Sweeps; sweep++ {
+		if pollCtx && ctx.Err() != nil {
+			stopped = metrics.ReasonFromContext(ctx)
+			break
+		}
 		// Visit spins in a fresh random order each sweep. A fixed order
 		// interacts with zero-delta moves pathologically: on ring-like
 		// couplings a domain wall moves in lockstep with the sweep and
@@ -100,13 +124,19 @@ func Solve(p *ising.Problem, params Params) Result {
 			}
 		}
 		temp *= cool
+		executed++
 	}
 
+	met.ObserveRun(time.Since(start), stopped)
+	met.Iterations.Add(int64(executed))
+	met.Samples.Add(int64(accepted))
+	met.ObserveEnergy(bestE)
 	return Result{
 		Spins:     best,
 		Energy:    bestE,
 		Objective: bestE + p.Offset,
-		Sweeps:    params.Sweeps,
+		Sweeps:    executed,
 		Accepted:  accepted,
+		Stopped:   stopped,
 	}
 }

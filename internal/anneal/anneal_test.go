@@ -1,6 +1,7 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestFindsGroundStateSmall(t *testing.T) {
 		for restart := int64(0); restart < 4; restart++ {
 			params := DefaultParams()
 			params.Seed = restart
-			res := Solve(p, params)
+			res := Solve(context.Background(), p, params)
 			if res.Energy < best {
 				best = res.Energy
 			}
@@ -48,7 +49,7 @@ func TestFindsGroundStateSmall(t *testing.T) {
 
 func TestEnergyMatchesSpins(t *testing.T) {
 	p := randomProblem(12, 3)
-	res := Solve(p, DefaultParams())
+	res := Solve(context.Background(), p, DefaultParams())
 	if math.Abs(p.Energy(res.Spins)-res.Energy) > 1e-9 {
 		t.Fatalf("Energy %g does not match Spins energy %g", res.Energy, p.Energy(res.Spins))
 	}
@@ -66,7 +67,7 @@ func TestIncrementalEnergyConsistency(t *testing.T) {
 		}
 	}
 	p, _ := ising.NewProblem(b, nil, 0)
-	res := Solve(p, DefaultParams())
+	res := Solve(context.Background(), p, DefaultParams())
 	if math.Abs(p.Energy(res.Spins)-res.Energy) > 1e-9 {
 		t.Fatal("bipartite incremental energy drifted")
 	}
@@ -81,8 +82,8 @@ func TestDeterministicPerSeed(t *testing.T) {
 	p := randomProblem(10, 7)
 	params := DefaultParams()
 	params.Seed = 9
-	a := Solve(p, params)
-	b := Solve(p, params)
+	a := Solve(context.Background(), p, params)
+	b := Solve(context.Background(), p, params)
 	if a.Energy != b.Energy || a.Accepted != b.Accepted {
 		t.Fatal("same seed produced different results")
 	}
@@ -92,7 +93,7 @@ func TestObjectiveIncludesOffset(t *testing.T) {
 	d := ising.NewDense(2)
 	d.Set(0, 1, 1)
 	p, _ := ising.NewProblem(d, nil, 5)
-	res := Solve(p, DefaultParams())
+	res := Solve(context.Background(), p, DefaultParams())
 	if math.Abs(res.Objective-(res.Energy+5)) > 1e-12 {
 		t.Fatal("Objective does not include offset")
 	}
@@ -113,7 +114,7 @@ func TestParamValidation(t *testing.T) {
 					t.Errorf("case %d did not panic", i)
 				}
 			}()
-			Solve(p, params)
+			Solve(context.Background(), p, params)
 		}()
 	}
 }
@@ -122,7 +123,7 @@ func TestSweepCountReported(t *testing.T) {
 	p := randomProblem(5, 2)
 	params := DefaultParams()
 	params.Sweeps = 17
-	res := Solve(p, params)
+	res := Solve(context.Background(), p, params)
 	if res.Sweeps != 17 {
 		t.Fatalf("Sweeps = %d", res.Sweeps)
 	}

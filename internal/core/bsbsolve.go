@@ -1,12 +1,19 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"time"
 
 	"isinglut/internal/bitvec"
 	"isinglut/internal/decomp"
+	"isinglut/internal/metrics"
 	"isinglut/internal/sb"
 )
+
+// met instruments the core-COP layer (one run per SolveBSB/SolveBSBBatch
+// call, on top of the finer-grained sb metrics underneath).
+var met = metrics.ForSolver("core")
 
 // SolverOptions configures the proposed Ising-model-based core-COP solver.
 type SolverOptions struct {
@@ -49,8 +56,11 @@ var wsPool = sync.Pool{New: func() any { return new(sb.Workspace) }}
 // SolveBSB solves the column-based core COP with the proposed method:
 // formulate as a second-order Ising model and search with ballistic
 // simulated bifurcation, optionally applying the paper's two improvement
-// strategies.
-func SolveBSB(cop *COP, opts SolverOptions) Solution {
+// strategies. Cancellation propagates to the underlying SB run at
+// sample-point granularity; an interrupted solve still decodes and costs
+// the best-so-far spins (check Solution.SB.Stopped for the reason).
+func SolveBSB(ctx context.Context, cop *COP, opts SolverOptions) Solution {
+	start := time.Now()
 	if opts.SB.OnSample != nil {
 		panic("core: SolverOptions.SB.OnSample is reserved")
 	}
@@ -60,10 +70,11 @@ func SolveBSB(cop *COP, opts SolverOptions) Solution {
 		params.OnSample = theorem3Hook(f)
 	}
 	ws := wsPool.Get().(*sb.Workspace)
-	res := sb.SolveWith(f.Problem, params, ws)
+	res := sb.SolveWith(ctx, f.Problem, params, ws)
 	res.Spins = append([]int8(nil), res.Spins...) // own the spins before the workspace is recycled
 	wsPool.Put(ws)
 	setting := f.DecodeSpins(res.Spins)
+	met.ObserveRun(time.Since(start), res.Stopped)
 	return Solution{
 		Setting: setting,
 		Cost:    cop.SettingCost(setting),
@@ -100,7 +111,10 @@ func theorem3Hook(f *Formulation) func(iter int, x, y []float64) {
 // replicas (concurrently, up to workers goroutines) and returns the best
 // solution — the software counterpart of SB's "massively parallel"
 // hardware execution. Results are deterministic for a fixed base seed.
-func SolveBSBBatch(cop *COP, opts SolverOptions, replicas, workers int) Solution {
+// A cancelled batch returns the best solution among the replicas that
+// ran; Solution.Batch records the per-replica stop reasons.
+func SolveBSBBatch(ctx context.Context, cop *COP, opts SolverOptions, replicas, workers int) Solution {
+	start := time.Now()
 	if opts.SB.OnSample != nil {
 		panic("core: SolverOptions.SB.OnSample is reserved")
 	}
@@ -111,8 +125,9 @@ func SolveBSBBatch(cop *COP, opts SolverOptions, replicas, workers int) Solution
 			return theorem3Hook(f)
 		}
 	}
-	res, stats := sb.SolveBatch(f.Problem, bp)
+	res, stats := sb.SolveBatch(ctx, f.Problem, bp)
 	setting := f.DecodeSpins(res.Spins)
+	met.ObserveRun(time.Since(start), stats.BatchStopped)
 	return Solution{
 		Setting: setting,
 		Cost:    cop.SettingCost(setting),

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,7 +13,7 @@ func TestSolveBSBSelfConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 20; trial++ {
 		cop, _ := randomSeparateCOP(rng)
-		sol := SolveBSB(cop, DefaultSolverOptions())
+		sol := SolveBSB(context.Background(), cop, DefaultSolverOptions())
 		if err := sol.Setting.Validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -33,7 +34,7 @@ func TestSolveBSBFindsOptimumTiny(t *testing.T) {
 		for seed := int64(0); seed < 5; seed++ {
 			opts := DefaultSolverOptions()
 			opts.SB.Seed = seed
-			if c := SolveBSB(cop, opts).Cost; c < best {
+			if c := SolveBSB(context.Background(), cop, opts).Cost; c < best {
 				best = c
 			}
 		}
@@ -49,7 +50,7 @@ func TestTheorem3HeuristicNeverHurtsFinalT(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 20; trial++ {
 		cop, _ := randomSeparateCOP(rng)
-		sol := SolveBSB(cop, DefaultSolverOptions())
+		sol := SolveBSB(context.Background(), cop, DefaultSolverOptions())
 		probe := sol.Setting.Clone()
 		if c := cop.OptimalT(probe.V1, probe.V2, probe.T); c < sol.Cost-1e-9 {
 			t.Fatalf("trial %d: final T not conditionally optimal (%g < %g)", trial, c, sol.Cost)
@@ -62,8 +63,8 @@ func TestSolveBSBDeterministicPerSeed(t *testing.T) {
 	cop, _ := randomSeparateCOP(rng)
 	opts := DefaultSolverOptions()
 	opts.SB.Seed = 11
-	a := SolveBSB(cop, opts)
-	b := SolveBSB(cop, opts)
+	a := SolveBSB(context.Background(), cop, opts)
+	b := SolveBSB(context.Background(), cop, opts)
 	if a.Cost != b.Cost {
 		t.Fatal("same seed produced different costs")
 	}
@@ -82,7 +83,7 @@ func TestSolveBSBReservedHookPanics(t *testing.T) {
 			t.Fatal("reserved OnSample did not panic")
 		}
 	}()
-	SolveBSB(cop, opts)
+	SolveBSB(context.Background(), cop, opts)
 }
 
 func TestDynamicStopReducesIterations(t *testing.T) {
@@ -92,7 +93,7 @@ func TestDynamicStopReducesIterations(t *testing.T) {
 	cop, _ := randomSeparateCOP(rng)
 	opts := DefaultSolverOptions()
 	opts.SB.Steps = 100000
-	sol := SolveBSB(cop, opts)
+	sol := SolveBSB(context.Background(), cop, opts)
 	if !sol.SB.StoppedEarly {
 		t.Skip("stop did not fire on this instance")
 	}
@@ -112,8 +113,8 @@ func TestTheorem3AblationQuality(t *testing.T) {
 		on.SB.Seed = int64(trial)
 		off := on
 		off.Theorem3 = false
-		withT3 += SolveBSB(cop, on).Cost
-		without += SolveBSB(cop, off).Cost
+		withT3 += SolveBSB(context.Background(), cop, on).Cost
+		without += SolveBSB(context.Background(), cop, off).Cost
 	}
 	if withT3 > without+1e-9 {
 		t.Fatalf("Theorem-3 heuristic hurt on average: %g vs %g", withT3, without)
@@ -125,7 +126,7 @@ func TestSolveBSBWithoutStopUsesAllSteps(t *testing.T) {
 	cop, _ := randomSeparateCOP(rng)
 	params := sb.DefaultParams()
 	params.Steps = 137
-	sol := SolveBSB(cop, SolverOptions{SB: params, Theorem3: false})
+	sol := SolveBSB(context.Background(), cop, SolverOptions{SB: params, Theorem3: false})
 	if sol.SB.Iterations != 137 {
 		t.Fatalf("iterations %d, want 137", sol.SB.Iterations)
 	}
@@ -137,8 +138,8 @@ func TestSolveBSBBatchQuality(t *testing.T) {
 		cop, _ := randomSeparateCOP(rng)
 		opts := DefaultSolverOptions()
 		opts.SB.Seed = 100
-		single := SolveBSB(cop, opts)
-		batch := SolveBSBBatch(cop, opts, 4, 4)
+		single := SolveBSB(context.Background(), cop, opts)
+		batch := SolveBSBBatch(context.Background(), cop, opts, 4, 4)
 		if batch.Cost > single.Cost+1e-12 {
 			t.Fatalf("trial %d: batch %g worse than first replica %g", trial, batch.Cost, single.Cost)
 		}
@@ -152,8 +153,8 @@ func TestSolveBSBBatchDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	cop, _ := randomSeparateCOP(rng)
 	opts := DefaultSolverOptions()
-	a := SolveBSBBatch(cop, opts, 5, 3)
-	b := SolveBSBBatch(cop, opts, 5, 3)
+	a := SolveBSBBatch(context.Background(), cop, opts, 5, 3)
+	b := SolveBSBBatch(context.Background(), cop, opts, 5, 3)
 	if a.Cost != b.Cost {
 		t.Fatal("batch solver not deterministic")
 	}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/boolmatrix"
+	"isinglut/internal/partition"
+	"isinglut/internal/prob"
+	"isinglut/internal/truthtable"
+)
+
+// FuzzFormulateEnergy fuzzes the central algebraic identity of the paper
+// (Eqs. 9 and 16): for ANY spin assignment — not just solver outputs —
+// the Ising objective of the formulated problem equals the COP cost of
+// the decoded setting. The fuzzer drives the instance shape, the cost
+// randomness (separate- and joint-mode construction paths both included)
+// and the probed assignment; the seed corpus covers the oracle suite's
+// instance shapes.
+func FuzzFormulateEnergy(f *testing.F) {
+	// Oracle-instance shapes: n in {3,4} x freeSize in {1,2}, the seeds the
+	// cross-solver oracle tests sweep (5000+trial), both modes.
+	for trial := int64(0); trial < 4; trial++ {
+		for _, joint := range []bool{false, true} {
+			f.Add(uint8(3+trial%2), uint8(1+trial%2), 5000+trial, trial*17, joint)
+		}
+	}
+	f.Fuzz(func(t *testing.T, nRaw, freeRaw uint8, copSeed, spinSeed int64, joint bool) {
+		// Clamp the shape to the tractable range the solvers target
+		// (2^n-entry truth tables; n in [3,5], freeSize in [1,n-1]).
+		n := 3 + int(nRaw)%3
+		freeSize := 1 + int(freeRaw)%(n-1)
+
+		rng := rand.New(rand.NewSource(copSeed))
+		var cop *COP
+		if joint {
+			exact, approx, part, k := jointFixture(rng)
+			cop = NewJointCOP(part, k, exact, approx, nil)
+		} else {
+			cop = randomShapedCOP(n, freeSize, rng)
+		}
+		form := Formulate(cop)
+
+		spinRng := rand.New(rand.NewSource(spinSeed))
+		sigma := make([]int8, form.NumSpins())
+		for i := range sigma {
+			if spinRng.Intn(2) == 0 {
+				sigma[i] = -1
+			} else {
+				sigma[i] = 1
+			}
+		}
+
+		setting := form.DecodeSpins(sigma)
+		got := form.Problem.ObjectiveValue(sigma)
+		want := cop.SettingCost(setting)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("n=%d free=%d joint=%v: Ising objective %g != COP cost %g",
+				n, freeSize, joint, got, want)
+		}
+
+		// The decode must be a faithful inverse: re-encoding the decoded
+		// setting reproduces the probed assignment bit for bit.
+		back := form.EncodeSetting(setting)
+		for i := range sigma {
+			if back[i] != sigma[i] {
+				t.Fatalf("encode(decode(sigma)) differs at spin %d", i)
+			}
+		}
+	})
+}
+
+// randomShapedCOP is randomSeparateCOP with the shape pinned by the
+// fuzzer instead of drawn from the RNG.
+func randomShapedCOP(n, freeSize int, rng *rand.Rand) *COP {
+	part := partition.Random(n, freeSize, rng)
+	tt := truthtable.Random(n, 1, rng)
+	m := boolmatrix.Build(tt.Component(0), part, prob.RandomWeighted(n, rng))
+	return NewSeparateCOP(m)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -97,7 +98,7 @@ func TestRowGroundStateMatchesILP(t *testing.T) {
 		setting := f.DecodeSpins(spins)
 		got := f.RowCost(setting)
 
-		opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+		opt := ilp.SolveRowCOP(context.Background(), cop.RowInstance(), ilp.Options{})
 		if !opt.Optimal {
 			t.Fatal("B&B did not finish on a tiny instance")
 		}

@@ -1,6 +1,7 @@
 package cwm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ import (
 func buildAccelerator(t *testing.T, seed int64) (*Accelerator, *truthtable.Table) {
 	t.Helper()
 	exact := truthtable.Random(7, 5, rand.New(rand.NewSource(seed)))
-	out, err := dalta.Run(exact, dalta.Config{
+	out, err := dalta.Run(context.Background(), exact, dalta.Config{
 		Rounds:     1,
 		Partitions: 3,
 		FreeSize:   3,

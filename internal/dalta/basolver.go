@@ -1,6 +1,7 @@
 package dalta
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -26,9 +27,9 @@ type BA struct {
 func (b *BA) Name() string { return "ba" }
 
 // Solve implements CoreSolver.
-func (b *BA) Solve(req Request) Result {
+func (b *BA) Solve(ctx context.Context, req Request) Result {
 	cop := BuildCOP(req)
-	setting, cost := b.anneal(cop, req.Seed)
+	setting, cost := b.anneal(ctx, cop, req.Seed)
 	return Result{
 		Table:  setting.ApproxTable(),
 		Decomp: setting.Synthesize(),
@@ -36,12 +37,15 @@ func (b *BA) Solve(req Request) Result {
 	}
 }
 
-// anneal runs the SA search and returns the best setting found.
-func (b *BA) anneal(cop *core.COP, seed int64) (*decomp.RowSetting, float64) {
+// anneal runs the SA search and returns the best setting found. The
+// context is polled every 256 moves; an interrupted anneal returns the
+// best setting seen so far (the heuristic seed at worst).
+func (b *BA) anneal(ctx context.Context, cop *core.COP, seed int64) (*decomp.RowSetting, float64) {
 	moves := b.Moves
 	if moves <= 0 {
 		moves = 4096
 	}
+	pollCtx := ctx.Done() != nil
 	rng := rand.New(rand.NewSource(seed))
 
 	// Seed from the heuristic so BA is at least as good as DALTA given any
@@ -89,6 +93,9 @@ func (b *BA) anneal(cop *core.COP, seed int64) (*decomp.RowSetting, float64) {
 	bestCost := current
 
 	for step := 0; step < moves; step++ {
+		if pollCtx && step%256 == 0 && ctx.Err() != nil {
+			break
+		}
 		if rng.Intn(2) == 0 {
 			// Flip one pattern bit; affects Pattern/Complement rows.
 			j := rng.Intn(cop.C)

@@ -1,6 +1,7 @@
 package dalta
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -16,7 +17,7 @@ func TestBACostConsistent(t *testing.T) {
 	ba := &BA{Moves: 1024}
 	for trial := 0; trial < 30; trial++ {
 		cop := randomCOP(rng)
-		s, cost := ba.anneal(cop, int64(trial))
+		s, cost := ba.anneal(context.Background(), cop, int64(trial))
 		if err := s.Validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -34,7 +35,7 @@ func TestBAAtLeastAsGoodAsHeuristicSeed(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		cop := randomCOP(rng)
 		_, hc := RowAltMin(cop, 8)
-		_, bc := ba.anneal(cop, int64(trial))
+		_, bc := ba.anneal(context.Background(), cop, int64(trial))
 		if bc > hc+1e-9 {
 			t.Fatalf("trial %d: BA %g worse than its seed %g", trial, bc, hc)
 		}
@@ -46,8 +47,8 @@ func TestBANeverBeatsOptimum(t *testing.T) {
 	ba := &BA{Moves: 2048}
 	for trial := 0; trial < 20; trial++ {
 		cop := randomCOP(rng)
-		_, bc := ba.anneal(cop, 1)
-		opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+		_, bc := ba.anneal(context.Background(), cop, 1)
+		opt := ilp.SolveRowCOP(context.Background(), cop.RowInstance(), ilp.Options{})
 		if !opt.Optimal {
 			continue
 		}
@@ -61,8 +62,8 @@ func TestBADeterministicPerSeed(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	cop := randomCOP(rng)
 	ba := &BA{Moves: 512}
-	_, a := ba.anneal(cop, 42)
-	_, b := ba.anneal(cop, 42)
+	_, a := ba.anneal(context.Background(), cop, 42)
+	_, b := ba.anneal(context.Background(), cop, 42)
 	if a != b {
 		t.Fatal("same seed produced different costs")
 	}
@@ -78,7 +79,7 @@ func TestBASolverInterface(t *testing.T) {
 		Approx: exact.Clone(),
 		Seed:   5,
 	}
-	res := (&BA{Moves: 256}).Solve(req)
+	res := (&BA{Moves: 256}).Solve(context.Background(), req)
 	if res.Decomp == nil || !res.Decomp.Recompose().Equal(res.Table) {
 		t.Fatal("BA result inconsistent")
 	}

@@ -1,0 +1,81 @@
+package dalta
+
+import (
+	"context"
+	"testing"
+
+	"isinglut/internal/core"
+	"isinglut/internal/metrics"
+)
+
+// TestRunPreCancelledReturnsVerifiedPartialOutcome: a context cancelled
+// before the outer loop starts must still return a structurally valid
+// (verifiable) outcome — the exact function untouched — with the
+// interruption recorded, never an error.
+func TestRunPreCancelledReturnsVerifiedPartialOutcome(t *testing.T) {
+	exact := testFunction(11)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Run(ctx, exact, quickConfig(NewProposed(), core.Joint))
+	if err != nil {
+		t.Fatalf("cancelled Run returned error: %v", err)
+	}
+	if out.Stopped != metrics.StopCancelled {
+		t.Fatalf("Stopped = %v, want %v", out.Stopped, metrics.StopCancelled)
+	}
+	if out.CoreSolves != 0 {
+		t.Fatalf("pre-cancelled run dispatched %d core solves", out.CoreSolves)
+	}
+	if err := Verify(exact, out, nil); err != nil {
+		t.Fatalf("partial outcome fails verification: %v", err)
+	}
+}
+
+// TestRunCancelledMidRunKeepsCommittedWork cancels after the first
+// component commit and checks the partial outcome stays consistent: every
+// committed component verifies and the report matches the approximation.
+func TestRunCancelledMidRunKeepsCommittedWork(t *testing.T) {
+	exact := testFunction(12)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	solves := 0
+	solver := &cancelAfterSolver{inner: &Heuristic{}, cancel: cancel, after: 3, count: &solves}
+	cfg := quickConfig(solver, core.Joint)
+	out, err := Run(ctx, exact, cfg)
+	if err != nil {
+		t.Fatalf("cancelled Run returned error: %v", err)
+	}
+	if !out.Stopped.Interrupted() {
+		t.Fatalf("Stopped = %v, want an interruption reason", out.Stopped)
+	}
+	full, err := Run(context.Background(), exact, quickConfig(&Heuristic{}, core.Joint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CoreSolves >= full.CoreSolves {
+		t.Fatalf("interrupted run solved %d COPs, full run only %d", out.CoreSolves, full.CoreSolves)
+	}
+	if err := Verify(exact, out, nil); err != nil {
+		t.Fatalf("partial outcome fails verification: %v", err)
+	}
+}
+
+// cancelAfterSolver delegates to inner and fires cancel after `after`
+// solves, emulating a caller-side interruption landing mid-run.
+type cancelAfterSolver struct {
+	inner  CoreSolver
+	cancel context.CancelFunc
+	after  int
+	count  *int
+}
+
+func (s *cancelAfterSolver) Name() string { return s.inner.Name() }
+
+func (s *cancelAfterSolver) Solve(ctx context.Context, req Request) Result {
+	res := s.inner.Solve(ctx, req)
+	*s.count++
+	if *s.count == s.after {
+		s.cancel()
+	}
+	return res
+}

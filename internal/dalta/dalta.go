@@ -20,6 +20,7 @@
 package dalta
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -30,10 +31,15 @@ import (
 	"isinglut/internal/core"
 	"isinglut/internal/decomp"
 	"isinglut/internal/errmetric"
+	"isinglut/internal/metrics"
 	"isinglut/internal/partition"
 	"isinglut/internal/prob"
 	"isinglut/internal/truthtable"
 )
+
+// met instruments the outer framework: one run per Run call, Iterations =
+// core-COP solves dispatched, and the stop reason distribution.
+var met = metrics.ForSolver("dalta")
 
 // Request is one core-COP solve: optimize component K of Exact under Part
 // in the given Mode, with the other components fixed at their current
@@ -69,10 +75,12 @@ type Result struct {
 }
 
 // CoreSolver solves one core COP. Implementations must be deterministic
-// for a fixed Request.Seed.
+// for a fixed Request.Seed, and should treat ctx as a best-effort
+// interruption signal: return the best setting found so far rather than a
+// partial or invalid one.
 type CoreSolver interface {
 	Name() string
-	Solve(req Request) Result
+	Solve(ctx context.Context, req Request) Result
 }
 
 // Config drives one framework run.
@@ -165,10 +173,17 @@ type Outcome struct {
 	CoreSolves int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// Stopped reports how the run ended: StopConverged when all rounds
+	// completed, StopCancelled/StopDeadline when the context cut the outer
+	// loop short. An interrupted run still carries a consistent Approx,
+	// Components and Report for the work committed so far.
+	Stopped metrics.StopReason
 }
 
-// Run executes the DALTA outer loop with the configured solver.
-func Run(exact *truthtable.Table, cfg Config) (*Outcome, error) {
+// Run executes the DALTA outer loop with the configured solver. The
+// context is checked between components and propagated into every core
+// solve; cancellation yields a valid partial Outcome, never an error.
+func Run(ctx context.Context, exact *truthtable.Table, cfg Config) (*Outcome, error) {
 	if err := cfg.Validate(exact); err != nil {
 		return nil, err
 	}
@@ -185,9 +200,16 @@ func Run(exact *truthtable.Table, cfg Config) (*Outcome, error) {
 		Components: make([]*ComponentState, m),
 	}
 
+	out.Stopped = metrics.StopConverged
+	pollCtx := ctx.Done() != nil
+outer:
 	for round := 0; round < cfg.Rounds; round++ {
 		// Most significant bit first (paper Section 2.4).
 		for k := m - 1; k >= 0; k-- {
+			if pollCtx && ctx.Err() != nil {
+				out.Stopped = metrics.ReasonFromContext(ctx)
+				break outer
+			}
 			parts := drawPartitions(n, cfg, rng)
 			if cfg.Elitism && out.Components[k] != nil {
 				parts = appendEliteParts(parts, out.Components[k].Part)
@@ -204,11 +226,14 @@ func Run(exact *truthtable.Table, cfg Config) (*Outcome, error) {
 					Seed:   rng.Int63(),
 				}
 			}
-			results := solveAll(cfg.Solver, reqs, cfg.Workers)
-			out.CoreSolves += len(results)
+			results, solved := solveAll(ctx, cfg.Solver, reqs, cfg.Workers)
 			var best *Result
 			var bestPart *partition.Partition
 			for i := range results {
+				if !solved[i] {
+					continue
+				}
+				out.CoreSolves++
 				if best == nil || results[i].Cost < best.Cost {
 					best = &results[i]
 					bestPart = parts[i]
@@ -232,6 +257,9 @@ func Run(exact *truthtable.Table, cfg Config) (*Outcome, error) {
 
 	out.Report = errmetric.MustEvaluate(exact, approx, dist)
 	out.Elapsed = time.Since(start)
+	met.ObserveRun(out.Elapsed, out.Stopped)
+	met.Iterations.Add(int64(out.CoreSolves))
+	met.ObserveEnergy(out.Report.MED)
 	return out, nil
 }
 
@@ -269,13 +297,25 @@ func appendEliteParts(parts []*partition.Partition, elite *partition.Partition) 
 // solveAll evaluates the candidate requests serially or with a bounded
 // worker pool. Solvers must be safe for concurrent use on distinct
 // requests (all in-tree solvers are: their state lives per call).
-func solveAll(solver CoreSolver, reqs []Request, workers int) []Result {
+//
+// The returned mask reports which requests actually ran: once the context
+// is cancelled the remaining requests are skipped, and their zero-valued
+// Results (Cost 0 would otherwise masquerade as a perfect candidate) must
+// not enter the best-candidate scan. At least one request is always
+// solved so the caller has a candidate even under immediate cancellation.
+func solveAll(ctx context.Context, solver CoreSolver, reqs []Request, workers int) ([]Result, []bool) {
 	results := make([]Result, len(reqs))
+	solved := make([]bool, len(reqs))
+	pollCtx := ctx.Done() != nil
 	if workers <= 1 || len(reqs) <= 1 {
 		for i := range reqs {
-			results[i] = solver.Solve(reqs[i])
+			if i > 0 && pollCtx && ctx.Err() != nil {
+				break
+			}
+			results[i] = solver.Solve(ctx, reqs[i])
+			solved[i] = true
 		}
-		return results
+		return results, solved
 	}
 	if workers > len(reqs) {
 		workers = len(reqs)
@@ -287,16 +327,22 @@ func solveAll(solver CoreSolver, reqs []Request, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = solver.Solve(reqs[i])
+				results[i] = solver.Solve(ctx, reqs[i])
+				solved[i] = true
 			}
 		}()
 	}
+	// Request 0 is dispatched unconditionally (mirroring sb.SolveBatch's
+	// replica-0 guarantee); later ones stop flowing once ctx is done.
 	for i := range reqs {
+		if i > 0 && pollCtx && ctx.Err() != nil {
+			break
+		}
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return results
+	return results, solved
 }
 
 // commitImproves decides whether the candidate beats the currently

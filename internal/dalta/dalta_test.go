@@ -1,6 +1,7 @@
 package dalta
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -42,7 +43,7 @@ func allSolvers() []CoreSolver {
 func TestRunProducesDecomposableComponents(t *testing.T) {
 	exact := testFunction(1)
 	for _, solver := range allSolvers() {
-		out, err := Run(exact, quickConfig(solver, core.Joint))
+		out, err := Run(context.Background(), exact, quickConfig(solver, core.Joint))
 		if err != nil {
 			t.Fatalf("%s: %v", solver.Name(), err)
 		}
@@ -65,7 +66,7 @@ func TestRunProducesDecomposableComponents(t *testing.T) {
 
 func TestRunReportMatchesDirectEvaluation(t *testing.T) {
 	exact := testFunction(2)
-	out, err := Run(exact, quickConfig(NewProposed(), core.Joint))
+	out, err := Run(context.Background(), exact, quickConfig(NewProposed(), core.Joint))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestRoundTraceMonotoneAfterFirstRound(t *testing.T) {
 	// rounds once every component has been committed (i.e. from round 1).
 	exact := testFunction(3)
 	for _, solver := range allSolvers() {
-		out, err := Run(exact, quickConfig(solver, core.Joint))
+		out, err := Run(context.Background(), exact, quickConfig(solver, core.Joint))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,11 +96,11 @@ func TestRoundTraceMonotoneAfterFirstRound(t *testing.T) {
 func TestRunDeterministicPerSeed(t *testing.T) {
 	exact := testFunction(4)
 	cfg := quickConfig(NewProposed(), core.Joint)
-	a, err := Run(exact, cfg)
+	a, err := Run(context.Background(), exact, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(exact, cfg)
+	b, err := Run(context.Background(), exact, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 
 func TestRunSeparateMode(t *testing.T) {
 	exact := testFunction(5)
-	out, err := Run(exact, quickConfig(NewProposed(), core.Separate))
+	out, err := Run(context.Background(), exact, quickConfig(NewProposed(), core.Separate))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestRunSeparateMode(t *testing.T) {
 func TestCoreSolvesCounted(t *testing.T) {
 	exact := testFunction(6)
 	cfg := quickConfig(&Heuristic{}, core.Joint)
-	out, err := Run(exact, cfg)
+	out, err := Run(context.Background(), exact, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestConfigValidation(t *testing.T) {
 	for i, mut := range mutations {
 		cfg := base
 		mut(&cfg)
-		if _, err := Run(exact, cfg); err == nil {
+		if _, err := Run(context.Background(), exact, cfg); err == nil {
 			t.Errorf("mutation %d accepted", i)
 		}
 	}
@@ -211,7 +212,7 @@ func TestSolversAgreeOnEasyInstance(t *testing.T) {
 	cop := core.NewSeparateCOP(m)
 	req := Request{Part: part, K: 0, Mode: core.Separate, Exact: tt, Approx: tt.Clone(), Seed: 1}
 	for _, solver := range allSolvers() {
-		res := solver.Solve(req)
+		res := solver.Solve(context.Background(), req)
 		if res.Cost > 1e-12 {
 			t.Errorf("%s: cost %g on exactly-decomposable instance", solver.Name(), res.Cost)
 		}
@@ -228,11 +229,11 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 		cfgSerial := quickConfig(solver, core.Joint)
 		cfgParallel := cfgSerial
 		cfgParallel.Workers = 4
-		a, err := Run(exact, cfgSerial)
+		a, err := Run(context.Background(), exact, cfgSerial)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Run(exact, cfgParallel)
+		b, err := Run(context.Background(), exact, cfgParallel)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +251,7 @@ func TestElitismReofferesCommittedPartition(t *testing.T) {
 	cfg := quickConfig(NewProposed(), core.Joint)
 	cfg.Elitism = true
 	cfg.Rounds = 3
-	out, err := Run(exact, cfg)
+	out, err := Run(context.Background(), exact, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,12 +276,12 @@ func TestElitismNotWorseOnAverage(t *testing.T) {
 		exact := testFunction(seed)
 		cfg := quickConfig(&Heuristic{}, core.Joint)
 		cfg.Rounds = 3
-		plain, err := Run(exact, cfg)
+		plain, err := Run(context.Background(), exact, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		cfg.Elitism = true
-		elite, err := Run(exact, cfg)
+		elite, err := Run(context.Background(), exact, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -295,7 +296,7 @@ func TestElitismNotWorseOnAverage(t *testing.T) {
 func TestVerifyAcceptsRealOutcomes(t *testing.T) {
 	exact := testFunction(60)
 	for _, solver := range allSolvers() {
-		out, err := Run(exact, quickConfig(solver, core.Joint))
+		out, err := Run(context.Background(), exact, quickConfig(solver, core.Joint))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,7 +307,7 @@ func TestVerifyAcceptsRealOutcomes(t *testing.T) {
 	// Overlap outcomes verify too.
 	cfg := quickConfig(NewProposed(), core.Joint)
 	cfg.Overlap = 1
-	out, err := Run(exact, cfg)
+	out, err := Run(context.Background(), exact, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestVerifyAcceptsRealOutcomes(t *testing.T) {
 
 func TestVerifyDetectsCorruption(t *testing.T) {
 	exact := testFunction(61)
-	out, err := Run(exact, quickConfig(&Heuristic{}, core.Joint))
+	out, err := Run(context.Background(), exact, quickConfig(&Heuristic{}, core.Joint))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +331,7 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 
 func TestVerifyDetectsReportDrift(t *testing.T) {
 	exact := testFunction(62)
-	out, err := Run(exact, quickConfig(&Heuristic{}, core.Joint))
+	out, err := Run(context.Background(), exact, quickConfig(&Heuristic{}, core.Joint))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestVerifyNilAndShape(t *testing.T) {
 	if err := Verify(exact, nil, nil); err == nil {
 		t.Error("nil outcome verified")
 	}
-	out, _ := Run(exact, quickConfig(&Heuristic{}, core.Joint))
+	out, _ := Run(context.Background(), exact, quickConfig(&Heuristic{}, core.Joint))
 	other := testFunctionShape(5, 4, 64)
 	if err := Verify(other, out, nil); err == nil {
 		t.Error("shape mismatch verified")

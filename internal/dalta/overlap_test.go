@@ -1,6 +1,7 @@
 package dalta
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestRunWithOverlap(t *testing.T) {
 	exact := testFunction(20)
 	cfg := quickConfig(NewProposed(), core.Joint)
 	cfg.Overlap = 2
-	out, err := Run(exact, cfg)
+	out, err := Run(context.Background(), exact, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,13 +82,13 @@ func TestOverlapImprovesError(t *testing.T) {
 	for seed := int64(30); seed < 36; seed++ {
 		exact := testFunction(seed)
 		base := quickConfig(NewProposed(), core.Joint)
-		outD, err := Run(exact, base)
+		outD, err := Run(context.Background(), exact, base)
 		if err != nil {
 			t.Fatal(err)
 		}
 		over := base
 		over.Overlap = 2
-		outO, err := Run(exact, over)
+		outO, err := Run(context.Background(), exact, over)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,11 +104,11 @@ func TestOverlapConfigValidation(t *testing.T) {
 	exact := testFunction(21)
 	cfg := quickConfig(&Heuristic{}, core.Joint)
 	cfg.Overlap = -1
-	if _, err := Run(exact, cfg); err == nil {
+	if _, err := Run(context.Background(), exact, cfg); err == nil {
 		t.Error("negative overlap accepted")
 	}
 	cfg.Overlap = cfg.FreeSize + 1
-	if _, err := Run(exact, cfg); err == nil {
+	if _, err := Run(context.Background(), exact, cfg); err == nil {
 		t.Error("overlap beyond free size accepted")
 	}
 }

@@ -1,6 +1,8 @@
 package dalta
 
 import (
+	"context"
+
 	"isinglut/internal/bitvec"
 	"isinglut/internal/core"
 	"isinglut/internal/decomp"
@@ -26,8 +28,10 @@ type Heuristic struct {
 // Name implements CoreSolver.
 func (h *Heuristic) Name() string { return "dalta-heuristic" }
 
-// Solve implements CoreSolver.
-func (h *Heuristic) Solve(req Request) Result {
+// Solve implements CoreSolver. The alternation converges in a handful of
+// cheap sweeps, so the context is intentionally not polled here — a
+// cancelled outer loop simply stops dispatching further requests.
+func (h *Heuristic) Solve(_ context.Context, req Request) Result {
 	cop := BuildCOP(req)
 	iters := h.MaxIters
 	if iters <= 0 {

@@ -1,6 +1,7 @@
 package dalta
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,7 +44,7 @@ func TestRowAltMinNeverBeatsILP(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		cop := randomCOP(rng)
 		_, hc := RowAltMin(cop, 32)
-		opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+		opt := ilp.SolveRowCOP(context.Background(), cop.RowInstance(), ilp.Options{})
 		if !opt.Optimal {
 			t.Skip("instance too hard for unlimited B&B in test")
 		}
@@ -94,7 +95,7 @@ func TestSeedPatternsIncludesRowPattern(t *testing.T) {
 	part := partition.Random(5, 2, rng)
 	cop := core.NewJointCOP(part, 2, exact, exact.Clone(), nil)
 	_, hc := RowAltMin(cop, 32)
-	opt := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+	opt := ilp.SolveRowCOP(context.Background(), cop.RowInstance(), ilp.Options{})
 	if !opt.Optimal {
 		t.Skip("B&B did not finish")
 	}
@@ -107,7 +108,7 @@ func TestHeuristicSolverResultShape(t *testing.T) {
 	exact := testFunction(10)
 	part := partition.MustNew(6, 0b000111)
 	req := Request{Part: part, K: 1, Mode: core.Joint, Exact: exact, Approx: exact.Clone(), Seed: 3}
-	res := (&Heuristic{}).Solve(req)
+	res := (&Heuristic{}).Solve(context.Background(), req)
 	if res.Table.Len() != 64 {
 		t.Fatalf("table length %d", res.Table.Len())
 	}

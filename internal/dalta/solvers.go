@@ -1,6 +1,7 @@
 package dalta
 
 import (
+	"context"
 	"math/rand"
 
 	"isinglut/internal/core"
@@ -24,11 +25,11 @@ func NewProposed() *Proposed {
 func (p *Proposed) Name() string { return "proposed-bsb" }
 
 // Solve implements CoreSolver.
-func (p *Proposed) Solve(req Request) Result {
+func (p *Proposed) Solve(ctx context.Context, req Request) Result {
 	cop := BuildCOP(req)
 	opts := p.Opts
 	opts.SB.Seed = req.Seed
-	sol := core.SolveBSB(cop, opts)
+	sol := core.SolveBSB(ctx, cop, opts)
 	return Result{
 		Table:  sol.Setting.ApproxTable(),
 		Decomp: sol.Setting.Synthesize(),
@@ -47,9 +48,9 @@ type ILP struct {
 func (s *ILP) Name() string { return "dalta-ilp" }
 
 // Solve implements CoreSolver.
-func (s *ILP) Solve(req Request) Result {
+func (s *ILP) Solve(ctx context.Context, req Request) Result {
 	cop := BuildCOP(req)
-	sol := ilp.SolveRowCOP(cop.RowInstance(), s.Opts)
+	sol := ilp.SolveRowCOP(ctx, cop.RowInstance(), s.Opts)
 	setting := &decomp.RowSetting{Part: req.Part, V: sol.V, S: sol.S}
 	return Result{
 		Table:  setting.ApproxTable(),
@@ -73,7 +74,7 @@ type AltMin struct {
 func (a *AltMin) Name() string { return "altmin" }
 
 // Solve implements CoreSolver.
-func (a *AltMin) Solve(req Request) Result {
+func (a *AltMin) Solve(ctx context.Context, req Request) Result {
 	cop := BuildCOP(req)
 	iters := a.MaxIters
 	if iters <= 0 {
@@ -85,7 +86,13 @@ func (a *AltMin) Solve(req Request) Result {
 	}
 	setting, cost := core.AltMin(cop, core.SeedSetting(cop), iters)
 	rng := rand.New(rand.NewSource(req.Seed))
+	pollCtx := ctx.Done() != nil
 	for r := 0; r < restarts; r++ {
+		// Each restart is a natural interruption point; the deterministic
+		// seed above has already produced a valid setting.
+		if pollCtx && ctx.Err() != nil {
+			break
+		}
 		s, c := core.AltMin(cop, core.RandomSetting(cop, rng), iters)
 		if c < cost {
 			setting, cost = s, c

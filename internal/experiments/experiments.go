@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -178,19 +179,28 @@ func Fig4Config(scale Scale, seed int64) Config {
 // Run executes the sweep and returns one row per (benchmark, method).
 // Every method sees the same partition stream for a benchmark (identical
 // framework seed), so comparisons are paired.
-func Run(cfg Config) ([]Row, error) {
+//
+// Cancelling the context stops the sweep at the next (benchmark, method)
+// boundary and returns the rows completed so far together with the
+// context's error, so a timed-out sweep still yields a usable partial
+// table. A row whose inner dalta.Run was itself interrupted mid-flight is
+// not appended — its pairing guarantee is broken.
+func Run(ctx context.Context, cfg Config) ([]Row, error) {
 	var rows []Row
 	for _, name := range cfg.Benchmarks {
 		exact, err := benchfn.Build(name, cfg.N)
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		for _, method := range cfg.Methods {
+			if ctx.Err() != nil {
+				return rows, ctx.Err()
+			}
 			solver, err := cfg.Scale.Solver(method)
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
-			out, err := dalta.Run(exact, dalta.Config{
+			out, err := dalta.Run(ctx, exact, dalta.Config{
 				Rounds:     cfg.Scale.Rounds,
 				Partitions: cfg.Scale.Partitions,
 				FreeSize:   cfg.FreeSize,
@@ -200,7 +210,10 @@ func Run(cfg Config) ([]Row, error) {
 				Workers:    cfg.Scale.Workers,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s: %w", name, method, err)
+				return rows, fmt.Errorf("experiments: %s/%s: %w", name, method, err)
+			}
+			if out.Stopped.Interrupted() {
+				return rows, ctx.Err()
 			}
 			design := lut.FromOutcome(out)
 			rows = append(rows, Row{

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -88,7 +89,7 @@ func TestRunTinySweep(t *testing.T) {
 		Benchmarks: []string{"erf"},
 		Methods:    []string{"dalta", "proposed"},
 	}
-	rows, err := Run(cfg)
+	rows, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,12 +111,12 @@ func TestRunRejectsUnknown(t *testing.T) {
 		N: 9, FreeSize: 4, Scale: QuickScale(9),
 		Benchmarks: []string{"nope"}, Methods: []string{"dalta"},
 	}
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	cfg.Benchmarks = []string{"erf"}
 	cfg.Methods = []string{"nope"}
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Error("unknown method accepted")
 	}
 }
@@ -225,7 +226,7 @@ func TestSampleCOP(t *testing.T) {
 // the recorded traces must be internally consistent and the Theorem-3
 // variant must not end worse than the plain one on the same seed.
 func TestConvergenceTraces(t *testing.T) {
-	results, err := Convergence("exp", 9, 4, 4, 3)
+	results, err := Convergence(context.Background(), "exp", 9, 4, 4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestFreeSizeSweep(t *testing.T) {
 	scale := QuickScale(9)
 	scale.Partitions = 2
 	scale.Rounds = 1
-	rows, err := FreeSizeSweep("erf", 9, 3, 5, scale, 3)
+	rows, err := FreeSizeSweep(context.Background(), "erf", 9, 3, 5, scale, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestOverlapSweep(t *testing.T) {
 	scale := QuickScale(9)
 	scale.Partitions = 2
 	scale.Rounds = 1
-	rows, err := OverlapSweep("erf", 9, 4, 1, scale, 3)
+	rows, err := OverlapSweep(context.Background(), "erf", 9, 4, 1, scale, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

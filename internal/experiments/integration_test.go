@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"isinglut/internal/core"
@@ -18,7 +19,7 @@ func TestTable1JointIntegration(t *testing.T) {
 	scale.Partitions = 2
 	scale.Rounds = 1
 	scale.ILPTimeLimit = scale.ILPTimeLimit / 2
-	rows, err := Run(Table1Config(core.Joint, scale, 7))
+	rows, err := Run(context.Background(), Table1Config(core.Joint, scale, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig4Integration(t *testing.T) {
 	scale.Partitions = 2
 	cfg := Fig4Config(scale, 7)
 	cfg.Benchmarks = []string{"multiplier"}
-	rows, err := Run(cfg)
+	rows, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"isinglut/internal/core"
@@ -23,7 +24,7 @@ func runRows(t *testing.T, n, freeSize, workers int, benchmarks []string) []Row 
 		Benchmarks: benchmarks,
 		Methods:    []string{"proposed"},
 	}
-	rows, err := Run(cfg)
+	rows, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}

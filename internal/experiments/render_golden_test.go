@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"isinglut/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden render files instead of comparing against them")
+
+// goldenRows is a fixed synthetic sweep result (timings included — golden
+// inputs must be deterministic, so these are constants, not measurements)
+// covering the render edge cases: a missing (benchmark, method) cell, a
+// zero-MED baseline, and the canonical method ordering.
+func goldenRows() []Row {
+	return []Row{
+		{Benchmark: "exp", Method: "proposed", Mode: core.Joint, N: 9, M: 8, MED: 1.625, ER: 0.38, Seconds: 0.42, LUTBits: 1824, Ratio: 2.2},
+		{Benchmark: "exp", Method: "dalta", Mode: core.Joint, N: 9, M: 8, MED: 2.5, ER: 0.5, Seconds: 0.05, LUTBits: 1824, Ratio: 2.2},
+		{Benchmark: "exp", Method: "dalta-ilp", Mode: core.Joint, N: 9, M: 8, MED: 1.75, ER: 0.41, Seconds: 3.2, LUTBits: 1824, Ratio: 2.2},
+		{Benchmark: "cos", Method: "proposed", Mode: core.Joint, N: 9, M: 8, MED: 0, ER: 0, Seconds: 0.31, LUTBits: 1536, Ratio: 2.7},
+		{Benchmark: "cos", Method: "dalta", Mode: core.Joint, N: 9, M: 8, MED: 0, ER: 0, Seconds: 0.04, LUTBits: 1536, Ratio: 2.7},
+		// ln has no dalta-ilp row: the table must render a "-" cell.
+		{Benchmark: "ln", Method: "proposed", Mode: core.Joint, N: 9, M: 8, MED: 0.875, ER: 0.22, Seconds: 0.55, LUTBits: 1824, Ratio: 2.2},
+		{Benchmark: "ln", Method: "dalta", Mode: core.Joint, N: 9, M: 8, MED: 1.125, ER: 0.3, Seconds: 0.06, LUTBits: 1824, Ratio: 2.2},
+	}
+}
+
+func goldenSweepRows() []SweepRow {
+	return []SweepRow{
+		{Benchmark: "erf", FreeSize: 3, Overlap: 0, MED: 2.375, LUTBits: 2112, Ratio: 1.9, Seconds: 0.21},
+		{Benchmark: "erf", FreeSize: 4, Overlap: 0, MED: 1.5, LUTBits: 1824, Ratio: 2.2, Seconds: 0.34},
+		{Benchmark: "erf", FreeSize: 4, Overlap: 1, MED: 0.75, LUTBits: 3360, Ratio: 1.2, Seconds: 0.48},
+	}
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when the test runs with -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/experiments -run Golden -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s render drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenTable1Render pins the exact Table-1-style text layout emitted
+// by exptables, including the average row and missing-cell handling.
+func TestGoldenTable1Render(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable(&buf, goldenRows())
+	checkGolden(t, "table1", buf.Bytes())
+}
+
+// TestGoldenFig4Render pins the Figure-4-style ratio table, including the
+// zero-MED baseline path (ratio 1 when both are exact).
+func TestGoldenFig4Render(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFig4(&buf, Fig4Ratios(goldenRows(), "dalta"))
+	checkGolden(t, "fig4", buf.Bytes())
+}
+
+// TestGoldenCSV pins the raw CSV dump format (-csv flag output).
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenRows()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "rows_csv", buf.Bytes())
+}
+
+// TestGoldenSweepRender pins the free-size/overlap sweep table.
+func TestGoldenSweepRender(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSweep(&buf, goldenSweepRows())
+	checkGolden(t, "sweep", buf.Bytes())
+}
+
+// TestGoldenEmptyTable pins the degenerate no-rows rendering (a cancelled
+// run can legitimately produce zero rows).
+func TestGoldenEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable(&buf, nil)
+	checkGolden(t, "table1_empty", buf.Bytes())
+}

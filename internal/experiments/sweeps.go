@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,7 @@ type SweepRow struct {
 // [min, max] with the proposed solver and returns the accuracy/size
 // frontier — the design-choice data behind the paper's quantization
 // schemes (|A| = 4 of 9, 7 of 16).
-func FreeSizeSweep(bench string, n, min, max int, scale Scale, seed int64) ([]SweepRow, error) {
+func FreeSizeSweep(ctx context.Context, bench string, n, min, max int, scale Scale, seed int64) ([]SweepRow, error) {
 	exact, err := benchfn.Build(bench, n)
 	if err != nil {
 		return nil, err
@@ -38,7 +39,10 @@ func FreeSizeSweep(bench string, n, min, max int, scale Scale, seed int64) ([]Sw
 	}
 	var rows []SweepRow
 	for free := min; free <= max; free++ {
-		out, err := dalta.Run(exact, dalta.Config{
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
+		}
+		out, err := dalta.Run(ctx, exact, dalta.Config{
 			Rounds:     scale.Rounds,
 			Partitions: scale.Partitions,
 			FreeSize:   free,
@@ -48,7 +52,10 @@ func FreeSizeSweep(bench string, n, min, max int, scale Scale, seed int64) ([]Sw
 			Workers:    scale.Workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: free size %d: %w", free, err)
+			return rows, fmt.Errorf("experiments: free size %d: %w", free, err)
+		}
+		if out.Stopped.Interrupted() {
+			return rows, ctx.Err()
 		}
 		design := lut.FromOutcome(out)
 		rows = append(rows, SweepRow{
@@ -65,7 +72,7 @@ func FreeSizeSweep(bench string, n, min, max int, scale Scale, seed int64) ([]Sw
 
 // OverlapSweep decomposes the benchmark at overlaps 0..max with the
 // proposed solver (the non-disjoint extension's accuracy/size knob).
-func OverlapSweep(bench string, n, freeSize, max int, scale Scale, seed int64) ([]SweepRow, error) {
+func OverlapSweep(ctx context.Context, bench string, n, freeSize, max int, scale Scale, seed int64) ([]SweepRow, error) {
 	exact, err := benchfn.Build(bench, n)
 	if err != nil {
 		return nil, err
@@ -76,7 +83,10 @@ func OverlapSweep(bench string, n, freeSize, max int, scale Scale, seed int64) (
 	}
 	var rows []SweepRow
 	for overlap := 0; overlap <= max; overlap++ {
-		out, err := dalta.Run(exact, dalta.Config{
+		if ctx.Err() != nil {
+			return rows, ctx.Err()
+		}
+		out, err := dalta.Run(ctx, exact, dalta.Config{
 			Rounds:     scale.Rounds,
 			Partitions: scale.Partitions,
 			FreeSize:   freeSize,
@@ -87,7 +97,10 @@ func OverlapSweep(bench string, n, freeSize, max int, scale Scale, seed int64) (
 			Workers:    scale.Workers,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: overlap %d: %w", overlap, err)
+			return rows, fmt.Errorf("experiments: overlap %d: %w", overlap, err)
+		}
+		if out.Stopped.Interrupted() {
+			return rows, ctx.Err()
 		}
 		design := lut.FromOutcome(out)
 		rows = append(rows, SweepRow{
@@ -124,7 +137,7 @@ type ConvergenceResult struct {
 // Convergence runs bSB on one sampled core COP under several
 // configurations (with/without Theorem-3, fixed vs dynamic stop) and
 // returns their traces.
-func Convergence(bench string, n, k, freeSize int, seed int64) ([]ConvergenceResult, error) {
+func Convergence(ctx context.Context, bench string, n, k, freeSize int, seed int64) ([]ConvergenceResult, error) {
 	cop, err := SampleCOP(bench, n, k, freeSize, core.Joint, seed)
 	if err != nil {
 		return nil, err
@@ -146,7 +159,7 @@ func Convergence(bench string, n, k, freeSize int, seed int64) ([]ConvergenceRes
 		opts.SB.SampleEvery = every
 		opts.SB.RecordTrace = true
 		opts.SB.Seed = seed
-		sol := core.SolveBSB(cop, opts)
+		sol := core.SolveBSB(ctx, cop, opts)
 		tr := trace.New(every, sol.SB.Trace)
 		out = append(out, ConvergenceResult{
 			Label:   cfg.label,

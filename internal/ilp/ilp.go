@@ -20,13 +20,19 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
 
 	"isinglut/internal/bitvec"
 	"isinglut/internal/decomp"
+	"isinglut/internal/metrics"
 )
+
+// met instruments the branch-and-bound solver: runs, explored nodes
+// (Iterations), and the reason each search ended.
+var met = metrics.ForSolver("ilp")
 
 // Instance is a row-based core COP: R x C entry costs for approximating
 // each matrix cell with 0 or with 1, stored row-major.
@@ -57,6 +63,11 @@ type Solution struct {
 	// Optimal reports whether the search space was exhausted (proof of
 	// optimality); false means a limit was hit and Cost is an upper bound.
 	Optimal bool
+	// Stopped records how the search ended: StopConverged (optimality
+	// proved), StopMaxIters (node limit), StopDeadline (time limit or
+	// context deadline), or StopCancelled (context cancelled). The
+	// incumbent in V/S/Cost is valid in every case.
+	Stopped metrics.StopReason
 }
 
 type searcher struct {
@@ -75,10 +86,17 @@ type searcher struct {
 	deadline     time.Time
 	hasDeadline  bool
 	aborted      bool
+	abortReason  metrics.StopReason
+	ctx          context.Context
+	pollCtx      bool
 }
 
-// SolveRowCOP runs branch and bound on the instance.
-func SolveRowCOP(inst Instance, opts Options) Solution {
+// SolveRowCOP runs branch and bound on the instance. The context is
+// polled on the same periodic cadence as the solver's own deadline (every
+// 1024 nodes); an interrupted search returns the incumbent with
+// Solution.Stopped set, exactly like a time-capped Gurobi run.
+func SolveRowCOP(ctx context.Context, inst Instance, opts Options) Solution {
+	start := time.Now()
 	if inst.R <= 0 || inst.C <= 0 {
 		panic("ilp: empty instance")
 	}
@@ -91,6 +109,8 @@ func SolveRowCOP(inst Instance, opts Options) Solution {
 		cost0:     inst.Cost0,
 		cost1:     inst.Cost1,
 		nodeLimit: opts.NodeLimit,
+		ctx:       ctx,
+		pollCtx:   ctx.Done() != nil,
 	}
 	if opts.TimeLimit > 0 {
 		s.deadline = time.Now().Add(opts.TimeLimit)
@@ -99,7 +119,11 @@ func SolveRowCOP(inst Instance, opts Options) Solution {
 	s.prepare()
 	s.seedIncumbent()
 	s.branch(0, 0)
-	return s.solution()
+	sol := s.solution()
+	met.ObserveRun(time.Since(start), sol.Stopped)
+	met.Iterations.Add(sol.Nodes)
+	met.ObserveEnergy(sol.Cost)
+	return sol
 }
 
 // prepare computes column ordering and all bound tables.
@@ -249,12 +273,21 @@ func (s *searcher) limitHit() bool {
 	}
 	if s.nodeLimit > 0 && s.nodes >= s.nodeLimit {
 		s.aborted = true
+		s.abortReason = metrics.StopMaxIters
 		return true
 	}
-	// Check the clock periodically, not every node.
-	if s.hasDeadline && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
-		s.aborted = true
-		return true
+	// Check the clock and the context periodically, not every node.
+	if s.nodes%1024 == 0 {
+		if s.hasDeadline && time.Now().After(s.deadline) {
+			s.aborted = true
+			s.abortReason = metrics.StopDeadline
+			return true
+		}
+		if s.pollCtx && s.ctx.Err() != nil {
+			s.aborted = true
+			s.abortReason = metrics.ReasonFromContext(s.ctx)
+			return true
+		}
 	}
 	return false
 }
@@ -319,11 +352,16 @@ func (s *searcher) solution() Solution {
 		types[i] = bestT
 		cost += bestC
 	}
+	stopped := metrics.StopConverged
+	if s.aborted {
+		stopped = s.abortReason
+	}
 	return Solution{
 		V:       v,
 		S:       types,
 		Cost:    cost,
 		Nodes:   s.nodes,
 		Optimal: !s.aborted,
+		Stopped: stopped,
 	}
 }

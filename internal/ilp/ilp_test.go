@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -82,7 +83,7 @@ func TestOptimalAgainstBruteForce(t *testing.T) {
 		r := 1 + rng.Intn(5)
 		c := 1 + rng.Intn(8)
 		inst := randomInstance(r, c, rng)
-		sol := SolveRowCOP(inst, Options{})
+		sol := SolveRowCOP(context.Background(), inst, Options{})
 		if !sol.Optimal {
 			t.Fatalf("trial %d: unlimited search not optimal", trial)
 		}
@@ -99,7 +100,7 @@ func TestOptimalAgainstBruteForce(t *testing.T) {
 func TestSolutionSelfConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	inst := randomInstance(8, 12, rng)
-	sol := SolveRowCOP(inst, Options{})
+	sol := SolveRowCOP(context.Background(), inst, Options{})
 	if got := evalSolution(inst, sol); math.Abs(got-sol.Cost) > 1e-9 {
 		t.Fatalf("cost %g, recomputed %g", sol.Cost, got)
 	}
@@ -111,8 +112,8 @@ func TestSolutionSelfConsistent(t *testing.T) {
 func TestNodeLimitAnytime(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	inst := randomInstance(10, 18, rng)
-	capped := SolveRowCOP(inst, Options{NodeLimit: 50})
-	full := SolveRowCOP(inst, Options{})
+	capped := SolveRowCOP(context.Background(), inst, Options{NodeLimit: 50})
+	full := SolveRowCOP(context.Background(), inst, Options{})
 	if capped.Optimal {
 		t.Skip("instance solved within 50 nodes; nothing to assert")
 	}
@@ -140,7 +141,7 @@ func TestTimeLimitRespected(t *testing.T) {
 		}
 	}
 	start := time.Now()
-	sol := SolveRowCOP(inst, Options{TimeLimit: 50 * time.Millisecond})
+	sol := SolveRowCOP(context.Background(), inst, Options{TimeLimit: 50 * time.Millisecond})
 	elapsed := time.Since(start)
 	if elapsed > 2*time.Second {
 		t.Fatalf("time limit ignored: ran %s", elapsed)
@@ -152,7 +153,7 @@ func TestTimeLimitRespected(t *testing.T) {
 
 func TestZeroCostInstance(t *testing.T) {
 	inst := Instance{R: 2, C: 2, Cost0: make([]float64, 4), Cost1: make([]float64, 4)}
-	sol := SolveRowCOP(inst, Options{})
+	sol := SolveRowCOP(context.Background(), inst, Options{})
 	if sol.Cost != 0 || !sol.Optimal {
 		t.Fatalf("zero instance: cost %g optimal %v", sol.Cost, sol.Optimal)
 	}
@@ -186,7 +187,7 @@ func TestDecomposableInstanceCostZero(t *testing.T) {
 			}
 		}
 	}
-	sol := SolveRowCOP(inst, Options{})
+	sol := SolveRowCOP(context.Background(), inst, Options{})
 	if sol.Cost != 0 {
 		t.Fatalf("decomposable instance cost %g, want 0", sol.Cost)
 	}
@@ -204,14 +205,14 @@ func TestPanicsOnBadInstance(t *testing.T) {
 					t.Errorf("case %d did not panic", i)
 				}
 			}()
-			SolveRowCOP(inst, Options{})
+			SolveRowCOP(context.Background(), inst, Options{})
 		}()
 	}
 }
 
 func TestSingleRowSingleCol(t *testing.T) {
 	inst := Instance{R: 1, C: 1, Cost0: []float64{0.7}, Cost1: []float64{0.3}}
-	sol := SolveRowCOP(inst, Options{})
+	sol := SolveRowCOP(context.Background(), inst, Options{})
 	if math.Abs(sol.Cost-0.3) > 1e-12 {
 		t.Fatalf("cost %g, want 0.3", sol.Cost)
 	}

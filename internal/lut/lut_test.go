@@ -1,6 +1,7 @@
 package lut
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -14,7 +15,7 @@ import (
 func runQuick(t *testing.T, seed int64) (*dalta.Outcome, *truthtable.Table) {
 	t.Helper()
 	exact := truthtable.Random(6, 4, rand.New(rand.NewSource(seed)))
-	out, err := dalta.Run(exact, dalta.Config{
+	out, err := dalta.Run(context.Background(), exact, dalta.Config{
 		Rounds:     2,
 		Partitions: 3,
 		FreeSize:   3,

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with atomic counts, shaped like
+// errmetric.Histogram (ascending lower bounds, final bucket open-ended)
+// but built for concurrent in-flight observation instead of post-hoc
+// analysis: Observe is a single atomic add, so it is safe on solver hot
+// paths and never allocates.
+//
+// Bucket i covers values in [Bounds[i], Bounds[i+1]); values below
+// Bounds[0] land in bucket 0.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending lower bounds.
+// It panics on an empty or unsorted bound list (a construction-time
+// programming error, matching the package's init-only registry use).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)),
+	}
+}
+
+// PowerOfTwoBounds returns n ascending bounds 0, lo, 2lo, 4lo, ... — the
+// same bucket shape errmetric uses for error distances, reused here for
+// latencies and energy magnitudes.
+func PowerOfTwoBounds(lo float64, n int) []float64 {
+	if lo <= 0 || n < 2 {
+		panic("metrics: PowerOfTwoBounds needs lo > 0 and n >= 2")
+	}
+	bounds := make([]float64, n)
+	bounds[0] = 0
+	b := lo
+	for i := 1; i < n; i++ {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Observe adds one observation. NaN is counted in bucket 0 (the bucket
+// scan treats it like a below-range value) rather than dropped, so the
+// total observation count stays trustworthy.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketOf(v)].Add(1)
+}
+
+// bucketOf returns the highest bucket whose lower bound is <= v, like
+// errmetric.Histogram.bucketOf. Linear from the top: observations skew
+// large for latencies, and the bucket count is small and fixed.
+func (h *Histogram) bucketOf(v float64) int {
+	for i := len(h.bounds) - 1; i >= 0; i-- {
+		if v >= h.bounds[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	total := int64(0)
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, safe to
+// marshal and render while the source keeps counting.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return HistogramSnapshot{Bounds: append([]float64(nil), h.bounds...), Counts: counts}
+}
+
+// Total returns the snapshot's observation count.
+func (s HistogramSnapshot) Total() int64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	return total
+}
+
+// Render writes the snapshot as an aligned text table with bar marks, in
+// the style of errmetric's histogram rendering. Empty buckets are elided
+// unless the whole histogram is empty.
+func (s HistogramSnapshot) Render(w io.Writer) {
+	maxCount := int64(0)
+	for _, c := range s.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, lo := range s.Bounds {
+		if s.Counts[i] == 0 && maxCount > 0 {
+			continue
+		}
+		label := ""
+		if i+1 < len(s.Bounds) {
+			label = fmt.Sprintf("[%g,%g)", lo, s.Bounds[i+1])
+		} else {
+			label = fmt.Sprintf(">= %g", lo)
+		}
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", int(float64(s.Counts[i])/float64(maxCount)*40+0.5))
+		}
+		fmt.Fprintf(w, "%-24s %8d %s\n", label, s.Counts[i], bar)
+	}
+}

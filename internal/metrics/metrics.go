@@ -1,0 +1,252 @@
+// Package metrics is the solver observability layer: lock-free counters,
+// wall-clock timers, and fixed-bucket histograms that every solver in the
+// stack (sb, anneal, ilp, core, dalta) updates in flight, plus the shared
+// StopReason vocabulary for context-aware cancellation.
+//
+// The package is built for hot paths: a warm solver loop records a run
+// with a handful of atomic adds and zero heap allocations (the sb
+// allocation-regression test pins this transitively). Aggregates are
+// scraped programmatically with Snapshot, rendered with Render, and
+// published on the standard expvar surface as "isinglut.metrics" so any
+// binary that serves HTTP (e.g. via the -pprof flag of the CLIs) exposes
+// them on /debug/vars for free.
+package metrics
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StopReason reports why a solver run ended. It is the shared vocabulary
+// of the context-aware cancellation layer: every solver returns one
+// instead of discarding work, so callers always get the best-so-far state
+// plus the reason it is not better.
+type StopReason uint8
+
+const (
+	// StopNone is the zero value: the run never started or the reason was
+	// not recorded (e.g. a batch replica that was skipped after
+	// cancellation).
+	StopNone StopReason = iota
+	// StopConverged: a convergence criterion fired (the §3.3.1 dynamic
+	// stop for SB, a proof of optimality for branch and bound, a fixed
+	// point for coordinate descent).
+	StopConverged
+	// StopMaxIters: the configured iteration/step/node/round budget was
+	// exhausted.
+	StopMaxIters
+	// StopCancelled: the caller's context was cancelled.
+	StopCancelled
+	// StopDeadline: the caller's context deadline (or the solver's own
+	// time limit) expired.
+	StopDeadline
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopConverged:
+		return "converged"
+	case StopMaxIters:
+		return "max-iters"
+	case StopCancelled:
+		return "cancelled"
+	case StopDeadline:
+		return "deadline"
+	}
+	return "unknown"
+}
+
+// Interrupted reports whether the run was cut short by its context rather
+// than by its own termination logic.
+func (r StopReason) Interrupted() bool {
+	return r == StopCancelled || r == StopDeadline
+}
+
+// ReasonFromContext maps a context's error state to a StopReason:
+// StopNone while the context is live, StopDeadline after its deadline,
+// StopCancelled after an explicit cancel.
+func ReasonFromContext(ctx context.Context) StopReason {
+	switch ctx.Err() {
+	case nil:
+		return StopNone
+	case context.DeadlineExceeded:
+		return StopDeadline
+	default:
+		return StopCancelled
+	}
+}
+
+// Counter is a lock-free monotonic counter. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// reset zeroes the counter (testing/Reset support).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Timer accumulates wall-clock durations atomically: total time and
+// observation count. The zero value is ready to use.
+type Timer struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe adds one duration to the total.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Mean returns the average observed duration (0 with no observations).
+func (t *Timer) Mean() time.Duration {
+	n := t.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(t.ns.Load() / n)
+}
+
+func (t *Timer) reset() {
+	t.ns.Store(0)
+	t.count.Store(0)
+}
+
+// Solver is one solver's instrumentation set. All fields are safe for
+// concurrent update; solvers hold the pointer returned by ForSolver in a
+// package variable so the hot path never touches the registry.
+type Solver struct {
+	// Name identifies the solver in snapshots ("sb", "sa", "ilp", ...).
+	Name string
+
+	// Runs counts completed solve calls; Iterations and Samples accumulate
+	// the per-run iteration and sample/evaluation counts; Restarts counts
+	// extra trajectories beyond the first (batch replicas, SA restarts).
+	Runs       Counter
+	Iterations Counter
+	Samples    Counter
+	Restarts   Counter
+
+	// Stop-reason tallies: every completed run increments exactly one.
+	Converged Counter
+	MaxIters  Counter
+	Cancelled Counter
+	Deadline  Counter
+
+	// SolveTime accumulates per-run wall clock; Latency buckets the same
+	// observations (microsecond power-of-two bounds) for tail inspection.
+	SolveTime Timer
+	Latency   *Histogram
+
+	// Energy buckets |best energy| magnitudes (power-of-two bounds) so a
+	// scrape shows the scale of the problems a deployment actually solves.
+	Energy *Histogram
+
+	// WorkerBusy accumulates per-worker busy time and WorkerCapacity the
+	// wall-clock capacity (batch duration x workers) of parallel stages;
+	// their ratio is the worker utilization in Snapshot.
+	WorkerBusy     Timer
+	WorkerCapacity Timer
+}
+
+// ObserveRun records one completed run: latency, stop reason, run count.
+func (s *Solver) ObserveRun(d time.Duration, reason StopReason) {
+	s.Runs.Inc()
+	s.SolveTime.Observe(d)
+	s.Latency.Observe(float64(d.Microseconds()))
+	switch reason {
+	case StopConverged:
+		s.Converged.Inc()
+	case StopMaxIters:
+		s.MaxIters.Inc()
+	case StopCancelled:
+		s.Cancelled.Inc()
+	case StopDeadline:
+		s.Deadline.Inc()
+	}
+}
+
+// ObserveEnergy records a run's best energy magnitude.
+func (s *Solver) ObserveEnergy(e float64) {
+	if e < 0 {
+		e = -e
+	}
+	s.Energy.Observe(e)
+}
+
+func newSolver(name string) *Solver {
+	return &Solver{
+		Name: name,
+		// 1 µs .. ~8.4 s in power-of-two buckets, with under/overflow ends.
+		Latency: NewHistogram(PowerOfTwoBounds(1, 24)),
+		// |E| from 2^-10 up to 2^20, covering the repo's problem scales.
+		Energy: NewHistogram(PowerOfTwoBounds(1.0/1024, 31)),
+	}
+}
+
+func (s *Solver) reset() {
+	s.Runs.reset()
+	s.Iterations.reset()
+	s.Samples.reset()
+	s.Restarts.reset()
+	s.Converged.reset()
+	s.MaxIters.reset()
+	s.Cancelled.reset()
+	s.Deadline.reset()
+	s.SolveTime.reset()
+	s.WorkerBusy.reset()
+	s.WorkerCapacity.reset()
+	s.Latency.reset()
+	s.Energy.reset()
+}
+
+var (
+	mu      sync.Mutex
+	solvers = map[string]*Solver{}
+	order   []string
+)
+
+// ForSolver returns the named solver's instrumentation set, creating it on
+// first use. Call once at package init and keep the pointer; the lookup
+// takes a lock.
+func ForSolver(name string) *Solver {
+	mu.Lock()
+	defer mu.Unlock()
+	if s, ok := solvers[name]; ok {
+		return s
+	}
+	s := newSolver(name)
+	solvers[name] = s
+	order = append(order, name)
+	return s
+}
+
+// Reset zeroes every registered metric. Intended for tests and for
+// long-running processes that scrape-and-reset.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range solvers {
+		s.reset()
+	}
+}

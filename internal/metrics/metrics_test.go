@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStopReasonStrings(t *testing.T) {
+	cases := map[StopReason]string{
+		StopNone:       "none",
+		StopConverged:  "converged",
+		StopMaxIters:   "max-iters",
+		StopCancelled:  "cancelled",
+		StopDeadline:   "deadline",
+		StopReason(99): "unknown",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("StopReason(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+	if StopConverged.Interrupted() || StopMaxIters.Interrupted() {
+		t.Error("termination reasons must not report Interrupted")
+	}
+	if !StopCancelled.Interrupted() || !StopDeadline.Interrupted() {
+		t.Error("context reasons must report Interrupted")
+	}
+}
+
+func TestReasonFromContext(t *testing.T) {
+	if r := ReasonFromContext(context.Background()); r != StopNone {
+		t.Errorf("live context: %v, want none", r)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := ReasonFromContext(cancelled); r != StopCancelled {
+		t.Errorf("cancelled context: %v, want cancelled", r)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if r := ReasonFromContext(expired); r != StopDeadline {
+		t.Errorf("expired context: %v, want deadline", r)
+	}
+}
+
+func TestCounterAndTimerConcurrent(t *testing.T) {
+	var c Counter
+	var tm Timer
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				tm.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := tm.Count(); got != 8000 {
+		t.Errorf("timer count = %d, want 8000", got)
+	}
+	if got := tm.Total(); got != 8000*time.Microsecond {
+		t.Errorf("timer total = %v, want 8ms", got)
+	}
+	if got := tm.Mean(); got != time.Microsecond {
+		t.Errorf("timer mean = %v, want 1µs", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 4})
+	for _, v := range []float64{-3, 0, 0.5, 1, 1.9, 2, 3.9, 4, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	want := []int64{3, 2, 2, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Total() != 9 || h.Count() != 9 {
+		t.Errorf("total = %d/%d, want 9", snap.Total(), h.Count())
+	}
+	var sb strings.Builder
+	snap.Render(&sb)
+	if !strings.Contains(sb.String(), ">= 4") {
+		t.Errorf("render missing open-ended bucket:\n%s", sb.String())
+	}
+}
+
+func TestPowerOfTwoBounds(t *testing.T) {
+	b := PowerOfTwoBounds(1, 4)
+	want := []float64{0, 1, 2, 4}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bounds[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestSolverSnapshotAndJSON(t *testing.T) {
+	s := ForSolver("test-solver")
+	if again := ForSolver("test-solver"); again != s {
+		t.Fatal("ForSolver must return the same instance per name")
+	}
+	s.reset()
+	s.ObserveRun(3*time.Millisecond, StopConverged)
+	s.ObserveRun(5*time.Millisecond, StopCancelled)
+	s.ObserveEnergy(-12.5)
+	s.Iterations.Add(400)
+	s.Samples.Add(20)
+	s.WorkerBusy.Observe(30 * time.Millisecond)
+	s.WorkerCapacity.Observe(40 * time.Millisecond)
+
+	var snap SolverSnapshot
+	found := false
+	for _, sn := range Snapshot() {
+		if sn.Name == "test-solver" {
+			snap, found = sn, true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing test-solver")
+	}
+	if snap.Runs != 2 || snap.Converged != 1 || snap.Cancelled != 1 {
+		t.Errorf("run tallies wrong: %+v", snap)
+	}
+	if snap.Iterations != 400 || snap.Samples != 20 {
+		t.Errorf("iteration tallies wrong: %+v", snap)
+	}
+	if snap.SolveTimeNS != int64(8*time.Millisecond) {
+		t.Errorf("solve time = %d", snap.SolveTimeNS)
+	}
+	if snap.Utilization < 0.74 || snap.Utilization > 0.76 {
+		t.Errorf("utilization = %g, want 0.75", snap.Utilization)
+	}
+	if snap.Latency.Total() != 2 || snap.Energy.Total() != 1 {
+		t.Errorf("histogram totals: latency %d energy %d", snap.Latency.Total(), snap.Energy.Total())
+	}
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	for _, key := range []string{`"name":"test-solver"`, `"runs":2`, `"latency_us"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
+	}
+
+	var sb strings.Builder
+	Render(&sb, []SolverSnapshot{snap})
+	if !strings.Contains(sb.String(), "test-solver") {
+		t.Errorf("render missing solver row:\n%s", sb.String())
+	}
+}
+
+func TestObserveAllocsFree(t *testing.T) {
+	s := ForSolver("alloc-probe")
+	allocs := testing.AllocsPerRun(100, func() {
+		s.ObserveRun(time.Millisecond, StopMaxIters)
+		s.ObserveEnergy(3.5)
+		s.Iterations.Add(10)
+	})
+	if allocs != 0 {
+		t.Errorf("hot-path observation allocates %.1f/run, want 0", allocs)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := ForSolver("reset-probe")
+	s.ObserveRun(time.Millisecond, StopConverged)
+	s.Iterations.Add(5)
+	Reset()
+	if s.Runs.Load() != 0 || s.Iterations.Load() != 0 || s.Latency.Count() != 0 {
+		t.Error("Reset left residual counts")
+	}
+}

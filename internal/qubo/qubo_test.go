@@ -1,6 +1,7 @@
 package qubo
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -91,7 +92,7 @@ func TestSolveWithSBAndSA(t *testing.T) {
 		t.Errorf("bSB best %g, ground %g", best, ground)
 	}
 
-	sa := anneal.Solve(prob, anneal.DefaultParams())
+	sa := anneal.Solve(context.Background(), prob, anneal.DefaultParams())
 	if sa.Energy > ground+0.5*math.Abs(ground) {
 		t.Errorf("SA energy %g far from ground %g", sa.Energy, ground)
 	}

@@ -1,13 +1,16 @@
 package sb
 
 import (
+	"context"
 	"testing"
 )
 
 // TestSolveWithZeroAllocs pins the workspace contract: once the workspace
 // has warmed up to the problem size, SolveWith performs zero heap
-// allocations per run — across all three variants and with the dynamic
-// stop criterion (whose ring buffer lives in the workspace) engaged.
+// allocations per run — across all three variants, with the dynamic stop
+// criterion (whose ring buffer lives in the workspace) engaged, and with
+// the metrics instrumentation (atomic counters and histogram observations
+// per run) active.
 func TestSolveWithZeroAllocs(t *testing.T) {
 	p := randomProblem(24, 9)
 	for _, v := range []Variant{Ballistic, Adiabatic, Discrete} {
@@ -16,9 +19,9 @@ func TestSolveWithZeroAllocs(t *testing.T) {
 		params.Stop = &StopCriteria{F: 10, S: 5, Epsilon: 1e-12}
 		params.Seed = 3
 		ws := NewWorkspace(p.N())
-		SolveWith(p, params, ws) // warm up
+		SolveWith(context.Background(), p, params, ws) // warm up
 		allocs := testing.AllocsPerRun(20, func() {
-			SolveWith(p, params, ws)
+			SolveWith(context.Background(), p, params, ws)
 		})
 		if allocs != 0 {
 			t.Errorf("%v: SolveWith allocates %.1f times per run, want 0", v, allocs)
@@ -34,15 +37,36 @@ func TestSolveWithZeroAllocsAcrossSeeds(t *testing.T) {
 	params := DefaultParams()
 	params.Steps = 150
 	ws := NewWorkspace(p.N())
-	SolveWith(p, params, ws) // warm up
+	SolveWith(context.Background(), p, params, ws) // warm up
 	seed := int64(0)
 	allocs := testing.AllocsPerRun(20, func() {
 		params.Seed = seed
 		seed++
-		SolveWith(p, params, ws)
+		SolveWith(context.Background(), p, params, ws)
 	})
 	if allocs != 0 {
 		t.Errorf("SolveWith allocates %.1f times per run across seeds, want 0", allocs)
+	}
+}
+
+// TestSolveWithZeroAllocsCancellableContext pins the cancellation layer's
+// cost: polling a live cancellable context at the sample cadence must not
+// allocate on the hot path either (the context itself is built outside
+// the measured region).
+func TestSolveWithZeroAllocsCancellableContext(t *testing.T) {
+	p := randomProblem(16, 13)
+	params := DefaultParams()
+	params.Steps = 200
+	params.SampleEvery = 10
+	ws := NewWorkspace(p.N())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	SolveWith(ctx, p, params, ws) // warm up
+	allocs := testing.AllocsPerRun(20, func() {
+		SolveWith(ctx, p, params, ws)
+	})
+	if allocs != 0 {
+		t.Errorf("SolveWith with cancellable ctx allocates %.1f times per run, want 0", allocs)
 	}
 }
 
@@ -54,7 +78,7 @@ func TestWorkspaceGrowsAndShrinks(t *testing.T) {
 	params.Steps = 100
 	for _, n := range []int{6, 12, 4} {
 		p := randomProblem(n, int64(n))
-		res := SolveWith(p, params, ws)
+		res := SolveWith(context.Background(), p, params, ws)
 		if len(res.Spins) != n {
 			t.Fatalf("n=%d: %d spins", n, len(res.Spins))
 		}

@@ -1,11 +1,19 @@
 package sb
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"isinglut/internal/ising"
+	"isinglut/internal/metrics"
 )
+
+// batchMet instruments the replica-batch layer: batch runs, replica
+// restarts, and worker busy time vs capacity (their ratio is the worker
+// utilization reported by metrics.Snapshot).
+var batchMet = metrics.ForSolver("sb.batch")
 
 // BatchParams configures a multi-replica SB run. SB hardware and GPU
 // implementations always run many replicas of the oscillator network in
@@ -32,20 +40,32 @@ type BatchParams struct {
 // distribution is, how many replicas the dynamic stop cut short, and how
 // much iteration budget the batch actually consumed.
 type Stats struct {
-	// Replicas is the number of trajectories run.
+	// Replicas is the number of trajectories requested; Launched is the
+	// number actually run (smaller only when the context interrupted the
+	// batch before every replica was dispatched).
 	Replicas int
+	Launched int
 	// Energies holds each replica's best rounded energy, indexed by
-	// replica.
+	// replica. Entries for never-launched replicas are zero; consult
+	// Stopped (StopNone marks an unlaunched replica) before reading them.
 	Energies []float64
 	// Iterations holds each replica's executed Euler steps.
 	Iterations []int
+	// Stopped records why each launched replica ended (converged,
+	// max-iters, cancelled, deadline); StopNone marks a replica that was
+	// never launched.
+	Stopped []metrics.StopReason
 	// EarlyStopped marks the replicas whose dynamic stop criterion fired;
 	// EarlyStops is their count.
 	EarlyStopped []bool
 	EarlyStops   int
 	// BestReplica is the index of the winning replica (lowest energy,
-	// ties toward the lowest index).
+	// ties toward the lowest index); -1 when no replica ran.
 	BestReplica int
+	// BatchStopped is the batch-level reason: StopCancelled/StopDeadline
+	// when the context interrupted the batch, otherwise StopMaxIters (all
+	// replicas ran their course).
+	BatchStopped metrics.StopReason
 }
 
 // TotalIterations sums the executed Euler steps across replicas — the
@@ -64,7 +84,16 @@ func (s Stats) TotalIterations() int {
 // per-replica statistics. Each worker goroutine reuses one Workspace
 // across its replicas, so the batch performs O(workers) allocations
 // rather than O(replicas).
-func SolveBatch(p *ising.Problem, bp BatchParams) (Result, Stats) {
+//
+// Cancellation honors the sample-point granularity of SolveWith: when ctx
+// fires, in-flight replicas return their best-so-far state within one
+// sample period, queued replicas are abandoned (Stats.Stopped records
+// StopNone for them), and the winner among everything that did run is
+// returned with Stats.BatchStopped set. At least one replica is always
+// run — even under an already-cancelled context the call returns a valid
+// (if unconverged) state rather than discarding the request.
+func SolveBatch(ctx context.Context, p *ising.Problem, bp BatchParams) (Result, Stats) {
+	batchStart := time.Now()
 	replicas := bp.Replicas
 	if replicas <= 0 {
 		replicas = 4
@@ -87,7 +116,9 @@ func SolveBatch(p *ising.Problem, bp BatchParams) (Result, Stats) {
 		Replicas:     replicas,
 		Energies:     make([]float64, replicas),
 		Iterations:   make([]int, replicas),
+		Stopped:      make([]metrics.StopReason, replicas),
 		EarlyStopped: make([]bool, replicas),
+		BatchStopped: metrics.StopMaxIters,
 	}
 
 	// Each worker keeps only its local winner (with spins copied out of
@@ -107,15 +138,19 @@ func SolveBatch(p *ising.Problem, bp BatchParams) (Result, Stats) {
 			ws := NewWorkspace(p.N())
 			var spinsBuf []int8
 			local := localBest{replica: -1}
+			busy := time.Duration(0)
 			for r := range next {
+				replicaStart := time.Now()
 				params := bp.Base
 				params.Seed = bp.Base.Seed + int64(r)
 				if bp.MakeOnSample != nil {
 					params.OnSample = bp.MakeOnSample(r)
 				}
-				res := SolveWith(p, params, ws)
+				res := SolveWith(ctx, p, params, ws)
+				busy += time.Since(replicaStart)
 				stats.Energies[r] = res.Energy
 				stats.Iterations[r] = res.Iterations
+				stats.Stopped[r] = res.Stopped
 				stats.EarlyStopped[r] = res.StoppedEarly
 				// Replicas arrive in increasing order per worker, so a
 				// strict < keeps the lowest index among equal energies.
@@ -126,13 +161,36 @@ func SolveBatch(p *ising.Problem, bp BatchParams) (Result, Stats) {
 				}
 			}
 			bests[w] = local
+			batchMet.WorkerBusy.Observe(busy)
 		}(w)
 	}
+	// Replica 0 is dispatched unconditionally so the batch always returns
+	// a valid state; the rest race against the context.
+	done := ctx.Done()
+	launched := 0
+dispatch:
 	for r := 0; r < replicas; r++ {
-		next <- r
+		if r == 0 || done == nil {
+			next <- r
+			launched++
+			continue
+		}
+		// The select below picks randomly when both channels are ready, so
+		// check the context first — an already-cancelled batch must launch
+		// exactly replica 0.
+		if ctx.Err() != nil {
+			break dispatch
+		}
+		select {
+		case next <- r:
+			launched++
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	stats.Launched = launched
 
 	best := localBest{replica: -1}
 	for _, b := range bests {
@@ -149,6 +207,16 @@ func SolveBatch(p *ising.Problem, bp BatchParams) (Result, Stats) {
 		if stopped {
 			stats.EarlyStops++
 		}
+	}
+	if reason := metrics.ReasonFromContext(ctx); reason != metrics.StopNone {
+		stats.BatchStopped = reason
+	}
+
+	wall := time.Since(batchStart)
+	batchMet.ObserveRun(wall, stats.BatchStopped)
+	batchMet.WorkerCapacity.Observe(wall * time.Duration(workers))
+	if launched > 1 {
+		batchMet.Restarts.Add(int64(launched - 1))
 	}
 	return best.res, stats
 }

@@ -1,6 +1,7 @@
 package sb
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -11,7 +12,7 @@ func TestSolveBatchAtLeastSingle(t *testing.T) {
 	base := DefaultParams()
 	base.Steps = 400
 	single := Solve(p, base)
-	batch, stats := SolveBatch(p, BatchParams{Base: base, Replicas: 6, Workers: 3})
+	batch, stats := SolveBatch(context.Background(), p, BatchParams{Base: base, Replicas: 6, Workers: 3})
 	if batch.Energy > single.Energy+1e-12 {
 		t.Fatalf("batch %g worse than its first replica %g", batch.Energy, single.Energy)
 	}
@@ -44,14 +45,14 @@ func TestSolveBatchDeterministic(t *testing.T) {
 	base := DefaultParams()
 	base.Steps = 300
 	bp := BatchParams{Base: base, Replicas: 5, Workers: 4}
-	a, as := SolveBatch(p, bp)
-	b, bs := SolveBatch(p, bp)
+	a, as := SolveBatch(context.Background(), p, bp)
+	b, bs := SolveBatch(context.Background(), p, bp)
 	if a.Energy != b.Energy {
 		t.Fatal("batch not deterministic")
 	}
 	// And identical to a serial batch, stats included.
 	bp.Workers = 1
-	c, cs := SolveBatch(p, bp)
+	c, cs := SolveBatch(context.Background(), p, bp)
 	if a.Energy != c.Energy {
 		t.Fatal("parallel batch differs from serial batch")
 	}
@@ -74,7 +75,7 @@ func TestSolveBatchDefaults(t *testing.T) {
 	p := randomProblem(8, 5)
 	base := DefaultParams()
 	base.Steps = 200
-	res, stats := SolveBatch(p, BatchParams{Base: base}) // default replicas/workers
+	res, stats := SolveBatch(context.Background(), p, BatchParams{Base: base}) // default replicas/workers
 	if len(res.Spins) != 8 {
 		t.Fatal("no result from default batch")
 	}
@@ -93,7 +94,7 @@ func TestSolveBatchSharedHookSerializes(t *testing.T) {
 	base.SampleEvery = 10
 	calls := 0 // deliberately not atomic: safe only if serialized
 	base.OnSample = func(int, []float64, []float64) { calls++ }
-	_, _ = SolveBatch(p, BatchParams{Base: base, Replicas: 4, Workers: 4})
+	_, _ = SolveBatch(context.Background(), p, BatchParams{Base: base, Replicas: 4, Workers: 4})
 	if calls == 0 {
 		t.Fatal("hook never ran")
 	}
@@ -113,7 +114,7 @@ func TestSolveBatchHookFactoryParallel(t *testing.T) {
 			return func(int, []float64, []float64) { atomic.AddInt64(&calls, 1) }
 		},
 	}
-	_, _ = SolveBatch(p, bp)
+	_, _ = SolveBatch(context.Background(), p, bp)
 	if atomic.LoadInt64(&calls) == 0 {
 		t.Fatal("factory hooks never ran")
 	}

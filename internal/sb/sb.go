@@ -24,11 +24,19 @@
 package sb
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"isinglut/internal/ising"
+	"isinglut/internal/metrics"
 )
+
+// met is the package's instrumentation set; SolveWith updates it with a
+// handful of atomic adds per run (never per iteration), so the hot path
+// stays allocation-free and measurably unperturbed.
+var met = metrics.ForSolver("sb")
 
 // Variant selects the SB update rule.
 type Variant int
@@ -147,7 +155,13 @@ type Result struct {
 	Objective float64
 	// Iterations is the number of Euler steps actually executed.
 	Iterations int
-	// StoppedEarly reports whether the dynamic stop criterion fired.
+	// Stopped reports why the run ended: StopConverged (the dynamic stop
+	// criterion fired), StopMaxIters (the Steps budget ran out), or
+	// StopCancelled/StopDeadline (the context interrupted the run — Spins
+	// still holds the best state seen up to that point).
+	Stopped metrics.StopReason
+	// StoppedEarly reports whether the dynamic stop criterion fired
+	// (equivalent to Stopped == metrics.StopConverged).
 	StoppedEarly bool
 	// Samples is the number of energy evaluations performed.
 	Samples int
@@ -158,9 +172,17 @@ type Result struct {
 // Solve runs simulated bifurcation on the problem and returns the best
 // spin state seen at any sample point or at termination. It allocates a
 // fresh Workspace; callers in a hot loop should hold one and use
-// SolveWith.
+// SolveWith. Use SolveContext to bound the run with a cancellable or
+// deadlined context.
 func Solve(p *ising.Problem, params Params) Result {
-	return SolveWith(p, params, NewWorkspace(p.N()))
+	return SolveWith(context.Background(), p, params, NewWorkspace(p.N()))
+}
+
+// SolveContext is Solve honoring the context: the run is interrupted at
+// sample-point granularity when ctx is cancelled or its deadline expires,
+// returning the best-so-far state with Result.Stopped set accordingly.
+func SolveContext(ctx context.Context, p *ising.Problem, params Params) Result {
+	return SolveWith(ctx, p, params, NewWorkspace(p.N()))
 }
 
 // SolveWith is Solve running entirely inside the caller-owned workspace:
@@ -169,10 +191,19 @@ func Solve(p *ising.Problem, params Params) Result {
 // except that Params.RecordTrace grows the per-run trace slice and a
 // caller-supplied OnSample hook may of course allocate on its own.
 //
+// The context is polled at the sampling cadence (SampleEvery, falling
+// back to Stop.F, falling back to every 64 iterations when no sampling is
+// configured); a context that can never fire (context.Background) adds no
+// per-iteration work at all. An interrupted run is not an error: the
+// result carries the best state observed so far and Stopped records why
+// the run ended.
+//
 // Result.Spins aliases workspace memory and is only valid until the next
 // SolveWith call on the same workspace; copy it to keep it. Results are
-// bit-identical to Solve for equal parameters and seed.
-func SolveWith(p *ising.Problem, params Params, ws *Workspace) Result {
+// bit-identical to Solve for equal parameters and seed, regardless of the
+// context plumbing.
+func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspace) Result {
+	start := time.Now()
 	n := p.N()
 	if params.Steps <= 0 {
 		panic("sb: Steps must be positive")
@@ -206,6 +237,19 @@ func SolveWith(p *ising.Problem, params Params, ws *Workspace) Result {
 		minIters = params.Stop.MinIters
 		if minIters <= 0 {
 			minIters = params.Steps / 2
+		}
+	}
+	// ctxEvery is the context poll cadence. A nil Done channel (Background,
+	// TODO) disables polling entirely, so uncancellable runs pay nothing.
+	ctxEvery := 0
+	if ctx.Done() != nil {
+		switch {
+		case sampleEvery > 0:
+			ctxEvery = sampleEvery
+		case stopF > 0:
+			ctxEvery = stopF
+		default:
+			ctxEvery = 64
 		}
 	}
 
@@ -304,9 +348,18 @@ func SolveWith(p *ising.Problem, params Params, ws *Workspace) Result {
 		}
 		if stopF > 0 && it%stopF == 0 && stopCheck(it) {
 			iter++
+			res.Stopped = metrics.StopConverged
 			res.StoppedEarly = true
 			break
 		}
+		if ctxEvery > 0 && it%ctxEvery == 0 && ctx.Err() != nil {
+			iter++
+			res.Stopped = metrics.ReasonFromContext(ctx)
+			break
+		}
+	}
+	if res.Stopped == metrics.StopNone {
+		res.Stopped = metrics.StopMaxIters
 	}
 
 	// Final evaluation (covers runs with no mid-run sampling, termination
@@ -319,6 +372,11 @@ func SolveWith(p *ising.Problem, params Params, ws *Workspace) Result {
 	res.Energy = bestE
 	res.Objective = bestE + p.Offset
 	res.Iterations = iter
+
+	met.ObserveRun(time.Since(start), res.Stopped)
+	met.Iterations.Add(int64(res.Iterations))
+	met.Samples.Add(int64(res.Samples))
+	met.ObserveEnergy(res.Energy)
 	return res
 }
 

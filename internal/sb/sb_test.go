@@ -1,6 +1,7 @@
 package sb
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -381,7 +382,7 @@ func TestSolveWithMatchesSolve(t *testing.T) {
 			params.Seed = seed
 			params.Stop = &StopCriteria{F: 15, S: 4, Epsilon: 1e-10}
 			want := Solve(p, params)
-			got := SolveWith(p, params, ws) // ws warm from the previous iteration
+			got := SolveWith(context.Background(), p, params, ws) // ws warm from the previous iteration
 			if got.Energy != want.Energy || got.Iterations != want.Iterations ||
 				got.Samples != want.Samples || got.StoppedEarly != want.StoppedEarly {
 				t.Fatalf("seed %d %v: SolveWith %+v != Solve %+v", seed, v, got, want)

@@ -1,6 +1,7 @@
 package isinglut
 
 import (
+	"context"
 	"fmt"
 
 	"isinglut/internal/anneal"
@@ -95,11 +96,22 @@ type IsingResult struct {
 	// the scalar fields above describe the winning replica.
 	Replicas   int
 	EarlyStops int
+	// StopReason states how the run ended: "converged", "max-iters",
+	// "cancelled" or "deadline". Interrupted runs ("cancelled"/"deadline")
+	// still return the best state found before the interruption.
+	StopReason string
 }
 
 // SolveIsing searches the problem's ground state with simulated
-// bifurcation.
+// bifurcation. It is SolveIsingContext with a background context.
 func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
+	return SolveIsingContext(context.Background(), p, opts)
+}
+
+// SolveIsingContext is SolveIsing under a context: cancellation or a
+// deadline interrupts the run at the next sample point and returns the
+// best-so-far state with StopReason set, never an error.
+func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (IsingResult, error) {
 	params := sb.DefaultParams()
 	params.Variant = opts.Variant
 	if opts.Steps > 0 {
@@ -132,8 +144,9 @@ func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
 	replicas := 1
 	earlyStops := 0
 	var res sb.Result
+	stopReason := ""
 	if opts.Replicas > 1 {
-		batch, stats := sb.SolveBatch(prob, sb.BatchParams{
+		batch, stats := sb.SolveBatch(ctx, prob, sb.BatchParams{
 			Base:     params,
 			Replicas: opts.Replicas,
 			Workers:  opts.Workers,
@@ -141,11 +154,13 @@ func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
 		res = batch
 		replicas = stats.Replicas
 		earlyStops = stats.EarlyStops
+		stopReason = stats.BatchStopped.String()
 	} else {
-		res = sb.Solve(prob, params)
+		res = sb.SolveContext(ctx, prob, params)
 		if res.StoppedEarly {
 			earlyStops = 1
 		}
+		stopReason = res.Stopped.String()
 	}
 	sampleEvery := params.SampleEvery
 	if sampleEvery <= 0 && params.Stop != nil {
@@ -163,15 +178,30 @@ func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
 		SampleEvery: sampleEvery,
 		Replicas:    replicas,
 		EarlyStops:  earlyStops,
+		StopReason:  stopReason,
 	}, nil
 }
 
 // AnnealIsing searches the problem's ground state with simulated
-// annealing (sweeps full passes, geometric cooling tStart -> tEnd).
+// annealing (sweeps full passes, geometric cooling tStart -> tEnd). It is
+// AnnealIsingContext with a background context.
 func AnnealIsing(p *IsingProblem, sweeps int, tStart, tEnd float64, seed int64) (IsingResult, error) {
+	return AnnealIsingContext(context.Background(), p, sweeps, tStart, tEnd, seed)
+}
+
+// AnnealIsingContext is AnnealIsing under a context: cancellation or a
+// deadline interrupts the schedule at the next sweep boundary and returns
+// the best-so-far state with StopReason set.
+func AnnealIsingContext(ctx context.Context, p *IsingProblem, sweeps int, tStart, tEnd float64, seed int64) (IsingResult, error) {
 	if sweeps <= 0 || tStart <= 0 || tEnd <= 0 || tEnd > tStart {
 		return IsingResult{}, fmt.Errorf("isinglut: invalid annealing schedule (sweeps=%d, T %g->%g)", sweeps, tStart, tEnd)
 	}
-	res := anneal.Solve(p.problem(), anneal.Params{Sweeps: sweeps, TStart: tStart, TEnd: tEnd, Seed: seed})
-	return IsingResult{Spins: res.Spins, Energy: res.Energy, Iterations: res.Sweeps, Replicas: 1}, nil
+	res := anneal.Solve(ctx, p.problem(), anneal.Params{Sweeps: sweeps, TStart: tStart, TEnd: tEnd, Seed: seed})
+	return IsingResult{
+		Spins:      res.Spins,
+		Energy:     res.Energy,
+		Iterations: res.Sweeps,
+		Replicas:   1,
+		StopReason: res.Stopped.String(),
+	}, nil
 }

@@ -24,6 +24,7 @@
 package isinglut
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -234,17 +235,32 @@ type Result struct {
 	CoreSolves int
 	// Elapsed is the wall-clock runtime.
 	Elapsed time.Duration
+	// StopReason states how the run ended: "converged" (all rounds ran),
+	// "cancelled" or "deadline" (the context interrupted the outer loop; the
+	// result reflects the components committed up to that point and is still
+	// fully verified).
+	StopReason string
 }
 
 // Decompose approximately decomposes every output bit of exact so that
 // each has a disjoint decomposition, minimizing the configured error
-// objective, and synthesizes the resulting LUT design.
+// objective, and synthesizes the resulting LUT design. It is
+// DecomposeContext with a background context.
 func Decompose(exact *Function, opts Options) (*Result, error) {
+	return DecomposeContext(context.Background(), exact, opts)
+}
+
+// DecomposeContext is Decompose under a context. Cancellation or a
+// deadline stops the optimization early — pending core solves are
+// abandoned at their next sample point — and the partial result (every
+// component committed so far) is synthesized, verified and returned with
+// Result.StopReason set, never discarded.
+func DecomposeContext(ctx context.Context, exact *Function, opts Options) (*Result, error) {
 	solver, err := coreSolver(opts)
 	if err != nil {
 		return nil, err
 	}
-	out, err := dalta.Run(exact, dalta.Config{
+	out, err := dalta.Run(ctx, exact, dalta.Config{
 		Rounds:     opts.Rounds,
 		Partitions: opts.Partitions,
 		FreeSize:   opts.FreeSize,
@@ -275,6 +291,7 @@ func Decompose(exact *Function, opts Options) (*Result, error) {
 		RoundTrace: out.RoundMED,
 		CoreSolves: out.CoreSolves,
 		Elapsed:    out.Elapsed,
+		StopReason: out.Stopped.String(),
 	}
 	for k, cs := range out.Components {
 		if cs != nil {

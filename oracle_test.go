@@ -31,6 +31,7 @@ package isinglut_test
 // flakiness.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -78,7 +79,7 @@ func batchEnergy(t *testing.T, p *ising.Problem, v sb.Variant, seed int64) float
 	params := sb.DefaultParamsFor(v)
 	params.Steps = 2000
 	params.Seed = seed
-	res, stats := sb.SolveBatch(p, sb.BatchParams{Base: params, Replicas: 16, Workers: 4})
+	res, stats := sb.SolveBatch(context.Background(), p, sb.BatchParams{Base: params, Replicas: 16, Workers: 4})
 	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > oracleTol {
 		t.Errorf("seed %d %v: reported energy %.12f but spins evaluate to %.12f", seed, v, res.Energy, got)
 	}
@@ -96,7 +97,7 @@ func batchEnergy(t *testing.T, p *ising.Problem, v sb.Variant, seed int64) float
 func saEnergy(p *ising.Problem, seed int64) float64 {
 	best := math.Inf(1)
 	for restart := int64(0); restart < 4; restart++ {
-		res := anneal.Solve(p, anneal.Params{Sweeps: 600, TStart: 2.0, TEnd: 1e-3, Seed: seed*131 + restart})
+		res := anneal.Solve(context.Background(), p, anneal.Params{Sweeps: 600, TStart: 2.0, TEnd: 1e-3, Seed: seed*131 + restart})
 		if res.Energy < best {
 			best = res.Energy
 		}
@@ -129,7 +130,7 @@ func TestOracleDenseGroundState(t *testing.T) {
 		params.Steps = 400
 		params.Seed = seed
 		fresh := sb.Solve(p, params)
-		reused := sb.SolveWith(p, params, ws)
+		reused := sb.SolveWith(context.Background(), p, params, ws)
 		if fresh.Energy != reused.Energy || fresh.Iterations != reused.Iterations {
 			t.Errorf("seed %d: Solve (%.12f, %d iters) != SolveWith (%.12f, %d iters)",
 				seed, fresh.Energy, fresh.Iterations, reused.Energy, reused.Iterations)
@@ -160,7 +161,7 @@ func TestOracleBSBStagnation(t *testing.T) {
 	params.Steps = 2000
 	params.Seed = seed + 5000 // a far-away seed stream
 	params.Dt = 0.5
-	res, _ := sb.SolveBatch(p, sb.BatchParams{Base: params, Replicas: 16, Workers: 4})
+	res, _ := sb.SolveBatch(context.Background(), p, sb.BatchParams{Base: params, Replicas: 16, Workers: 4})
 	if res.Energy != bsb {
 		t.Errorf("bSB attractor moved with seed/dt: %.12f vs %.12f — quasi-determinism assumption broken", res.Energy, bsb)
 	}
@@ -216,7 +217,7 @@ func TestOracleCoreCOP(t *testing.T) {
 				seed, cop.SettingCost(setting), colOpt)
 		}
 
-		sol := ilp.SolveRowCOP(cop.RowInstance(), ilp.Options{})
+		sol := ilp.SolveRowCOP(context.Background(), cop.RowInstance(), ilp.Options{})
 		if !sol.Optimal {
 			t.Errorf("seed %d: ILP did not prove optimality", seed)
 		}
@@ -226,7 +227,7 @@ func TestOracleCoreCOP(t *testing.T) {
 
 		opts := core.DefaultSolverOptions()
 		opts.SB.Seed = seed
-		bsb := core.SolveBSBBatch(cop, opts, 16, 4)
+		bsb := core.SolveBSBBatch(context.Background(), cop, opts, 16, 4)
 		if math.Abs(bsb.Cost-colOpt) > oracleTol {
 			t.Errorf("seed %d: bSB+Theorem3 batch cost %.12f, optimum %.12f", seed, bsb.Cost, colOpt)
 		}
