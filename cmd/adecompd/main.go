@@ -1,0 +1,72 @@
+// Command adecompd serves the approximate-decomposition stack over
+// HTTP/JSON: a long-running daemon wrapping the same solver pipeline as
+// the adecomp CLI behind a bounded worker pool, an LRU result cache and
+// graceful drain.
+//
+// Usage:
+//
+//	adecompd -addr :8080 -workers 8 -queue 64 -cache 256
+//
+// Endpoints:
+//
+//	POST /v1/decompose  benchmark-or-truth-table in; partition, error
+//	                    report and LUT design out
+//	POST /v1/solve      raw Ising ground-state search (bSB/aSB/dSB)
+//	GET  /healthz       liveness + queue/cache occupancy
+//	GET  /debug/vars    expvar, incl. isinglut.metrics and
+//	                    isinglut.services
+//
+// Overload sheds with 429 + Retry-After once the queue is full. A
+// request's timeout_ms (clamped to -max-timeout) interrupts its solve at
+// the deadline and returns the verified best-so-far result with
+// stop_reason "deadline". On SIGTERM/SIGINT the daemon stops accepting,
+// gives in-flight work -drain to finish (then cancels it into best-so-far
+// responses) and exits cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"isinglut/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent solver jobs (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "queued jobs beyond the executing ones before 429s")
+		cache      = flag.Int("cache", 256, "LRU result-cache entries (-1 disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request solver budget")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on requested timeout_ms")
+		drain      = flag.Duration("drain", 10*time.Second, "SIGTERM drain budget for in-flight work")
+		maxInputs  = flag.Int("max-inputs", 16, "largest accepted function input count")
+		maxSpins   = flag.Int("max-spins", 4096, "largest accepted raw Ising problem")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "adecompd: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := serve.New(serve.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drain,
+		MaxInputs:      *maxInputs,
+		MaxSpins:       *maxSpins,
+		Logf:           logger.Printf,
+	})
+	if err := srv.Run(context.Background(), nil); err != nil {
+		logger.Fatalf("adecompd: %v", err)
+	}
+}

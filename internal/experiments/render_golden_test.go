@@ -34,6 +34,9 @@ func goldenSweepRows() []SweepRow {
 		{Benchmark: "erf", FreeSize: 3, Overlap: 0, MED: 2.375, LUTBits: 2112, Ratio: 1.9, Seconds: 0.21},
 		{Benchmark: "erf", FreeSize: 4, Overlap: 0, MED: 1.5, LUTBits: 1824, Ratio: 2.2, Seconds: 0.34},
 		{Benchmark: "erf", FreeSize: 4, Overlap: 1, MED: 0.75, LUTBits: 3360, Ratio: 1.2, Seconds: 0.48},
+		// A cancelled sweep keeps the interrupted round's best-so-far
+		// outcome as a flagged final row instead of discarding it.
+		{Benchmark: "erf", FreeSize: 5, Overlap: 1, MED: 1.25, LUTBits: 3600, Ratio: 1.1, Seconds: 0.12, Interrupted: true},
 	}
 }
 

@@ -22,6 +22,10 @@ type SweepRow struct {
 	LUTBits   int
 	Ratio     float64
 	Seconds   float64
+	// Interrupted marks a row whose run was cut short by the context: the
+	// figures are the verified best-so-far outcome (PR 2's contract), not
+	// a fully-converged point, and it is always the sweep's final row.
+	Interrupted bool
 }
 
 // FreeSizeSweep decomposes the benchmark at every free-set size in
@@ -54,20 +58,34 @@ func FreeSizeSweep(ctx context.Context, bench string, n, min, max int, scale Sca
 		if err != nil {
 			return rows, fmt.Errorf("experiments: free size %d: %w", free, err)
 		}
-		if out.Stopped.Interrupted() {
-			return rows, ctx.Err()
-		}
 		design := lut.FromOutcome(out)
 		rows = append(rows, SweepRow{
-			Benchmark: bench,
-			FreeSize:  free,
-			MED:       out.Report.MED,
-			LUTBits:   design.TotalBits(),
-			Ratio:     design.CompressionRatio(),
-			Seconds:   out.Elapsed.Seconds(),
+			Benchmark:   bench,
+			FreeSize:    free,
+			MED:         out.Report.MED,
+			LUTBits:     design.TotalBits(),
+			Ratio:       design.CompressionRatio(),
+			Seconds:     out.Elapsed.Seconds(),
+			Interrupted: out.Stopped.Interrupted(),
 		})
+		if out.Stopped.Interrupted() {
+			// The interrupted round still produced a valid, verified
+			// best-so-far outcome — keep it as a flagged final row rather
+			// than discarding the work, and report the interruption.
+			return rows, interruptErr(ctx)
+		}
 	}
 	return rows, nil
+}
+
+// interruptErr returns the context's error, or context.Canceled when an
+// outcome reported an interruption the context no longer shows (so the
+// interrupted-sweep path always returns a non-nil error).
+func interruptErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
 }
 
 // OverlapSweep decomposes the benchmark at overlaps 0..max with the
@@ -99,19 +117,20 @@ func OverlapSweep(ctx context.Context, bench string, n, freeSize, max int, scale
 		if err != nil {
 			return rows, fmt.Errorf("experiments: overlap %d: %w", overlap, err)
 		}
-		if out.Stopped.Interrupted() {
-			return rows, ctx.Err()
-		}
 		design := lut.FromOutcome(out)
 		rows = append(rows, SweepRow{
-			Benchmark: bench,
-			FreeSize:  freeSize,
-			Overlap:   overlap,
-			MED:       out.Report.MED,
-			LUTBits:   design.TotalBits(),
-			Ratio:     design.CompressionRatio(),
-			Seconds:   out.Elapsed.Seconds(),
+			Benchmark:   bench,
+			FreeSize:    freeSize,
+			Overlap:     overlap,
+			MED:         out.Report.MED,
+			LUTBits:     design.TotalBits(),
+			Ratio:       design.CompressionRatio(),
+			Seconds:     out.Elapsed.Seconds(),
+			Interrupted: out.Stopped.Interrupted(),
 		})
+		if out.Stopped.Interrupted() {
+			return rows, interruptErr(ctx)
+		}
 	}
 	return rows, nil
 }
@@ -121,8 +140,12 @@ func RenderSweep(w io.Writer, rows []SweepRow) {
 	fmt.Fprintf(w, "%-12s %5s %7s %10s %10s %7s %9s\n",
 		"benchmark", "|A|", "overlap", "MED", "LUT bits", "ratio", "time(s)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %5d %7d %10.3f %10d %6.1fx %9.2f\n",
-			r.Benchmark, r.FreeSize, r.Overlap, r.MED, r.LUTBits, r.Ratio, r.Seconds)
+		mark := ""
+		if r.Interrupted {
+			mark = " (interrupted: best-so-far)"
+		}
+		fmt.Fprintf(w, "%-12s %5d %7d %10.3f %10d %6.1fx %9.2f%s\n",
+			r.Benchmark, r.FreeSize, r.Overlap, r.MED, r.LUTBits, r.Ratio, r.Seconds, mark)
 	}
 }
 

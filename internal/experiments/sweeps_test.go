@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context that reports itself cancelled after a fixed
+// number of Err() polls. It lets the sweep tests interrupt a run at a
+// deterministic point: the sweep's own top-of-loop check sees a live
+// context, and the cancellation lands inside the first dalta.Run, which
+// then returns an interrupted (but valid, verified) partial outcome.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+	done      chan struct{}
+}
+
+func newCountdownCtx(polls int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background(), done: make(chan struct{})}
+	c.remaining.Store(polls)
+	return c
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// TestFreeSizeSweepKeepsInterruptedRow is the regression test for the
+// discarded-partial-outcome bug: a sweep whose run is interrupted
+// mid-round must append that round's verified best-so-far outcome as a
+// flagged final row AND return a non-nil error — not silently throw the
+// completed work away.
+func TestFreeSizeSweepKeepsInterruptedRow(t *testing.T) {
+	scale := QuickScale(9)
+	scale.Rounds = 1
+	scale.Partitions = 2
+	ctx := newCountdownCtx(4)
+	rows, err := FreeSizeSweep(ctx, "erf", 9, 4, 6, scale, 3)
+	if err == nil {
+		t.Fatal("interrupted sweep returned a nil error")
+	}
+	if len(rows) == 0 {
+		t.Fatal("interrupted sweep discarded the completed round's partial outcome")
+	}
+	last := rows[len(rows)-1]
+	if !last.Interrupted {
+		t.Fatalf("final row of an interrupted sweep not flagged: %+v", last)
+	}
+	for _, r := range rows[:len(rows)-1] {
+		if r.Interrupted {
+			t.Fatalf("non-final row flagged interrupted: %+v", r)
+		}
+	}
+	if last.Benchmark != "erf" || last.FreeSize != 4 {
+		t.Fatalf("interrupted row carries wrong identity: %+v", last)
+	}
+	if last.LUTBits <= 0 || last.Ratio <= 0 {
+		t.Fatalf("interrupted row carries no synthesized design: %+v", last)
+	}
+}
+
+// TestOverlapSweepKeepsInterruptedRow mirrors the regression for the
+// overlap sweep path.
+func TestOverlapSweepKeepsInterruptedRow(t *testing.T) {
+	scale := QuickScale(9)
+	scale.Rounds = 1
+	scale.Partitions = 2
+	ctx := newCountdownCtx(4)
+	rows, err := OverlapSweep(ctx, "erf", 9, 4, 2, scale, 3)
+	if err == nil {
+		t.Fatal("interrupted sweep returned a nil error")
+	}
+	if len(rows) == 0 {
+		t.Fatal("interrupted sweep discarded the completed round's partial outcome")
+	}
+	last := rows[len(rows)-1]
+	if !last.Interrupted {
+		t.Fatalf("final row of an interrupted sweep not flagged: %+v", last)
+	}
+	if last.FreeSize != 4 || last.Overlap != 0 {
+		t.Fatalf("interrupted row carries wrong identity: %+v", last)
+	}
+}
+
+// TestRenderSweepMarksInterruptedRows pins the human-readable flag.
+func TestRenderSweepMarksInterruptedRows(t *testing.T) {
+	var b strings.Builder
+	RenderSweep(&b, []SweepRow{
+		{Benchmark: "erf", FreeSize: 4, MED: 1.5, LUTBits: 1824, Ratio: 2.2, Seconds: 0.3},
+		{Benchmark: "erf", FreeSize: 5, MED: 1.2, LUTBits: 2000, Ratio: 2.0, Seconds: 0.1, Interrupted: true},
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if strings.Contains(lines[1], "interrupted") {
+		t.Fatalf("clean row marked interrupted: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "interrupted: best-so-far") {
+		t.Fatalf("interrupted row not marked: %q", lines[2])
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestForServiceReturnsSameInstance(t *testing.T) {
+	s := ForService("svc-probe")
+	if again := ForService("svc-probe"); again != s {
+		t.Fatal("ForService must return the same instance per name")
+	}
+}
+
+func TestObserveHandledClassifiesStatuses(t *testing.T) {
+	s := ForService("svc-status")
+	t.Cleanup(func() { s.reset() })
+	s.ObserveHandled(time.Millisecond, 200)
+	s.ObserveHandled(time.Millisecond, 304)
+	s.ObserveHandled(time.Millisecond, 400)
+	s.ObserveHandled(time.Millisecond, 429)
+	s.ObserveHandled(time.Millisecond, 500)
+	if got := s.OK.Load(); got != 2 {
+		t.Fatalf("OK = %d, want 2", got)
+	}
+	if got := s.ClientError.Load(); got != 2 {
+		t.Fatalf("ClientError = %d, want 2", got)
+	}
+	if got := s.ServerError.Load(); got != 1 {
+		t.Fatalf("ServerError = %d, want 1", got)
+	}
+	if got := s.Handle.Count(); got != 5 {
+		t.Fatalf("Handle.Count = %d, want 5", got)
+	}
+}
+
+func TestServiceSnapshotCacheHitRate(t *testing.T) {
+	s := ForService("svc-cache")
+	t.Cleanup(func() { s.reset() })
+	s.CacheHits.Add(3)
+	s.CacheMisses.Add(1)
+	snap := s.snapshot()
+	if snap.CacheHitRate != 0.75 {
+		t.Fatalf("CacheHitRate = %g, want 0.75", snap.CacheHitRate)
+	}
+	empty := ForService("svc-cache-empty")
+	if r := empty.snapshot().CacheHitRate; r != 0 {
+		t.Fatalf("zero-lookup hit rate = %g, want 0", r)
+	}
+}
+
+func TestServiceSnapshotsOrderAndReset(t *testing.T) {
+	a := ForService("svc-order-a")
+	b := ForService("svc-order-b")
+	a.Requests.Inc()
+	b.Requests.Add(2)
+	b.Shed.Inc()
+
+	snaps := ServiceSnapshots()
+	ia, ib := -1, -1
+	for i, s := range snaps {
+		switch s.Name {
+		case "svc-order-a":
+			ia = i
+		case "svc-order-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("registration order lost: a at %d, b at %d", ia, ib)
+	}
+
+	ResetServices()
+	for _, s := range ServiceSnapshots() {
+		if s.Name == "svc-order-b" && (s.Requests != 0 || s.Shed != 0) {
+			t.Fatalf("ResetServices left counts: %+v", s)
+		}
+	}
+}
+
+func TestRenderServicesSkipsIdle(t *testing.T) {
+	busy := ForService("svc-render-busy")
+	ForService("svc-render-idle")
+	t.Cleanup(ResetServices)
+	busy.Requests.Inc()
+	busy.ObserveHandled(time.Millisecond, 200)
+
+	var sb strings.Builder
+	RenderServices(&sb, ServiceSnapshots())
+	out := sb.String()
+	if !strings.Contains(out, "svc-render-busy") {
+		t.Fatalf("render missing active service:\n%s", out)
+	}
+	if strings.Contains(out, "svc-render-idle") {
+		t.Fatalf("render shows idle service:\n%s", out)
+	}
+}

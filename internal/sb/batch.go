@@ -2,6 +2,7 @@ package sb
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -46,10 +47,13 @@ type Stats struct {
 	Replicas int
 	Launched int
 	// Energies holds each replica's best rounded energy, indexed by
-	// replica. Entries for never-launched replicas are zero; consult
-	// Stopped (StopNone marks an unlaunched replica) before reading them.
+	// replica. Entries for never-launched replicas are +Inf, so a consumer
+	// scanning for a minimum can never mistake an unlaunched slot for a
+	// winning energy; Stopped still records StopNone for those slots.
 	Energies []float64
-	// Iterations holds each replica's executed Euler steps.
+	// Iterations holds each replica's executed Euler steps; entries for
+	// never-launched replicas stay 0 (no steps were executed), which is
+	// also their correct contribution to TotalIterations.
 	Iterations []int
 	// Stopped records why each launched replica ended (converged,
 	// max-iters, cancelled, deadline); StopNone marks a replica that was
@@ -119,6 +123,12 @@ func SolveBatch(ctx context.Context, p *ising.Problem, bp BatchParams) (Result, 
 		Stopped:      make([]metrics.StopReason, replicas),
 		EarlyStopped: make([]bool, replicas),
 		BatchStopped: metrics.StopMaxIters,
+	}
+	// A never-launched replica has no energy: +Inf keeps it out of any
+	// minimum scan, where a zero would read as a valid — often winning —
+	// result to a consumer that forgot to cross-check Stopped.
+	for r := range stats.Energies {
+		stats.Energies[r] = math.Inf(1)
 	}
 
 	// Each worker keeps only its local winner (with spins copied out of

@@ -2,6 +2,7 @@ package sb
 
 import (
 	"context"
+	"math"
 	"testing"
 	"time"
 
@@ -133,6 +134,53 @@ func TestSolveBatchCancelledMidRunReturnsPromptly(t *testing.T) {
 	}
 	if launched == stats.Replicas {
 		t.Log("note: every replica launched before the cancel landed (slow dispatch); promptness still held")
+	}
+}
+
+// TestSolveBatchUnlaunchedReplicaEnergiesAreInf is the regression test
+// for the Stats.Energies contract on a cancelled batch: entries for
+// never-launched replicas must be +Inf, not 0 — a zero reads as a valid
+// (often winning) energy to any consumer scanning for a minimum without
+// cross-checking Stopped. With +Inf, a naive argmin over Energies always
+// agrees with BestReplica.
+func TestSolveBatchUnlaunchedReplicaEnergiesAreInf(t *testing.T) {
+	p := randomProblem(16, 26)
+	params := DefaultParams()
+	params.Steps = 2000
+	params.SampleEvery = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, stats := SolveBatch(ctx, p, BatchParams{Base: params, Replicas: 6, Workers: 2})
+	if stats.Launched >= stats.Replicas {
+		t.Fatalf("pre-cancelled batch launched all %d replicas; need unlaunched slots", stats.Replicas)
+	}
+	for r, reason := range stats.Stopped {
+		if reason == metrics.StopNone {
+			if !math.IsInf(stats.Energies[r], 1) {
+				t.Fatalf("unlaunched replica %d has energy %g, want +Inf", r, stats.Energies[r])
+			}
+			if stats.Iterations[r] != 0 {
+				t.Fatalf("unlaunched replica %d reports %d iterations, want 0", r, stats.Iterations[r])
+			}
+		} else if math.IsInf(stats.Energies[r], 1) {
+			t.Fatalf("launched replica %d kept the +Inf sentinel", r)
+		}
+	}
+	// The sentinel makes the naive scan safe: argmin over Energies is the
+	// batch winner even when the caller ignores Stopped entirely.
+	argmin := -1
+	for r, e := range stats.Energies {
+		if argmin < 0 || e < stats.Energies[argmin] {
+			argmin = r
+		}
+	}
+	if argmin != stats.BestReplica {
+		t.Fatalf("argmin over Energies = %d, BestReplica = %d (energies %v)",
+			argmin, stats.BestReplica, stats.Energies)
+	}
+	if stats.Energies[stats.BestReplica] != res.Energy {
+		t.Fatalf("winner energy mismatch: stats %g, result %g",
+			stats.Energies[stats.BestReplica], res.Energy)
 	}
 }
 

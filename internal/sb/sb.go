@@ -239,8 +239,9 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 			minIters = params.Steps / 2
 		}
 	}
-	// ctxEvery is the context poll cadence. A nil Done channel (Background,
-	// TODO) disables polling entirely, so uncancellable runs pay nothing.
+	// ctxEvery is the context poll cadence. A nil Done channel
+	// (context.Background, context.TODO) disables polling entirely, so
+	// uncancellable runs pay nothing.
 	ctxEvery := 0
 	if ctx.Done() != nil {
 		switch {
@@ -398,13 +399,19 @@ func autoC0(p *ising.Problem) float64 {
 	return 0.5 * math.Sqrt(float64(n-1)) / frob
 }
 
-// energyWindow is a fixed-size ring buffer with O(1) mean/variance.
+// energyWindow is a fixed-size ring buffer over the last S sampled
+// energies. The mean is maintained in O(1); the variance is computed on
+// demand by a two-pass scan of the (small) window, which is numerically
+// stable at any energy magnitude — the former running-sum-of-squares
+// shortcut (sumSq/n - mean^2) cancels catastrophically once |E| grows
+// past ~1e8 and collapsed genuine spread to the clamped 0, firing the
+// §3.3.1 dynamic stop spuriously.
 type energyWindow struct {
-	buf        []float64
-	size       int
-	count      int
-	head       int
-	sum, sumSq float64
+	buf   []float64
+	size  int
+	count int
+	head  int
+	sum   float64
 }
 
 func newEnergyWindow(size int) *energyWindow {
@@ -424,7 +431,6 @@ func (w *energyWindow) reset(size int) {
 	w.count = 0
 	w.head = 0
 	w.sum = 0
-	w.sumSq = 0
 }
 
 func (w *energyWindow) push(e float64) {
@@ -432,29 +438,35 @@ func (w *energyWindow) push(e float64) {
 		return
 	}
 	if w.count == w.size {
-		old := w.buf[w.head]
-		w.sum -= old
-		w.sumSq -= old * old
+		w.sum -= w.buf[w.head]
 	} else {
 		w.count++
 	}
 	w.buf[w.head] = e
 	w.head = (w.head + 1) % w.size
 	w.sum += e
-	w.sumSq += e * e
 }
 
 func (w *energyWindow) full() bool { return w.size > 0 && w.count == w.size }
 
-// variance returns the population variance of the window contents.
+// variance returns the population variance of the window contents,
+// computed as the mean squared deviation from the window mean. The
+// deviations are formed per element before squaring (the "shifted"
+// two-pass form), so the result keeps full precision even when the
+// energies share a huge common magnitude; the window is at most S
+// entries, so the O(S) scan at every Stop.F-th iteration is noise.
 func (w *energyWindow) variance() float64 {
 	if w.count == 0 {
 		return math.Inf(1)
 	}
 	mean := w.sum / float64(w.count)
-	v := w.sumSq/float64(w.count) - mean*mean
-	if v < 0 {
-		v = 0 // guard rounding
+	dev := 0.0
+	// Valid entries are buf[:count]: before the window fills, head has
+	// only ever advanced over written slots; once full, every slot is
+	// live and order is irrelevant to the variance.
+	for _, e := range w.buf[:w.count] {
+		d := e - mean
+		dev += d * d
 	}
-	return v
+	return dev / float64(w.count)
 }

@@ -278,6 +278,105 @@ func TestEnergyWindow(t *testing.T) {
 	}
 }
 
+// TestEnergyWindowStableAtLargeMagnitude is the regression test for the
+// catastrophic cancellation in the old running-sum-of-squares variance
+// (sumSq/n - mean^2): at |E| ~ 1e8 the two ~1e16 terms agree to within a
+// few ulps, so a genuine spread of order 1..10 collapsed to the clamped 0
+// and the §3.3.1 stop fired spuriously. The shifted two-pass computation
+// must report the true variance to near full precision.
+func TestEnergyWindowStableAtLargeMagnitude(t *testing.T) {
+	const (
+		base    = 1e8
+		epsilon = 1e-3 // a realistic §3.3.1 threshold, far below the spread
+	)
+	// Genuine spread of ±0.5 around 1e8: true variance 0.125. The naive
+	// formula computes it as the difference of two ~1e16 quantities whose
+	// ulp is 2, so the entire spread is lost and the result clamps to
+	// exactly 0 — under any epsilon, a spurious stop.
+	spread := []float64{0, 0.5, -0.5, 0.25, -0.25, 0.5, -0.5, 0, 0.25, -0.25}
+	w := newEnergyWindow(len(spread))
+	mean := 0.0
+	for _, s := range spread {
+		w.push(base + s)
+		mean += (base + s) / float64(len(spread))
+	}
+	want := 0.0
+	for _, s := range spread {
+		d := base + s - mean
+		want += d * d
+	}
+	want /= float64(len(spread))
+	got := w.variance()
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("variance at |E|=1e8: got %g, want %g (rel err %g)",
+			got, want, math.Abs(got-want)/want)
+	}
+	// The criterion-level contract: this window has genuine spread, so the
+	// dynamic stop must NOT read it as converged.
+	if got < epsilon {
+		t.Fatalf("variance %g < epsilon %g: genuine spread at |E|=1e8 would fire the stop spuriously", got, epsilon)
+	}
+}
+
+// TestDynamicStopNotSpuriousAtLargeEnergies runs the same bSB dynamics at
+// two energy scales. With auto-scaled c0 (0.5*sqrt(N-1)/||J||_F) the
+// trajectories are invariant under uniform scaling of (J, h), so scaling
+// the problem by 1e8 multiplies every sampled energy — and the true
+// window variance — by known factors without changing the physics. The
+// stop threshold is scaled accordingly; a run that legitimately keeps its
+// energy moving at scale 1 must therefore NOT stop at scale 1e8 either.
+// The old variance shortcut lost the spread in the ~1e16 squares and
+// fired the stop at the first post-burn-in check.
+func TestDynamicStopNotSpuriousAtLargeEnergies(t *testing.T) {
+	const scale = 1e8
+	base := randomProblem(24, 31)
+	scaled := scaleProblem(base, scale)
+
+	params := DefaultParams()
+	params.Steps = 400
+	params.Stop = &StopCriteria{F: 10, S: 10, Epsilon: 1e-9, MinIters: 100}
+	params.Seed = 7
+
+	ref := Solve(base, params)
+	if ref.StoppedEarly {
+		t.Fatalf("precondition: unscaled run fired the dynamic stop at iter %d; pick params with genuine spread", ref.Iterations)
+	}
+
+	big := params
+	// Variance scales by scale^2; scaling Epsilon the same way makes the
+	// two runs' criteria mathematically identical.
+	big.Stop = &StopCriteria{F: 10, S: 10, Epsilon: 1e-9 * scale * scale, MinIters: 100}
+	res := Solve(scaled, big)
+	if res.StoppedEarly {
+		t.Fatalf("dynamic stop fired spuriously at |E|~1e8 (iter %d of %d): variance lost to cancellation",
+			res.Iterations, params.Steps)
+	}
+	if res.Iterations != ref.Iterations {
+		t.Fatalf("scaled run ended at iter %d, unscaled at %d: trajectories should match", res.Iterations, ref.Iterations)
+	}
+}
+
+// scaleProblem returns a copy of p with couplings and biases multiplied
+// by s (energies scale by s; with auto c0 the trajectories do not).
+func scaleProblem(p *ising.Problem, s float64) *ising.Problem {
+	n := p.N()
+	d := ising.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d.Set(i, j, p.Coup.At(i, j)*s)
+		}
+	}
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = p.Bias(i) * s
+	}
+	sp, err := ising.NewProblem(d, h, 0)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
 func TestEnergyWindowEviction(t *testing.T) {
 	w := newEnergyWindow(2)
 	w.push(100)

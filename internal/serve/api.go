@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+
+	"isinglut"
+)
+
+// DecomposeOptions is the wire form of isinglut.Options. Zero fields take
+// the isinglut.DefaultOptions value for the request's input count, so a
+// minimal request body behaves exactly like the adecomp CLI defaults.
+type DecomposeOptions struct {
+	Method     string `json:"method,omitempty"`
+	Mode       string `json:"mode,omitempty"` // "joint" (default) or "separate"
+	Rounds     int    `json:"rounds,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	FreeSize   int    `json:"free_size,omitempty"`
+	Overlap    int    `json:"overlap,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Elitism    bool   `json:"elitism,omitempty"`
+}
+
+// DecomposeRequest asks for an approximate decomposition of either a
+// named benchmark (benchmark + n) or an explicit truth table
+// (num_inputs + num_outputs + outputs, where outputs[x] is the output
+// word of input pattern x).
+type DecomposeRequest struct {
+	Benchmark string `json:"benchmark,omitempty"`
+	N         int    `json:"n,omitempty"`
+
+	NumInputs  int      `json:"num_inputs,omitempty"`
+	NumOutputs int      `json:"num_outputs,omitempty"`
+	Outputs    []uint64 `json:"outputs,omitempty"`
+
+	Options *DecomposeOptions `json:"options,omitempty"`
+	// TimeoutMS bounds this request's solver time; the run is interrupted
+	// at the deadline and the verified best-so-far result is returned with
+	// stop_reason "deadline". Zero uses the server default; values above
+	// the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Component is one committed per-output-bit decomposition: the input
+// partition as free/bound-set bit masks.
+type Component struct {
+	K     int    `json:"k"`
+	MaskA uint64 `json:"mask_a"`
+	MaskB uint64 `json:"mask_b"`
+}
+
+// DecomposeResponse reports a decomposition: the error metrics, the
+// synthesized LUT cost, and how the run ended.
+type DecomposeResponse struct {
+	Benchmark        string      `json:"benchmark,omitempty"`
+	N                int         `json:"n"`
+	M                int         `json:"m"`
+	MED              float64     `json:"med"`
+	ER               float64     `json:"er"`
+	WorstED          uint64      `json:"worst_ed"`
+	LUTBits          int         `json:"lut_bits"`
+	FlatBits         int         `json:"flat_bits"`
+	CompressionRatio float64     `json:"compression_ratio"`
+	CoreSolves       int         `json:"core_solves"`
+	ElapsedMS        float64     `json:"elapsed_ms"`
+	StopReason       string      `json:"stop_reason"`
+	Cached           bool        `json:"cached"`
+	Components       []Component `json:"components,omitempty"`
+}
+
+// Coupling is one symmetric Ising coupling J_ij = J_ji = v.
+type Coupling struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	V float64 `json:"v"`
+}
+
+// SolveRequest asks for a raw Ising ground-state search with the
+// simulated-bifurcation stack.
+type SolveRequest struct {
+	N         int        `json:"n"`
+	Couplings []Coupling `json:"couplings,omitempty"`
+	Biases    []float64  `json:"biases,omitempty"`
+
+	Variant     string  `json:"variant,omitempty"` // "bsb" (default), "asb", "dsb"
+	Steps       int     `json:"steps,omitempty"`
+	Dt          float64 `json:"dt,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	Replicas    int     `json:"replicas,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	DynamicStop bool    `json:"dynamic_stop,omitempty"`
+	F           int     `json:"f,omitempty"`
+	S           int     `json:"s,omitempty"`
+	Epsilon     float64 `json:"epsilon,omitempty"`
+
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SolveResponse reports a raw Ising solve.
+type SolveResponse struct {
+	Spins      []int8  `json:"spins"`
+	Energy     float64 `json:"energy"`
+	Iterations int     `json:"iterations"`
+	Replicas   int     `json:"replicas"`
+	EarlyStops int     `json:"early_stops"`
+	StopReason string  `json:"stop_reason"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Cached     bool    `json:"cached"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status       string `json:"status"` // "ok" or "draining"
+	UptimeMS     int64  `json:"uptime_ms"`
+	Workers      int    `json:"workers"`
+	QueueDepth   int    `json:"queue_depth"`
+	Queued       int    `json:"queued"`
+	InFlight     int    `json:"in_flight"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// errorResponse is the JSON error envelope for non-200 statuses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// buildFunction materializes the request's Boolean function: a named
+// benchmark or an explicit truth table, never both.
+func (r *DecomposeRequest) buildFunction(maxInputs int) (*isinglut.Function, int, error) {
+	hasTable := r.Outputs != nil || r.NumInputs != 0 || r.NumOutputs != 0
+	switch {
+	case r.Benchmark != "" && hasTable:
+		return nil, 0, fmt.Errorf("specify either benchmark or an explicit truth table, not both")
+	case r.Benchmark != "":
+		if r.N <= 0 {
+			return nil, 0, fmt.Errorf("benchmark %q needs n > 0", r.Benchmark)
+		}
+		if r.N > maxInputs {
+			return nil, 0, fmt.Errorf("n=%d exceeds the server limit of %d inputs", r.N, maxInputs)
+		}
+		f, err := isinglut.Benchmark(r.Benchmark, r.N)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, r.N, nil
+	case hasTable:
+		if r.NumInputs > maxInputs {
+			return nil, 0, fmt.Errorf("num_inputs=%d exceeds the server limit of %d", r.NumInputs, maxInputs)
+		}
+		f, err := isinglut.FunctionFromOutputs(r.NumInputs, r.NumOutputs, r.Outputs)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, r.NumInputs, nil
+	}
+	return nil, 0, fmt.Errorf("request needs a benchmark or an explicit truth table")
+}
+
+// resolveOptions maps the wire options onto isinglut.Options with the
+// paper defaults for n filled in.
+func (r *DecomposeRequest) resolveOptions(n int) (isinglut.Options, error) {
+	opts := isinglut.DefaultOptions(n)
+	o := r.Options
+	if o == nil {
+		return opts, nil
+	}
+	if o.Method != "" {
+		opts.Method = isinglut.Method(o.Method)
+	}
+	switch o.Mode {
+	case "", "joint":
+		opts.Mode = isinglut.Joint
+	case "separate":
+		opts.Mode = isinglut.Separate
+	default:
+		return opts, fmt.Errorf("unknown mode %q", o.Mode)
+	}
+	if o.Rounds > 0 {
+		opts.Rounds = o.Rounds
+	}
+	if o.Partitions > 0 {
+		opts.Partitions = o.Partitions
+	}
+	if o.FreeSize > 0 {
+		opts.FreeSize = o.FreeSize
+	}
+	opts.Overlap = o.Overlap
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	opts.Workers = o.Workers
+	opts.Elitism = o.Elitism
+	return opts, nil
+}
+
+// decomposeKey canonically hashes (truth table, solver config) so that
+// identical work — whether submitted as a benchmark name or as the same
+// explicit table — maps to one cache slot. Workers and the request
+// timeout are excluded: results are deterministic per seed regardless of
+// parallelism, and only uninterrupted results are ever cached.
+func decomposeKey(f *isinglut.Function, opts isinglut.Options) string {
+	h := sha256.New()
+	writeU64(h, uint64(f.NumInputs()))
+	writeU64(h, uint64(f.NumOutputs()))
+	for _, out := range f.Outputs() {
+		writeU64(h, out)
+	}
+	writeString(h, string(opts.Method))
+	writeU64(h, uint64(opts.Mode))
+	writeU64(h, uint64(opts.Rounds))
+	writeU64(h, uint64(opts.Partitions))
+	writeU64(h, uint64(opts.FreeSize))
+	writeU64(h, uint64(opts.Overlap))
+	writeU64(h, uint64(opts.Seed))
+	if opts.Elitism {
+		writeU64(h, 1)
+	} else {
+		writeU64(h, 0)
+	}
+	return "d:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// solveKey canonically hashes a raw Ising solve request. The couplings
+// are accumulated into a canonical (i<j ordered, summed) form first, so
+// equivalent bodies with reordered or split couplings share a slot.
+func (r *SolveRequest) solveKey() string {
+	h := sha256.New()
+	writeU64(h, uint64(r.N))
+	acc := make(map[[2]int]float64, len(r.Couplings))
+	for _, c := range r.Couplings {
+		i, j := c.I, c.J
+		if i > j {
+			i, j = j, i
+		}
+		acc[[2]int{i, j}] += c.V
+	}
+	// Deterministic iteration: scan the upper triangle in index order and
+	// emit only present entries.
+	for i := 0; i < r.N; i++ {
+		for j := i + 1; j < r.N; j++ {
+			if v, ok := acc[[2]int{i, j}]; ok && v != 0 {
+				writeU64(h, uint64(i))
+				writeU64(h, uint64(j))
+				writeU64(h, math.Float64bits(v))
+			}
+		}
+	}
+	writeU64(h, uint64(len(r.Biases)))
+	for _, b := range r.Biases {
+		writeU64(h, math.Float64bits(b))
+	}
+	writeString(h, r.Variant)
+	writeU64(h, uint64(r.Steps))
+	writeU64(h, math.Float64bits(r.Dt))
+	writeU64(h, uint64(r.Seed))
+	writeU64(h, uint64(r.Replicas))
+	if r.DynamicStop {
+		writeU64(h, 1)
+		writeU64(h, uint64(r.F))
+		writeU64(h, uint64(r.S))
+		writeU64(h, math.Float64bits(r.Epsilon))
+	} else {
+		writeU64(h, 0)
+	}
+	return "s:" + hex.EncodeToString(h.Sum(nil))
+}
+
+func writeU64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+func writeString(h hash.Hash, s string) {
+	writeU64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}

@@ -1,0 +1,88 @@
+// Package serve is the network-facing layer of the decomposition stack:
+// an HTTP/JSON service exposing approximate decomposition (/v1/decompose)
+// and raw Ising solves (/v1/solve) over the public isinglut API, with a
+// bounded worker pool in front of the solver (admission control sheds
+// load with 429 instead of growing goroutines without bound), an LRU
+// result cache keyed by a canonical request hash, per-request deadlines
+// mapped onto the context-aware solver plumbing, and graceful drain on
+// SIGTERM (stop accepting, finish in-flight work within a drain budget,
+// return best-so-far per the solvers' cancellation contract).
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU map from canonical request hashes to
+// completed responses. It is safe for concurrent use; a capacity of 0
+// disables it (every Get misses, Put is a no-op).
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key   string
+	value any
+}
+
+func newLRUCache(capacity int) *lruCache {
+	c := &lruCache{capacity: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// Get returns the cached value for key and whether it was present,
+// promoting the entry to most-recently-used. Values are shared across
+// hits; callers must treat them as immutable.
+func (c *lruCache) Get(key string) (any, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores value under key, evicting the least-recently-used entry when
+// the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *lruCache) Put(key string, value any) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).value = value
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, value: value})
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	if c.capacity <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

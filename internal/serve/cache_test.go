@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for k, want := range map[string]int{"b": 2, "c": 3} {
+		v, ok := c.Get(k)
+		if !ok || v.(int) != want {
+			t.Fatalf("Get(%q) = %v, %v; want %d, true", k, v, ok, want)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheGetPromotes(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")    // "b" is now the LRU entry
+	c.Put("c", 3) // must evict "b", not "a"
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+}
+
+func TestLRUCachePutRefreshes(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // refresh value and recency
+	c.Put("c", 3)  // must evict "b"
+	if v, ok := c.Get("a"); !ok || v.(int) != 10 {
+		t.Fatalf("refreshed entry = %v, %v; want 10, true", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("stale entry survived eviction")
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache Len() = %d", c.Len())
+	}
+}
+
+func TestLRUCacheConcurrent(t *testing.T) {
+	c := newLRUCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%32)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+}
+
+func TestPoolSaturationAndDrain(t *testing.T) {
+	p := newPool(1, 1)
+	release := make(chan struct{})
+	noWait := func(time.Duration) {}
+
+	// Occupy the single worker.
+	busy, err := p.submit(func() { <-release }, noWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick it up, then fill the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.running() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := p.submit(func() {}, noWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.submit(func() {}, noWait); err != errSaturated {
+		t.Fatalf("submit into full pool = %v, want errSaturated", err)
+	}
+
+	p.drain()
+	if _, err := p.submit(func() {}, noWait); err != errDraining {
+		t.Fatalf("submit while draining = %v, want errDraining", err)
+	}
+
+	// Draining still runs the accepted work to completion.
+	close(release)
+	<-busy.done
+	<-queued.done
+	p.wait()
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrainOnSIGTERM runs the full daemon lifecycle in-process:
+// a slow solve is in flight when a real SIGTERM arrives, and the drain
+// sequence must (a) stop accepting, (b) cancel the in-flight solve at the
+// drain deadline so the client still gets a verified best-so-far answer,
+// and (c) let Run return cleanly. Run under -race this also pins the
+// handler/pool/shutdown synchronization.
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	s := New(Config{
+		Addr:           "127.0.0.1:0",
+		Workers:        2,
+		QueueDepth:     4,
+		DrainTimeout:   300 * time.Millisecond,
+		DefaultTimeout: 30 * time.Second,
+		Logf:           t.Logf,
+	})
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(context.Background(), ready) }()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never came up")
+	}
+	base := "http://" + addr.String()
+
+	// Park a request that cannot finish on its own within the test.
+	slow := SolveRequest{
+		N: 64, Steps: 500_000_000, Seed: 42,
+		Couplings: ringCouplings(64),
+		TimeoutMS: 20_000,
+	}
+	body, err := json.Marshal(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type slowResult struct {
+		status int
+		resp   SolveResponse
+		err    error
+	}
+	slowCh := make(chan slowResult, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			slowCh <- slowResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var sr SolveResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		slowCh <- slowResult{status: resp.StatusCode, resp: sr, err: err}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pool.running() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never reached a worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The signal handler inside Run owns this delivery; the test process
+	// itself must not die.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case r := <-slowCh:
+		if r.err != nil {
+			t.Fatalf("in-flight request lost during drain: %v", r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight request got status %d during drain", r.status)
+		}
+		if r.resp.StopReason != "cancelled" && r.resp.StopReason != "deadline" {
+			t.Fatalf("stop_reason %q, want an interrupted reason", r.resp.StopReason)
+		}
+		if len(r.resp.Spins) != slow.N {
+			t.Fatalf("best-so-far state missing: %d spins", len(r.resp.Spins))
+		}
+		if r.resp.Iterations >= slow.Steps {
+			t.Fatalf("solve claims to have finished %d steps during a %s drain",
+				r.resp.Iterations, 300*time.Millisecond)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request did not complete within the drain budget")
+	}
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after SIGTERM")
+	}
+
+	// The listener is gone: new connections must fail outright.
+	if _, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestDrainingRejectsNewWork flips the draining flag directly (no
+// signals) and checks the admission answer and the health flip.
+func TestDrainingRejectsNewWork(t *testing.T) {
+	s := New(Config{Workers: 1, DrainTimeout: 100 * time.Millisecond})
+	s.draining.Store(true)
+
+	body, err := json.Marshal(SolveRequest{N: 4, Steps: 10, Couplings: ringCouplings(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d while draining, want 503", rec.Code)
+	}
+
+	h := httptest.NewRecorder()
+	s.Handler().ServeHTTP(h, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if h.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d while draining, want 503", h.Code)
+	}
+	var payload Health
+	if err := json.NewDecoder(h.Body).Decode(&payload); err != nil || payload.Status != "draining" {
+		t.Fatalf("healthz payload %+v (err %v), want status draining", payload, err)
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// errSaturated is the admission-control rejection: the bounded queue
+	// is full, so the request is shed (HTTP 429) instead of growing the
+	// backlog without bound.
+	errSaturated = errors.New("serve: worker pool saturated")
+	// errDraining rejects submissions after drain began (HTTP 503).
+	errDraining = errors.New("serve: server draining")
+)
+
+// task is one unit of solver work queued for the pool.
+type task struct {
+	run      func()
+	enqueued time.Time
+	// onStart, when non-nil, observes the queue wait just before run.
+	onStart func(wait time.Duration)
+	// done is closed once run has returned.
+	done chan struct{}
+}
+
+// pool is a fixed-size worker pool over a bounded FIFO queue. Admission
+// is non-blocking: submit either enqueues or fails fast with errSaturated
+// (queue full) / errDraining (drain begun), so the HTTP layer can shed
+// load instead of accumulating goroutines. Workers own no solver state —
+// the solver stack's own workspaces handle reuse — the pool only bounds
+// concurrency and queue depth.
+type pool struct {
+	jobs     chan *task
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	draining bool
+	inFlight atomic.Int64
+}
+
+// newPool starts workers goroutines over a queue holding up to depth
+// waiting tasks (beyond the ones being executed).
+func newPool(workers, depth int) *pool {
+	p := &pool{jobs: make(chan *task, depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for t := range p.jobs {
+		p.inFlight.Add(1)
+		if t.onStart != nil {
+			t.onStart(time.Since(t.enqueued))
+		}
+		t.run()
+		close(t.done)
+		p.inFlight.Add(-1)
+	}
+}
+
+// submit enqueues run and returns a task whose done channel closes when
+// the work finishes. It never blocks: a full queue returns errSaturated
+// and a draining pool errDraining.
+func (p *pool) submit(run func(), onStart func(time.Duration)) (*task, error) {
+	t := &task{run: run, enqueued: time.Now(), onStart: onStart, done: make(chan struct{})}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return nil, errDraining
+	}
+	select {
+	case p.jobs <- t:
+		return t, nil
+	default:
+		return nil, errSaturated
+	}
+}
+
+// drain stops admission and closes the queue; tasks already accepted keep
+// running. It is idempotent and returns without waiting — use wait to
+// block until the workers finish.
+func (p *pool) drain() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return
+	}
+	p.draining = true
+	close(p.jobs)
+}
+
+// wait blocks until every accepted task has finished and the workers have
+// exited. Call after drain.
+func (p *pool) wait() { p.wg.Wait() }
+
+// queued reports the number of tasks waiting for a worker.
+func (p *pool) queued() int { return len(p.jobs) }
+
+// running reports the number of tasks currently executing.
+func (p *pool) running() int { return int(p.inFlight.Load()) }

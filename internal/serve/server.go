@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"isinglut"
+	"isinglut/internal/metrics"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// production-minded default applied by New.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// Workers bounds concurrent solver jobs (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting beyond the executing ones; a full
+	// queue sheds new work with 429 (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries; 0 keeps the
+	// default (256), negative disables caching.
+	CacheSize int
+	// DefaultTimeout bounds a request that names no timeout_ms
+	// (default 30s); MaxTimeout clamps requested timeouts (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainTimeout is the SIGTERM grace budget: in-flight solves are
+	// cancelled (returning verified best-so-far results) once it elapses
+	// (default 10s).
+	DrainTimeout time.Duration
+	// MaxInputs bounds accepted function sizes; a 2^n-entry table is the
+	// unit of work, so this is the service's cost ceiling (default 16).
+	MaxInputs int
+	// MaxSpins bounds accepted raw Ising problem sizes (default 4096).
+	MaxSpins int
+	// Logf, when non-nil, receives one line per lifecycle event (startup,
+	// drain, shutdown). Request logging is intentionally absent — the
+	// metrics layer carries the aggregate story.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.MaxInputs <= 0 {
+		c.MaxInputs = 16
+	}
+	if c.MaxSpins <= 0 {
+		c.MaxSpins = 4096
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the decomposition-as-a-service daemon: HTTP/JSON handlers
+// over the public isinglut API, fronted by a bounded worker pool, an LRU
+// result cache and a graceful-drain lifecycle. Construct with New; serve
+// with Run (full lifecycle incl. signals) or mount Handler in a test or
+// an existing mux.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *lruCache
+	mux   *http.ServeMux
+	start time.Time
+
+	draining atomic.Bool
+	// hardCtx is cancelled DrainTimeout after drain begins; every
+	// in-flight solve context is tied to it, so a drain deadline turns
+	// outstanding work into best-so-far responses instead of losing it.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	decomposeMet *metrics.Service
+	solveMet     *metrics.Service
+}
+
+// New builds a Server from the config (zero values take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:          cfg,
+		pool:         newPool(cfg.Workers, cfg.QueueDepth),
+		cache:        newLRUCache(cfg.CacheSize),
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		decomposeMet: metrics.ForService("serve.decompose"),
+		solveMet:     metrics.ForService("serve.solve"),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the service's HTTP handler (also useful under
+// httptest or an outer mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves on cfg.Addr until ctx is cancelled or a SIGTERM/SIGINT
+// arrives, then drains: admission stops, in-flight requests get
+// DrainTimeout to finish (their solver contexts are cancelled at the
+// deadline so they return verified best-so-far results), and the listener
+// closes. ready, when non-nil, receives the bound address once the
+// listener is up (tests use it to avoid port races).
+func (s *Server) Run(ctx context.Context, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	s.cfg.Logf("adecompd: listening on %s (workers=%d queue=%d cache=%d)",
+		ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.CacheSize)
+
+	httpSrv := &http.Server{Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		s.cfg.Logf("adecompd: %v received, draining (budget %s)", sig, s.cfg.DrainTimeout)
+	case <-ctx.Done():
+		s.cfg.Logf("adecompd: context done, draining (budget %s)", s.cfg.DrainTimeout)
+	case err := <-errCh:
+		return err // listener failed before any shutdown request
+	}
+	return s.drainAndShutdown(httpSrv)
+}
+
+// drainAndShutdown executes the graceful-drain sequence. Separate from
+// Run so tests can drive it without real signals too.
+func (s *Server) drainAndShutdown(httpSrv *http.Server) error {
+	s.draining.Store(true) // healthz flips, new submissions 503
+	s.pool.drain()         // queue closed; accepted work keeps running
+	// Arm the hard deadline: when the budget elapses, every in-flight
+	// solve context cancels and the solvers return best-so-far.
+	timer := time.AfterFunc(s.cfg.DrainTimeout, s.hardCancel)
+	defer timer.Stop()
+
+	// Shutdown stops the listener and waits for in-flight handlers; its
+	// own context gets a little slack beyond the solver deadline so the
+	// cancelled solves can still serialize their responses.
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout+5*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shCtx)
+	s.pool.wait()
+	s.cfg.Logf("adecompd: drained, bye")
+	return err
+}
+
+// solveContext derives one request's solver context: the HTTP request
+// context (client disconnect), the per-request deadline, and the drain
+// hard-deadline all interrupt it; the solvers then return verified
+// best-so-far results per the cancellation contract.
+func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// admit runs work through the bounded pool, translating pool pressure to
+// HTTP semantics: 503 while draining, 429 + Retry-After when saturated.
+// It returns false when the request was rejected (and answered).
+func (s *Server) admit(w http.ResponseWriter, met *metrics.Service, started time.Time, work func()) bool {
+	if s.draining.Load() {
+		met.Drained.Inc()
+		writeError(w, met, started, http.StatusServiceUnavailable, "server draining")
+		return false
+	}
+	t, err := s.pool.submit(work, met.QueueWait.Observe)
+	switch err {
+	case nil:
+	case errSaturated:
+		met.Shed.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+		writeError(w, met, started, http.StatusTooManyRequests, "worker pool saturated, retry later")
+		return false
+	default: // errDraining
+		met.Drained.Inc()
+		writeError(w, met, started, http.StatusServiceUnavailable, "server draining")
+		return false
+	}
+	<-t.done
+	return true
+}
+
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	met := s.decomposeMet
+	met.Requests.Inc()
+
+	var req DecomposeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, met, started, http.StatusBadRequest, err.Error())
+		return
+	}
+	f, n, err := req.buildFunction(s.cfg.MaxInputs)
+	if err != nil {
+		writeError(w, met, started, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := req.resolveOptions(n)
+	if err != nil {
+		writeError(w, met, started, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := decomposeKey(f, opts)
+	if hit, ok := s.cache.Get(key); ok {
+		met.CacheHits.Inc()
+		resp := hit.(DecomposeResponse)
+		resp.Cached = true
+		writeJSON(w, met, started, http.StatusOK, resp)
+		return
+	}
+	met.CacheMisses.Inc()
+
+	var (
+		res    *isinglut.Result
+		runErr error
+	)
+	ok := s.admit(w, met, started, func() {
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		res, runErr = isinglut.DecomposeContext(ctx, f, opts)
+	})
+	if !ok {
+		return
+	}
+	if runErr != nil {
+		writeError(w, met, started, http.StatusInternalServerError, runErr.Error())
+		return
+	}
+
+	resp := DecomposeResponse{
+		Benchmark:        req.Benchmark,
+		N:                n,
+		M:                f.NumOutputs(),
+		MED:              res.MED,
+		ER:               res.ER,
+		WorstED:          res.WorstED,
+		LUTBits:          res.Design.TotalBits(),
+		FlatBits:         res.Design.FlatBits(),
+		CompressionRatio: res.Design.CompressionRatio(),
+		CoreSolves:       res.CoreSolves,
+		ElapsedMS:        float64(res.Elapsed) / float64(time.Millisecond),
+		StopReason:       res.StopReason,
+	}
+	for _, c := range res.Components {
+		if c != nil {
+			resp.Components = append(resp.Components, Component{
+				K: c.K, MaskA: c.Partition.MaskA(), MaskB: c.Partition.MaskB(),
+			})
+		}
+	}
+	// Only uninterrupted runs enter the cache: a deadline-truncated result
+	// is valid but not the configuration's answer, and must not shadow it.
+	if resp.StopReason == "converged" {
+		s.cache.Put(key, resp)
+	}
+	writeJSON(w, met, started, http.StatusOK, resp)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	met := s.solveMet
+	met.Requests.Inc()
+
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, met, started, http.StatusBadRequest, err.Error())
+		return
+	}
+	prob, sbOpts, err := s.buildSolve(&req)
+	if err != nil {
+		writeError(w, met, started, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := req.solveKey()
+	if hit, ok := s.cache.Get(key); ok {
+		met.CacheHits.Inc()
+		resp := hit.(SolveResponse)
+		resp.Cached = true
+		writeJSON(w, met, started, http.StatusOK, resp)
+		return
+	}
+	met.CacheMisses.Inc()
+
+	var (
+		res    isinglut.IsingResult
+		runErr error
+	)
+	ok := s.admit(w, met, started, func() {
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		res, runErr = isinglut.SolveIsingContext(ctx, prob, sbOpts)
+	})
+	if !ok {
+		return
+	}
+	if runErr != nil {
+		writeError(w, met, started, http.StatusInternalServerError, runErr.Error())
+		return
+	}
+
+	spins := make([]int8, len(res.Spins))
+	copy(spins, res.Spins) // res.Spins may alias solver workspace memory
+	resp := SolveResponse{
+		Spins:      spins,
+		Energy:     res.Energy,
+		Iterations: res.Iterations,
+		Replicas:   res.Replicas,
+		EarlyStops: res.EarlyStops,
+		StopReason: res.StopReason,
+		ElapsedMS:  float64(time.Since(started)) / float64(time.Millisecond),
+	}
+	if resp.StopReason == "converged" || resp.StopReason == "max-iters" {
+		s.cache.Put(key, resp)
+	}
+	writeJSON(w, met, started, http.StatusOK, resp)
+}
+
+// buildSolve validates the wire problem and maps it onto the public
+// Ising API.
+func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut.SBOptions, error) {
+	var opts isinglut.SBOptions
+	if req.N <= 1 {
+		return nil, opts, fmt.Errorf("n must be at least 2, got %d", req.N)
+	}
+	if req.N > s.cfg.MaxSpins {
+		return nil, opts, fmt.Errorf("n=%d exceeds the server limit of %d spins", req.N, s.cfg.MaxSpins)
+	}
+	if len(req.Biases) != 0 && len(req.Biases) != req.N {
+		return nil, opts, fmt.Errorf("biases has %d entries for n=%d", len(req.Biases), req.N)
+	}
+	p := isinglut.NewIsingProblem(req.N)
+	for _, c := range req.Couplings {
+		if c.I < 0 || c.I >= req.N || c.J < 0 || c.J >= req.N || c.I == c.J {
+			return nil, opts, fmt.Errorf("coupling (%d,%d) out of range for n=%d", c.I, c.J, req.N)
+		}
+		p.SetCoupling(c.I, c.J, c.V)
+	}
+	for i, b := range req.Biases {
+		p.SetBias(i, b)
+	}
+	switch req.Variant {
+	case "", "bsb":
+		opts.Variant = isinglut.BallisticSB
+	case "asb":
+		opts.Variant = isinglut.AdiabaticSB
+		if req.Dt == 0 {
+			opts.Dt = 0.5 // aSB's stable step; bare Steps keep the bSB default
+		}
+	case "dsb":
+		opts.Variant = isinglut.DiscreteSB
+	default:
+		return nil, opts, fmt.Errorf("unknown variant %q (want bsb, asb or dsb)", req.Variant)
+	}
+	opts.Steps = req.Steps
+	if req.Dt > 0 {
+		opts.Dt = req.Dt
+	}
+	opts.Seed = req.Seed
+	opts.Replicas = req.Replicas
+	opts.Workers = req.Workers
+	opts.DynamicStop = req.DynamicStop
+	opts.F, opts.S, opts.Epsilon = req.F, req.S, req.Epsilon
+	return p, opts, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	h := Health{
+		Status:       status,
+		UptimeMS:     time.Since(s.start).Milliseconds(),
+		Workers:      s.cfg.Workers,
+		QueueDepth:   s.cfg.QueueDepth,
+		Queued:       s.pool.queued(),
+		InFlight:     s.pool.running(),
+		CacheEntries: s.cache.Len(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(h)
+}
+
+// decodeJSON parses the request body strictly: unknown fields are
+// rejected so a typoed option can never silently fall back to a default,
+// and bodies are capped at 64 MiB (a 16-input, 16-output table is ~6 MiB
+// of JSON; the cap leaves headroom without inviting abuse).
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, met *metrics.Service, started time.Time, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+	met.ObserveHandled(time.Since(started), code)
+}
+
+func writeError(w http.ResponseWriter, met *metrics.Service, started time.Time, code int, msg string) {
+	writeJSON(w, met, started, code, errorResponse{Error: msg})
+}
+
+// RetryAfterSeconds is the advisory backoff clients get with a 429.
+const RetryAfterSeconds = 1

@@ -56,6 +56,42 @@ func FromFunc(n, m int, f func(x uint64) uint64) *Table {
 	return t
 }
 
+// FromOutputs builds a table from its explicit output words: outputs[x]
+// holds Bin(G(x)) in its low m bits (the wire format of the decomposition
+// service). It rejects mismatched lengths and output words with bits set
+// beyond m-1, so a malformed payload cannot silently truncate.
+func FromOutputs(n, m int, outputs []uint64) (*Table, error) {
+	if n < 0 || n > MaxInputs {
+		return nil, fmt.Errorf("truthtable: unsupported input count %d (max %d)", n, MaxInputs)
+	}
+	if m <= 0 || m > 63 {
+		return nil, fmt.Errorf("truthtable: unsupported output count %d", m)
+	}
+	size := uint64(1) << uint(n)
+	if uint64(len(outputs)) != size {
+		return nil, fmt.Errorf("truthtable: %d outputs for n=%d (want %d)", len(outputs), n, size)
+	}
+	t := New(n, m)
+	limit := uint64(1)<<uint(m) - 1
+	for x, out := range outputs {
+		if out > limit {
+			return nil, fmt.Errorf("truthtable: output %#x at pattern %d exceeds %d bits", out, x, m)
+		}
+		t.SetOutput(uint64(x), out)
+	}
+	return t, nil
+}
+
+// Outputs returns the full output-word vector: element x is Bin(G(x)).
+// It is the inverse of FromOutputs and allocates a fresh slice.
+func (t *Table) Outputs() []uint64 {
+	out := make([]uint64, t.Size())
+	for x := range out {
+		out[x] = t.Output(uint64(x))
+	}
+	return out
+}
+
 // NumInputs returns n.
 func (t *Table) NumInputs() int { return t.n }
 

@@ -79,6 +79,14 @@ func FunctionFromFunc(n, m int, f func(x uint64) uint64) *Function {
 	return truthtable.FromFunc(n, m, f)
 }
 
+// FunctionFromOutputs builds a function from its explicit output words:
+// outputs[x] holds the m-bit output for input pattern x in its low bits.
+// This is the wire format of the decomposition service (cmd/adecompd);
+// mismatched lengths or out-of-range words are rejected.
+func FunctionFromOutputs(n, m int, outputs []uint64) (*Function, error) {
+	return truthtable.FromOutputs(n, m, outputs)
+}
+
 // QuantizeSpec re-exports the fixed-point quantization parameters.
 type QuantizeSpec = truthtable.QuantizeSpec
 
