@@ -14,6 +14,7 @@
 //
 //	isingsolve -in problem.json -solver bsb -steps 2000 -stop
 //	isingsolve -in problem.json -replicas 8 -workers 4   # replica batch, best kept
+//	isingsolve -in problem.json -replicas 8 -fused       # fused lock-step batch
 //	isingsolve -demo ring -demo-n 11 -solver sa
 //
 // The -demo flag generates built-in instances (ring: antiferromagnetic
@@ -60,6 +61,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		replicas = flag.Int("replicas", 1, "SB replicas: independent trajectories, best kept")
 		workers  = flag.Int("workers", 0, "concurrent SB replicas (0 = GOMAXPROCS)")
+		fused    = flag.Bool("fused", false, "force the fused replica engine (one coupling stream per step for all replicas); incompatible with -tracecsv")
 		stop     = flag.Bool("stop", false, "enable the dynamic stop criterion")
 		fIter    = flag.Int("f", 20, "dynamic stop: sample every f iterations")
 		sWin     = flag.Int("s", 20, "dynamic stop: variance window size")
@@ -110,6 +112,7 @@ func main() {
 			Trace:    *csv != "",
 			Replicas: *replicas,
 			Workers:  *workers,
+			Fused:    *fused,
 		}
 		if variant == isinglut.AdiabaticSB && *dt == 0 {
 			opts.Dt = 0.5 // aSB stability limit

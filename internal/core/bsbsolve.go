@@ -108,11 +108,17 @@ func theorem3Hook(f *Formulation) func(iter int, x, y []float64) {
 }
 
 // SolveBSBBatch runs the proposed solver as a batch of independent SB
-// replicas (concurrently, up to workers goroutines) and returns the best
-// solution — the software counterpart of SB's "massively parallel"
-// hardware execution. Results are deterministic for a fixed base seed.
-// A cancelled batch returns the best solution among the replicas that
-// ran; Solution.Batch records the per-replica stop reasons.
+// replicas and returns the best solution — the software counterpart of
+// SB's "massively parallel" hardware execution. Results are deterministic
+// for a fixed base seed. A cancelled batch returns the best solution
+// among the replicas that ran; Solution.Batch records the per-replica
+// stop reasons.
+//
+// Without the Theorem-3 heuristic the batch auto-fuses (sb.FuseAuto):
+// every replica advances in lock-step through one shared stream of the
+// bipartite coupling block per step. Theorem3 installs a per-replica
+// sample hook, which forces the per-replica goroutine engine (up to
+// workers concurrent); the two engines return bit-identical results.
 func SolveBSBBatch(ctx context.Context, cop *COP, opts SolverOptions, replicas, workers int) Solution {
 	start := time.Now()
 	if opts.SB.OnSample != nil {

@@ -159,3 +159,32 @@ func TestSolveBSBBatchDeterministic(t *testing.T) {
 		t.Fatal("batch solver not deterministic")
 	}
 }
+
+// TestSolveBSBBatchFusedMatchesUnfused: without the Theorem-3 hook the
+// core batch auto-fuses; its result must be bit-identical to the forced
+// per-replica engine on the same bipartite formulation.
+func TestSolveBSBBatchFusedMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cop, _ := randomSeparateCOP(rng)
+	opts := DefaultSolverOptions()
+	opts.Theorem3 = false // hook-free, so the sb layer auto-fuses
+	opts.SB.Seed = 17
+
+	auto := SolveBSBBatch(context.Background(), cop, opts, 5, 2)
+
+	f := Formulate(cop)
+	unfused, stats := sb.SolveBatch(context.Background(), f.Problem,
+		sb.BatchParams{Base: opts.SB, Replicas: 5, Workers: 2, Fused: sb.FuseOff})
+	if auto.Cost != cop.SettingCost(f.DecodeSpins(unfused.Spins)) {
+		t.Fatalf("fused core batch cost %g != unfused cost", auto.Cost)
+	}
+	if auto.SB.Energy != unfused.Energy || auto.Batch.BestReplica != stats.BestReplica {
+		t.Fatalf("fused (E=%g, best=%d) != unfused (E=%g, best=%d)",
+			auto.SB.Energy, auto.Batch.BestReplica, unfused.Energy, stats.BestReplica)
+	}
+	for r := range stats.Energies {
+		if auto.Batch.Energies[r] != stats.Energies[r] || auto.Batch.Iterations[r] != stats.Iterations[r] {
+			t.Fatalf("replica %d stats diverge between engines", r)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package ising
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fieldColumns is the pre-batching baseline: one scalar Field mat-vec
+// per replica column, streaming the coupling structure r times.
+func fieldColumns(c Coupler, x, out []float64, r int) {
+	n := c.N()
+	for k := 0; k < r; k++ {
+		c.Field(x[k*n:(k+1)*n], out[k*n:(k+1)*n])
+	}
+}
+
+func benchGrid(b *testing.B, run func(b *testing.B, n, r int)) {
+	for _, n := range []int{64, 256} {
+		for _, r := range []int{4, 16, 32} {
+			b.Run(fmt.Sprintf("n=%d/r=%d", n, r), func(b *testing.B) {
+				run(b, n, r)
+			})
+		}
+	}
+}
+
+// BenchmarkFieldBatchDense measures the fused dense kernel: one J stream
+// per call regardless of the replica count.
+func BenchmarkFieldBatchDense(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		d := randomDenseCoupler(n, 1)
+		x := randomBlock(n, r, 2, 0)
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * n * n)) // the J stream the kernel amortizes
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.FieldBatch(x, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldColumnsDense is the unfused baseline on the same dense
+// problem: r independent Field streams.
+func BenchmarkFieldColumnsDense(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		d := randomDenseCoupler(n, 1)
+		x := randomBlock(n, r, 2, 0)
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * n * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fieldColumns(d, x, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldBatchBipartite measures the fused bipartite kernel at
+// core-COP-like shapes (nu ≈ n/4 column-type spins vs nw pattern spins).
+func BenchmarkFieldBatchBipartite(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		nu := n / 4
+		bp := randomBipartiteCoupler(nu, n-nu, 1)
+		x := randomBlock(n, r, 2, 0)
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * nu * (n - nu)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bp.FieldBatch(x, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldColumnsBipartite is the unfused bipartite baseline.
+func BenchmarkFieldColumnsBipartite(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		nu := n / 4
+		bp := randomBipartiteCoupler(nu, n-nu, 1)
+		x := randomBlock(n, r, 2, 0)
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * nu * (n - nu)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fieldColumns(bp, x, out, r)
+		}
+	})
+}

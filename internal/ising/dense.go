@@ -3,13 +3,46 @@ package ising
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
+
+// normCache memoizes a coupler's Frobenius norm. SB resolves the
+// coupling strength c0 from the norm, and a replica batch used to rescan
+// the full coupling structure once per replica; the cache makes the scan
+// once-per-mutation instead. The cached value is stored as its IEEE bit
+// pattern in an atomic so concurrent readers (batch workers sharing one
+// read-only coupler) never race: a norm is sqrt of a sum of squares and
+// therefore never NaN, so a NaN bit pattern doubles as the "invalidated"
+// sentinel. The zero value caches norm 0, which is exactly right for a
+// freshly allocated all-zero coupling.
+type normCache struct {
+	bits atomic.Uint64
+}
+
+// invalidNorm is a quiet-NaN bit pattern; FrobeniusNorm never produces a
+// NaN, so the sentinel is unambiguous.
+const invalidNorm = ^uint64(0)
+
+func (c *normCache) invalidate() { c.bits.Store(invalidNorm) }
+
+// norm returns the cached value, computing and caching via f on a miss.
+// Concurrent misses recompute the same deterministic value; last store
+// wins with identical bits.
+func (c *normCache) norm(f func() float64) float64 {
+	if b := c.bits.Load(); b != invalidNorm {
+		return math.Float64frombits(b)
+	}
+	v := f()
+	c.bits.Store(math.Float64bits(v))
+	return v
+}
 
 // Dense is a dense symmetric coupling matrix with zero diagonal, stored
 // row-major in a flat slice.
 type Dense struct {
-	n int
-	j []float64
+	n    int
+	j    []float64
+	frob normCache
 }
 
 // NewDense allocates an n-spin all-zero coupling matrix.
@@ -30,6 +63,7 @@ func (d *Dense) Set(i, j int, v float64) {
 	}
 	d.j[i*d.n+j] = v
 	d.j[j*d.n+i] = v
+	d.frob.invalidate()
 }
 
 // Add accumulates v onto J_ij (and J_ji).
@@ -39,6 +73,7 @@ func (d *Dense) Add(i, j int, v float64) {
 	}
 	d.j[i*d.n+j] += v
 	d.j[j*d.n+i] += v
+	d.frob.invalidate()
 }
 
 // At implements Coupler.
@@ -57,13 +92,71 @@ func (d *Dense) Field(x, out []float64) {
 	}
 }
 
-// FrobeniusNorm implements Coupler.
+// FrobeniusNorm implements Coupler. The O(n²) scan runs once per
+// mutation epoch: the result is memoized and invalidated by Set/Add.
 func (d *Dense) FrobeniusNorm() float64 {
-	sum := 0.0
-	for _, v := range d.j {
-		sum += v * v
+	return d.frob.norm(func() float64 {
+		sum := 0.0
+		for _, v := range d.j {
+			sum += v * v
+		}
+		return math.Sqrt(sum)
+	})
+}
+
+// FieldBatch implements BatchCoupler: out's lane k receives J*x_k for
+// each of the r column-major replica lanes.
+//
+// The loop nest streams each J row exactly once per call: the row is the
+// innermost reused operand (lanes are register-tiled four at a time, so
+// a row loaded for the first tile is served from L1 for the rest), while
+// the replica block — n×r floats, L2-resident at the sizes SB batches
+// use — is the operand that gets re-read per row. Beyond the memory
+// shape, the four accumulator chains per row break the serial FP-add
+// dependence that limits the scalar Field kernel. Exploiting symmetry
+// (halving the J traffic by updating out[j] while scanning row i) was
+// measured and rejected: the scattered lane-strided writes it needs cost
+// more than the halved streaming saves, and it would change the per-lane
+// accumulation order that the bit-identity contract pins.
+func (d *Dense) FieldBatch(x, out []float64, r int) {
+	n := d.n
+	checkBatchDims(n, len(x), len(out), r)
+	for i := 0; i < n; i++ {
+		row := d.j[i*n : i*n+n]
+		k := 0
+		for ; k+4 <= r; k += 4 {
+			// Four lanes per row visit: four independent accumulator
+			// chains hide the FP-add latency that serializes the scalar
+			// kernel, and the row is loaded once for all of them (an
+			// 8-lane tile was measured slower: the extra streams spill
+			// registers). The [:len(row)] re-slices let the compiler prove
+			// every lane access in-bounds from the range variable alone;
+			// without the hint each lane pays a bounds check per element.
+			x0 := x[k*n : k*n+n][:len(row)]
+			x1 := x[k*n+n : k*n+2*n][:len(row)]
+			x2 := x[k*n+2*n : k*n+3*n][:len(row)]
+			x3 := x[k*n+3*n : k*n+4*n][:len(row)]
+			var s0, s1, s2, s3 float64
+			for j, v := range row {
+				s0 += v * x0[j]
+				s1 += v * x1[j]
+				s2 += v * x2[j]
+				s3 += v * x3[j]
+			}
+			out[k*n+i] = s0
+			out[k*n+n+i] = s1
+			out[k*n+2*n+i] = s2
+			out[k*n+3*n+i] = s3
+		}
+		for ; k < r; k++ {
+			xk := x[k*n : k*n+n][:len(row)]
+			var s float64
+			for j, v := range row {
+				s += v * xk[j]
+			}
+			out[k*n+i] = s
+		}
 	}
-	return math.Sqrt(sum)
 }
 
 // Bipartite is a coupling in which spins split into two groups U (size
@@ -76,6 +169,7 @@ func (d *Dense) FrobeniusNorm() float64 {
 type Bipartite struct {
 	nu, nw int
 	b      []float64 // b[u*nw+w] = J between spin u and spin nu+w
+	frob   normCache
 }
 
 // NewBipartite allocates an all-zero bipartite coupling with group sizes
@@ -93,11 +187,13 @@ func (b *Bipartite) N() int { return b.nu + b.nw }
 // SetCross assigns the coupling between spin u (in U) and spin nu+w.
 func (b *Bipartite) SetCross(u, w int, v float64) {
 	b.b[u*b.nw+w] = v
+	b.frob.invalidate()
 }
 
 // AddCross accumulates onto the coupling between spin u and spin nu+w.
 func (b *Bipartite) AddCross(u, w int, v float64) {
 	b.b[u*b.nw+w] += v
+	b.frob.invalidate()
 }
 
 // At implements Coupler.
@@ -142,13 +238,88 @@ func (b *Bipartite) Field(x, out []float64) {
 }
 
 // FrobeniusNorm implements Coupler. Each cross coupling appears twice in
-// the full symmetric matrix (J_uw and J_wu).
+// the full symmetric matrix (J_uw and J_wu). The scan is memoized and
+// invalidated by SetCross/AddCross.
 func (b *Bipartite) FrobeniusNorm() float64 {
-	sum := 0.0
-	for _, v := range b.b {
-		sum += 2 * v * v
+	return b.frob.norm(func() float64 {
+		sum := 0.0
+		for _, v := range b.b {
+			sum += 2 * v * v
+		}
+		return math.Sqrt(sum)
+	})
+}
+
+// FieldBatch implements BatchCoupler with one pass over the nu×nw block
+// per call for all r replica lanes: each block row u is loaded once and
+// used for both the U-side dot products and the W-side rank-1 updates of
+// four lanes at a time (the row stays in L1 across the lane tiles, so
+// DRAM sees the block exactly once). Per-lane accumulation order matches
+// Field exactly. The scalar kernel's xv==0 skip is deliberately not
+// replicated: adding the resulting ±0 products cannot change any IEEE
+// partial sum here, because a sum that starts at +0 can never become -0,
+// and the skip would cost a branch per lane per row.
+func (b *Bipartite) FieldBatch(x, out []float64, r int) {
+	nu, nw := b.nu, b.nw
+	n := nu + nw
+	checkBatchDims(n, len(x), len(out), r)
+	for k := 0; k < r; k++ {
+		ow := out[k*n+nu : k*n+n]
+		for w := range ow {
+			ow[w] = 0
+		}
 	}
-	return math.Sqrt(sum)
+	for u := 0; u < nu; u++ {
+		row := b.b[u*nw : u*nw+nw]
+		k := 0
+		for ; k+4 <= r; k += 4 {
+			// The [:len(row)] re-slices are bounds-check-elimination hints:
+			// they let the range variable prove every lane access in-bounds.
+			xw0 := x[k*n+nu : k*n+n][:len(row)]
+			xw1 := x[k*n+n+nu : k*n+2*n][:len(row)]
+			xw2 := x[k*n+2*n+nu : k*n+3*n][:len(row)]
+			xw3 := x[k*n+3*n+nu : k*n+4*n][:len(row)]
+			var s0, s1, s2, s3 float64
+			for w, v := range row {
+				s0 += v * xw0[w]
+				s1 += v * xw1[w]
+				s2 += v * xw2[w]
+				s3 += v * xw3[w]
+			}
+			out[k*n+u] = s0
+			out[k*n+n+u] = s1
+			out[k*n+2*n+u] = s2
+			out[k*n+3*n+u] = s3
+
+			ow0 := out[k*n+nu : k*n+n][:len(row)]
+			ow1 := out[k*n+n+nu : k*n+2*n][:len(row)]
+			ow2 := out[k*n+2*n+nu : k*n+3*n][:len(row)]
+			ow3 := out[k*n+3*n+nu : k*n+4*n][:len(row)]
+			xv0 := x[k*n+u]
+			xv1 := x[k*n+n+u]
+			xv2 := x[k*n+2*n+u]
+			xv3 := x[k*n+3*n+u]
+			for w, v := range row {
+				ow0[w] += v * xv0
+				ow1[w] += v * xv1
+				ow2[w] += v * xv2
+				ow3[w] += v * xv3
+			}
+		}
+		for ; k < r; k++ {
+			xw := x[k*n+nu : k*n+n][:len(row)]
+			var s float64
+			for w, v := range row {
+				s += v * xw[w]
+			}
+			out[k*n+u] = s
+			ow := out[k*n+nu : k*n+n][:len(row)]
+			xv := x[k*n+u]
+			for w, v := range row {
+				ow[w] += v * xv
+			}
+		}
+	}
 }
 
 // ToDense materializes the bipartite coupling as a Dense matrix; used by

@@ -9,6 +9,11 @@
 // (simulated bifurcation, simulated annealing) only need the local field
 // J*x + h, plus brute-force ground-state search for small instances used
 // by the test suite.
+//
+// Both built-in couplers additionally implement BatchCoupler, the
+// replica-batched field product used by the fused SB engine: one
+// traversal of the coupling structure produces J*x for every replica
+// lane, bit-identically to per-lane Field calls.
 package ising
 
 import (
@@ -31,6 +36,62 @@ type Coupler interface {
 	// FrobeniusNorm returns sqrt(sum_ij J_ij^2); SB uses it to scale the
 	// coupling strength c0.
 	FrobeniusNorm() float64
+}
+
+// BatchCoupler is an optional Coupler extension for multi-replica field
+// products. A batched SB engine advances r replicas through one traversal
+// of the coupling structure per step instead of r independent traversals,
+// which turns the per-step cost from r memory-bound mat-vecs into a single
+// matrix stream against cache-resident replica state.
+//
+// The FieldBatch contract:
+//
+//   - x and out are n×r column-major replica blocks: replica k occupies
+//     the contiguous lane x[k*n : (k+1)*n], likewise for out, so any lane
+//     is itself a valid Field vector.
+//   - out must not alias x.
+//   - Each output lane is bit-identical to Field on the corresponding
+//     input lane: the per-lane accumulation order matches Field exactly,
+//     so batched and unbatched solvers produce identical trajectories.
+//     (Couplings are assumed finite; an Inf coupling already poisons the
+//     scalar path.)
+//
+// Couplers that do not implement BatchCoupler still work everywhere:
+// FieldBatch (the package-level function) falls back to one Field call
+// per lane.
+type BatchCoupler interface {
+	Coupler
+	// FieldBatch writes J*x_k into out's lane k for each of the r replica
+	// lanes. See the interface comment for the block layout contract.
+	FieldBatch(x, out []float64, r int)
+}
+
+// FieldBatch computes the local-field product for r replica lanes at
+// once, dispatching to the coupler's batched kernel when it has one and
+// falling back to one Field call per column otherwise — third-party
+// Couplers keep working unchanged, they just don't get the single-stream
+// traversal. x and out follow the BatchCoupler block layout.
+func FieldBatch(c Coupler, x, out []float64, r int) {
+	if bc, ok := c.(BatchCoupler); ok {
+		bc.FieldBatch(x, out, r)
+		return
+	}
+	n := c.N()
+	checkBatchDims(n, len(x), len(out), r)
+	for k := 0; k < r; k++ {
+		c.Field(x[k*n:(k+1)*n], out[k*n:(k+1)*n])
+	}
+}
+
+// checkBatchDims validates a replica block against the n×r column-major
+// layout contract shared by every FieldBatch implementation.
+func checkBatchDims(n, lenX, lenOut, r int) {
+	if r < 0 {
+		panic(fmt.Sprintf("ising: FieldBatch with negative replica count %d", r))
+	}
+	if lenX < n*r || lenOut < n*r {
+		panic(fmt.Sprintf("ising: FieldBatch blocks %d/%d too short for n=%d, r=%d", lenX, lenOut, n, r))
+	}
 }
 
 // Problem is a complete Ising instance: couplings, biases, and an energy

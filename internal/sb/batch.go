@@ -34,6 +34,16 @@ type BatchParams struct {
 	// so hooks with scratch state (like the Theorem-3 intervention) can
 	// run concurrently. It overrides Base.OnSample.
 	MakeOnSample func(replica int) func(iter int, x, y []float64)
+	// Fused selects the execution engine. The default FuseAuto routes
+	// multi-replica batches without per-replica hooks or trace recording
+	// to the fused lock-step engine (SolveFused), which streams the
+	// coupling structure once per step for all replicas; batches with
+	// OnSample/MakeOnSample/RecordTrace fall back to the per-replica
+	// goroutine engine. FuseOn forces fusion (and panics when the batch
+	// is ineligible); FuseOff forces the goroutine engine. Both engines
+	// produce bit-identical winners and per-replica Stats for equal
+	// Base.Seed.
+	Fused FuseMode
 }
 
 // Stats reports the full replica portfolio of one SolveBatch call, so
@@ -101,6 +111,23 @@ func SolveBatch(ctx context.Context, p *ising.Problem, bp BatchParams) (Result, 
 	replicas := bp.Replicas
 	if replicas <= 0 {
 		replicas = 4
+	}
+	switch bp.Fused {
+	case FuseOn:
+		if !fusedEligible(bp) {
+			panic("sb: SolveBatch FuseOn with per-replica hooks or trace recording")
+		}
+		return SolveFused(ctx, p, bp)
+	case FuseAuto:
+		if replicas > 1 && fusedEligible(bp) {
+			return SolveFused(ctx, p, bp)
+		}
+	}
+	// Resolve the automatic coupling scale once per batch: every replica
+	// uses the same c0, and leaving C0 == 0 would rescan the coupling
+	// norm inside each SolveWith call instead.
+	if bp.Base.C0 == 0 {
+		bp.Base.C0 = autoC0(p)
 	}
 	workers := bp.Workers
 	if workers <= 0 {

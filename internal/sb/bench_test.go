@@ -1,0 +1,59 @@
+package sb
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchBatchParams is the shared configuration for the engine benches:
+// a fixed step budget with no dynamic stop, so both engines execute
+// exactly the same Euler steps and the comparison isolates the field
+// kernel restructuring.
+func benchBatchParams(replicas int) BatchParams {
+	base := DefaultParams()
+	base.Steps = 100
+	base.Seed = 7
+	return BatchParams{Base: base, Replicas: replicas}
+}
+
+func benchEngineGrid(b *testing.B, run func(b *testing.B, n, r int)) {
+	for _, n := range []int{64, 256} {
+		for _, r := range []int{4, 16, 32} {
+			b.Run(fmt.Sprintf("n=%d/r=%d", n, r), func(b *testing.B) {
+				run(b, n, r)
+			})
+		}
+	}
+}
+
+// BenchmarkSolveBatch measures the per-replica goroutine engine (fusion
+// forced off): each replica streams the coupling matrix independently.
+func BenchmarkSolveBatch(b *testing.B) {
+	benchEngineGrid(b, func(b *testing.B, n, r int) {
+		p := randomProblem(n, int64(n))
+		bp := benchBatchParams(r)
+		bp.Fused = FuseOff
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SolveBatch(context.Background(), p, bp)
+		}
+	})
+}
+
+// BenchmarkSolveFused measures the fused lock-step engine on the same
+// problems: one coupling stream per step for all replicas. The ≥2x
+// acceptance gate at n=256, r=32 compares this against BenchmarkSolveBatch.
+func BenchmarkSolveFused(b *testing.B) {
+	benchEngineGrid(b, func(b *testing.B, n, r int) {
+		p := randomProblem(n, int64(n))
+		bp := benchBatchParams(r)
+		fw := NewFusedWorkspace(n, r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SolveFusedWith(context.Background(), p, bp, fw)
+		}
+	})
+}

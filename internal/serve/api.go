@@ -93,6 +93,12 @@ type SolveRequest struct {
 	Seed        int64   `json:"seed,omitempty"`
 	Replicas    int     `json:"replicas,omitempty"`
 	Workers     int     `json:"workers,omitempty"`
+	// Fused forces the fused replica engine (one coupling stream per step
+	// for the whole batch). Multi-replica solves fuse automatically; the
+	// result is bit-identical either way, so the flag only pins the
+	// engine — it does not change the answer (and is therefore excluded
+	// from the cache key, like Workers).
+	Fused       bool    `json:"fused,omitempty"`
 	DynamicStop bool    `json:"dynamic_stop,omitempty"`
 	F           int     `json:"f,omitempty"`
 	S           int     `json:"s,omitempty"`
@@ -254,6 +260,10 @@ func (r *SolveRequest) solveKey() string {
 	for _, b := range r.Biases {
 		writeU64(h, math.Float64bits(b))
 	}
+	// Fused is deliberately not hashed: the fused and unfused engines
+	// return bit-identical results for equal seeds, so both request forms
+	// share one cache slot (Workers and TimeoutMS are excluded for the
+	// same reason).
 	writeString(h, r.Variant)
 	writeU64(h, uint64(r.Steps))
 	writeU64(h, math.Float64bits(r.Dt))

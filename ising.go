@@ -79,6 +79,14 @@ type SBOptions struct {
 	// seed regardless of Workers.
 	Replicas int
 	Workers  int
+	// Fused forces the fused replica engine: all replicas advance in
+	// lock-step so each Euler step streams the coupling matrix once for
+	// the whole batch instead of once per replica. Multi-replica solves
+	// without Trace already use the fused engine automatically; the flag
+	// exists to pin the engine explicitly (e.g. for benchmarking) and is
+	// rejected with an error when combined with Trace, which needs
+	// per-replica control flow. Results are bit-identical either way.
+	Fused bool
 }
 
 // IsingResult reports a standalone Ising solve.
@@ -140,16 +148,28 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 			params.SampleEvery = 10
 		}
 	}
+	if opts.Fused && opts.Trace {
+		return IsingResult{}, fmt.Errorf("isinglut: Fused and Trace are mutually exclusive (trace recording needs per-replica control flow)")
+	}
 	prob := p.problem()
 	replicas := 1
 	earlyStops := 0
 	var res sb.Result
 	stopReason := ""
-	if opts.Replicas > 1 {
+	if opts.Replicas > 1 || opts.Fused {
+		nrep := opts.Replicas
+		if nrep < 1 {
+			nrep = 1
+		}
+		fuse := sb.FuseAuto
+		if opts.Fused {
+			fuse = sb.FuseOn
+		}
 		batch, stats := sb.SolveBatch(ctx, prob, sb.BatchParams{
 			Base:     params,
-			Replicas: opts.Replicas,
+			Replicas: nrep,
 			Workers:  opts.Workers,
+			Fused:    fuse,
 		})
 		res = batch
 		replicas = stats.Replicas
