@@ -12,16 +12,22 @@
 //	POST /v1/decompose  benchmark-or-truth-table in; partition, error
 //	                    report and LUT design out
 //	POST /v1/solve      raw Ising ground-state search (bSB/aSB/dSB)
-//	GET  /healthz       liveness + queue/cache occupancy
+//	GET  /healthz       pure liveness + queue/cache/breaker occupancy
+//	GET  /readyz        readiness; 503 from the moment drain begins
 //	GET  /debug/vars    expvar, incl. isinglut.metrics and
 //	                    isinglut.services
 //
 // Overload sheds with 429 + Retry-After once the queue is full. A
 // request's timeout_ms (clamped to -max-timeout) interrupts its solve at
 // the deadline and returns the verified best-so-far result with
-// stop_reason "deadline". On SIGTERM/SIGINT the daemon stops accepting,
-// gives in-flight work -drain to finish (then cancels it into best-so-far
-// responses) and exits cleanly.
+// stop_reason "deadline". On SIGTERM/SIGINT the daemon stops accepting
+// (/readyz flips to 503), gives in-flight work -drain to finish (then
+// cancels it into best-so-far responses) and exits cleanly.
+//
+// Failed or panicked solver jobs are retried (-retries, -retry-backoff)
+// behind per-endpoint circuit breakers (-breaker-threshold,
+// -breaker-cooldown); when the Ising path stays down, /v1/decompose
+// degrades to the DALTA heuristic and marks the response "degraded".
 package main
 
 import (
@@ -46,6 +52,13 @@ func main() {
 		drain      = flag.Duration("drain", 10*time.Second, "SIGTERM drain budget for in-flight work")
 		maxInputs  = flag.Int("max-inputs", 16, "largest accepted function input count")
 		maxSpins   = flag.Int("max-spins", 4096, "largest accepted raw Ising problem")
+
+		maxSteps     = flag.Int("max-steps", 1_000_000_000, "largest accepted per-request SB step count")
+		maxReplicas  = flag.Int("max-replicas", 4096, "largest accepted per-request replica count")
+		retries      = flag.Int("retries", 1, "re-attempts for a failed or panicked solver job (-1 disables)")
+		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base jittered sleep between solver re-attempts")
+		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive solver failures before an endpoint's circuit breaker opens (-1 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker duration before a half-open probe")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -64,7 +77,14 @@ func main() {
 		DrainTimeout:   *drain,
 		MaxInputs:      *maxInputs,
 		MaxSpins:       *maxSpins,
-		Logf:           logger.Printf,
+
+		MaxSteps:         *maxSteps,
+		MaxReplicas:      *maxReplicas,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Logf:             logger.Printf,
 	})
 	if err := srv.Run(context.Background(), nil); err != nil {
 		logger.Fatalf("adecompd: %v", err)

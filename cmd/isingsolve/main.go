@@ -62,6 +62,7 @@ func main() {
 		replicas = flag.Int("replicas", 1, "SB replicas: independent trajectories, best kept")
 		workers  = flag.Int("workers", 0, "concurrent SB replicas (0 = GOMAXPROCS)")
 		fused    = flag.Bool("fused", false, "force the fused replica engine (one coupling stream per step for all replicas); incompatible with -tracecsv")
+		rescue   = flag.Bool("rescue", false, "re-seed a diverged trajectory once with a halved dt instead of quarantining it")
 		stop     = flag.Bool("stop", false, "enable the dynamic stop criterion")
 		fIter    = flag.Int("f", 20, "dynamic stop: sample every f iterations")
 		sWin     = flag.Int("s", 20, "dynamic stop: variance window size")
@@ -113,6 +114,7 @@ func main() {
 			Replicas: *replicas,
 			Workers:  *workers,
 			Fused:    *fused,
+			Rescue:   *rescue,
 		}
 		if variant == isinglut.AdiabaticSB && *dt == 0 {
 			opts.Dt = 0.5 // aSB stability limit
@@ -216,6 +218,14 @@ func report(solver string, res isinglut.IsingResult) {
 	}
 	if res.Stopped {
 		fmt.Println("stopped    : dynamic stop criterion fired")
+	}
+	if res.Diverged {
+		fmt.Printf("diverged   : dynamics overflowed (%d replicas); best finite state reported, energy +Inf\n", res.DivergedReplicas)
+	} else if res.DivergedReplicas > 0 {
+		fmt.Printf("diverged   : %d replicas quarantined (winner is finite)\n", res.DivergedReplicas)
+	}
+	if res.Rescued {
+		fmt.Println("rescued    : winner recovered from a divergence via re-seed with halved dt")
 	}
 	if res.StopReason != "" && res.StopReason != "converged" && res.StopReason != "max-iters" {
 		fmt.Printf("stop reason: %s (best-so-far state reported)\n", res.StopReason)

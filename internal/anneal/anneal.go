@@ -12,9 +12,14 @@ import (
 	"math/rand"
 	"time"
 
+	"isinglut/internal/fault"
 	"isinglut/internal/ising"
 	"isinglut/internal/metrics"
 )
+
+// siteSweep panics an annealing sweep when armed — the chaos suite's
+// handle on the SA baseline, proving callers survive a baseline bug too.
+var siteSweep = fault.NewSite("anneal.sweep")
 
 // met instruments the annealer: one run observation plus sweep/acceptance
 // totals per Solve call.
@@ -93,6 +98,9 @@ func Solve(ctx context.Context, p *ising.Problem, params Params) Result {
 	executed := 0
 	pollCtx := ctx.Done() != nil
 	for sweep := 0; sweep < params.Sweeps; sweep++ {
+		if siteSweep.Fire() {
+			panic("fault: injected anneal.sweep panic")
+		}
 		if pollCtx && ctx.Err() != nil {
 			stopped = metrics.ReasonFromContext(ctx)
 			break

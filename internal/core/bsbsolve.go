@@ -7,9 +7,15 @@ import (
 
 	"isinglut/internal/bitvec"
 	"isinglut/internal/decomp"
+	"isinglut/internal/fault"
 	"isinglut/internal/metrics"
 	"isinglut/internal/sb"
 )
+
+// siteSolve panics a core-COP solve when armed, modelling a bug anywhere
+// under the bSB pipeline; the serve layer's recover boundary must convert
+// it into a structured error (and a DALTA fallback on /v1/decompose).
+var siteSolve = fault.NewSite("core.solve")
 
 // met instruments the core-COP layer (one run per SolveBSB/SolveBSBBatch
 // call, on top of the finer-grained sb metrics underneath).
@@ -61,6 +67,9 @@ var wsPool = sync.Pool{New: func() any { return new(sb.Workspace) }}
 // the best-so-far spins (check Solution.SB.Stopped for the reason).
 func SolveBSB(ctx context.Context, cop *COP, opts SolverOptions) Solution {
 	start := time.Now()
+	if siteSolve.Fire() {
+		panic("fault: injected core.solve panic")
+	}
 	if opts.SB.OnSample != nil {
 		panic("core: SolverOptions.SB.OnSample is reserved")
 	}

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisarmedSiteNeverFires(t *testing.T) {
+	s := NewSite("test.disarmed")
+	for i := 0; i < 1000; i++ {
+		if s.Fire() || s.FireKey(int64(i)) {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	if Fired("test.disarmed") != 0 {
+		t.Fatal("disarmed site counted a fire")
+	}
+}
+
+func TestCountdownFiresOnExactHit(t *testing.T) {
+	s := NewSite("test.countdown")
+	MustArm("test.countdown", Scenario{After: 3})
+	defer Disarm("test.countdown")
+	got := -1
+	for i := 0; i < 10; i++ {
+		if s.Fire() {
+			if got >= 0 {
+				t.Fatalf("fired twice (hits %d and %d) with Times=0", got, i)
+			}
+			got = i
+		}
+	}
+	if got != 3 {
+		t.Fatalf("fired on hit %d, want 3 (After=3 skips the first three)", got)
+	}
+}
+
+func TestTimesBoundsAndUnlimited(t *testing.T) {
+	s := NewSite("test.times")
+	MustArm("test.times", Scenario{Times: 3})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		if s.Fire() {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("Times=3 fired %d times", fires)
+	}
+	MustArm("test.times", Scenario{Times: -1})
+	fires = 0
+	for i := 0; i < 10; i++ {
+		if s.Fire() {
+			fires++
+		}
+	}
+	if fires != 10 {
+		t.Fatalf("Times=-1 fired %d of 10 hits", fires)
+	}
+	Disarm("test.times")
+}
+
+func TestProbabilisticIsDeterministicPerSeed(t *testing.T) {
+	s := NewSite("test.prob")
+	defer Disarm("test.prob")
+	run := func(seed int64) []bool {
+		MustArm("test.prob", Scenario{Prob: 0.5, Seed: seed, Times: -1})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Fire()
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-hit pattern")
+	}
+}
+
+func TestKeyedScenarioIsOrderIndependent(t *testing.T) {
+	s := NewSite("test.keyed")
+	defer Disarm("test.keyed")
+	fire := func(order []int64) map[int64]bool {
+		MustArm("test.keyed", Scenario{Keys: []int64{2, 5}, Times: -1})
+		out := map[int64]bool{}
+		for _, k := range order {
+			if s.FireKey(k) {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	fwd := fire([]int64{0, 1, 2, 3, 4, 5})
+	rev := fire([]int64{5, 4, 3, 2, 1, 0})
+	for _, k := range []int64{0, 1, 2, 3, 4, 5} {
+		want := k == 2 || k == 5
+		if fwd[k] != want || rev[k] != want {
+			t.Fatalf("key %d: fwd=%v rev=%v want %v", k, fwd[k], rev[k], want)
+		}
+	}
+	// Keyed scenarios never match a plain (unkeyed) Fire.
+	MustArm("test.keyed", Scenario{Keys: []int64{2}, Times: -1})
+	if s.Fire() {
+		t.Fatal("keyed scenario fired on an unkeyed hit")
+	}
+}
+
+func TestArmUnknownSiteFails(t *testing.T) {
+	if err := Arm("test.never-registered", Scenario{}); err == nil {
+		t.Fatal("arming an unregistered site succeeded")
+	}
+}
+
+func TestRegistryListsAndCounts(t *testing.T) {
+	s := NewSite("test.registry")
+	found := false
+	for _, name := range Sites() {
+		if name == "test.registry" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered site missing from Sites()")
+	}
+	before := Fired("test.registry")
+	MustArm("test.registry", Scenario{})
+	if !Armed("test.registry") {
+		t.Fatal("Armed false after Arm")
+	}
+	s.Fire()
+	Disarm("test.registry")
+	if Armed("test.registry") {
+		t.Fatal("Armed true after Disarm")
+	}
+	if Fired("test.registry") != before+1 {
+		t.Fatal("fire counter did not survive Disarm")
+	}
+	if s.Fire() {
+		t.Fatal("site fired after Disarm")
+	}
+}
+
+// TestConcurrentFire pins race-safety of the hot path under -race: many
+// goroutines hammer one armed site while another arms and disarms it.
+func TestConcurrentFire(t *testing.T) {
+	s := NewSite("test.concurrent")
+	defer Disarm("test.concurrent")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Fire()
+					s.FireKey(int64(g))
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		MustArm("test.concurrent", Scenario{Prob: 0.5, Seed: int64(i), Times: -1})
+		Disarm("test.concurrent")
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -27,8 +27,13 @@ import (
 
 	"isinglut/internal/bitvec"
 	"isinglut/internal/decomp"
+	"isinglut/internal/fault"
 	"isinglut/internal/metrics"
 )
+
+// siteNode panics a branch-and-bound node expansion when armed — the
+// chaos suite's handle on the exact baseline.
+var siteNode = fault.NewSite("ilp.node")
 
 // met instruments the branch-and-bound solver: runs, explored nodes
 // (Iterations), and the reason each search ended.
@@ -295,6 +300,9 @@ func (s *searcher) limitHit() bool {
 func (s *searcher) branch(d int, _ float64) {
 	if s.limitHit() {
 		return
+	}
+	if siteNode.Fire() {
+		panic("fault: injected ilp.node panic")
 	}
 	s.nodes++
 	if d == s.c {

@@ -79,6 +79,19 @@ func (d *Dense) Add(i, j int, v float64) {
 // At implements Coupler.
 func (d *Dense) At(i, j int) float64 { return d.j[i*d.n+j] }
 
+// AllFinite reports whether every coupling is finite (no NaN or ±Inf).
+// One non-finite entry poisons the whole oscillator state within a
+// single field product, so callers validate up front instead of letting
+// the dynamics diverge.
+func (d *Dense) AllFinite() bool {
+	for _, v := range d.j {
+		if v-v != 0 { // NaN or ±Inf: v-v is NaN, not 0
+			return false
+		}
+	}
+	return true
+}
+
 // Field implements Coupler: out = J*x.
 func (d *Dense) Field(x, out []float64) {
 	n := d.n

@@ -19,7 +19,14 @@ package ising
 import (
 	"fmt"
 	"math"
+
+	"isinglut/internal/fault"
 )
+
+// siteField poisons the first output lane of a batched field product when
+// armed, modelling a NaN escaping the coupling kernel into the fused
+// engine's dynamics (the batched counterpart of the sb.step failpoint).
+var siteField = fault.NewSite("ising.field")
 
 // Coupler supplies the coupling structure of an Ising problem. Solvers
 // interact with the couplings only through the local-field product, so
@@ -74,12 +81,15 @@ type BatchCoupler interface {
 func FieldBatch(c Coupler, x, out []float64, r int) {
 	if bc, ok := c.(BatchCoupler); ok {
 		bc.FieldBatch(x, out, r)
-		return
+	} else {
+		n := c.N()
+		checkBatchDims(n, len(x), len(out), r)
+		for k := 0; k < r; k++ {
+			c.Field(x[k*n:(k+1)*n], out[k*n:(k+1)*n])
+		}
 	}
-	n := c.N()
-	checkBatchDims(n, len(x), len(out), r)
-	for k := 0; k < r; k++ {
-		c.Field(x[k*n:(k+1)*n], out[k*n:(k+1)*n])
+	if r > 0 && len(out) > 0 && siteField.Fire() {
+		out[0] = math.NaN()
 	}
 }
 

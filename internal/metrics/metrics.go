@@ -42,6 +42,13 @@ const (
 	// StopDeadline: the caller's context deadline (or the solver's own
 	// time limit) expired.
 	StopDeadline
+	// StopDiverged: the run's dynamics produced non-finite state (NaN/±Inf
+	// positions or energies) and the divergence guard quarantined it; the
+	// reported energy is +Inf so the run can never win a portfolio scan.
+	StopDiverged
+	// StopFailed: the run panicked and was converted into a failed replica
+	// (or job) by a recover boundary instead of crashing the process.
+	StopFailed
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +64,10 @@ func (r StopReason) String() string {
 		return "cancelled"
 	case StopDeadline:
 		return "deadline"
+	case StopDiverged:
+		return "diverged"
+	case StopFailed:
+		return "failed"
 	}
 	return "unknown"
 }
@@ -152,6 +163,15 @@ type Solver struct {
 	MaxIters  Counter
 	Cancelled Counter
 	Deadline  Counter
+	// Diverged counts runs (or replica lanes) quarantined by the numerical
+	// divergence guard; Failed counts runs whose panic a recover boundary
+	// converted into a failed replica. Rescues counts diverged trajectories
+	// that were re-seeded once with a damped time step instead of being
+	// quarantined outright (incremented directly by the engines, not via
+	// ObserveRun — a rescued run still completes with its own stop reason).
+	Diverged Counter
+	Failed   Counter
+	Rescues  Counter
 
 	// SolveTime accumulates per-run wall clock; Latency buckets the same
 	// observations (microsecond power-of-two bounds) for tail inspection.
@@ -183,6 +203,10 @@ func (s *Solver) ObserveRun(d time.Duration, reason StopReason) {
 		s.Cancelled.Inc()
 	case StopDeadline:
 		s.Deadline.Inc()
+	case StopDiverged:
+		s.Diverged.Inc()
+	case StopFailed:
+		s.Failed.Inc()
 	}
 }
 
@@ -213,6 +237,9 @@ func (s *Solver) reset() {
 	s.MaxIters.reset()
 	s.Cancelled.reset()
 	s.Deadline.reset()
+	s.Diverged.reset()
+	s.Failed.reset()
+	s.Rescues.reset()
 	s.SolveTime.reset()
 	s.WorkerBusy.reset()
 	s.WorkerCapacity.reset()

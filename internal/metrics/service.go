@@ -35,6 +35,16 @@ type Service struct {
 	CacheHits   Counter
 	CacheMisses Counter
 
+	// Degraded counts responses served from the heuristic fallback after
+	// the Ising path failed; Retries counts solver re-attempts made by the
+	// retry helper; Panics counts solver panics converted into structured
+	// errors by the job recover boundary; BreakerOpen counts requests
+	// short-circuited by an open circuit breaker.
+	Degraded    Counter
+	Retries     Counter
+	Panics      Counter
+	BreakerOpen Counter
+
 	// QueueWait accumulates the time admitted requests spent queued before
 	// a worker picked them up; Handle accumulates end-to-end handling time
 	// (queue wait + solve + encode). Latency buckets Handle's observations
@@ -76,6 +86,10 @@ func (s *Service) reset() {
 	s.Drained.reset()
 	s.CacheHits.reset()
 	s.CacheMisses.reset()
+	s.Degraded.reset()
+	s.Retries.reset()
+	s.Panics.reset()
+	s.BreakerOpen.reset()
 	s.QueueWait.reset()
 	s.Handle.reset()
 	s.Latency.reset()
@@ -112,6 +126,10 @@ type ServiceSnapshot struct {
 	Drained     int64  `json:"drained"`
 	CacheHits   int64  `json:"cache_hits"`
 	CacheMisses int64  `json:"cache_misses"`
+	Degraded    int64  `json:"degraded"`
+	Retries     int64  `json:"retries"`
+	Panics      int64  `json:"panics"`
+	BreakerOpen int64  `json:"breaker_open"`
 
 	// CacheHitRate is hits / (hits + misses); 0 with no lookups.
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
@@ -134,6 +152,10 @@ func (s *Service) snapshot() ServiceSnapshot {
 		Drained:     s.Drained.Load(),
 		CacheHits:   s.CacheHits.Load(),
 		CacheMisses: s.CacheMisses.Load(),
+		Degraded:    s.Degraded.Load(),
+		Retries:     s.Retries.Load(),
+		Panics:      s.Panics.Load(),
+		BreakerOpen: s.BreakerOpen.Load(),
 		QueueWaitNS: int64(s.QueueWait.Total()),
 		HandleNS:    int64(s.Handle.Total()),
 		MeanNS:      int64(s.Handle.Mean()),

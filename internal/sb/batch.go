@@ -2,11 +2,14 @@ package sb
 
 import (
 	"context"
+	"fmt"
+	"log"
 	"math"
 	"runtime"
 	"sync"
 	"time"
 
+	"isinglut/internal/fault"
 	"isinglut/internal/ising"
 	"isinglut/internal/metrics"
 )
@@ -15,6 +18,11 @@ import (
 // restarts, and worker busy time vs capacity (their ratio is the worker
 // utilization reported by metrics.Snapshot).
 var batchMet = metrics.ForSolver("sb.batch")
+
+// siteBatchWorker panics a replica worker when armed, modelling a solver
+// bug inside one trajectory; the worker's recover boundary converts it
+// into a failed replica instead of killing the process.
+var siteBatchWorker = fault.NewSite("sb.batch.worker")
 
 // BatchParams configures a multi-replica SB run. SB hardware and GPU
 // implementations always run many replicas of the oscillator network in
@@ -73,6 +81,16 @@ type Stats struct {
 	// EarlyStops is their count.
 	EarlyStopped []bool
 	EarlyStops   int
+	// Diverged marks the replicas quarantined by the numerical divergence
+	// guard (their Energies entry is +Inf, their Stopped entry is
+	// StopDiverged); Diverges is their count. Rescued marks the replicas
+	// whose first divergence was re-seeded with a damped Dt instead
+	// (Params.RescueDiverged); Rescues is their count. A replica that
+	// panicked carries StopFailed in Stopped and +Inf in Energies.
+	Diverged []bool
+	Diverges int
+	Rescued  []bool
+	Rescues  int
 	// BestReplica is the index of the winning replica (lowest energy,
 	// ties toward the lowest index); -1 when no replica ran.
 	BestReplica int
@@ -149,6 +167,8 @@ func SolveBatch(ctx context.Context, p *ising.Problem, bp BatchParams) (Result, 
 		Iterations:   make([]int, replicas),
 		Stopped:      make([]metrics.StopReason, replicas),
 		EarlyStopped: make([]bool, replicas),
+		Diverged:     make([]bool, replicas),
+		Rescued:      make([]bool, replicas),
 		BatchStopped: metrics.StopMaxIters,
 	}
 	// A never-launched replica has no energy: +Inf keeps it out of any
@@ -183,12 +203,24 @@ func SolveBatch(ctx context.Context, p *ising.Problem, bp BatchParams) (Result, 
 				if bp.MakeOnSample != nil {
 					params.OnSample = bp.MakeOnSample(r)
 				}
-				res := SolveWith(ctx, p, params, ws)
+				res, err := runReplica(ctx, p, params, ws, r)
 				busy += time.Since(replicaStart)
+				if err != nil {
+					// The replica panicked: record it as failed (+Inf keeps
+					// it out of the minimum scan) and keep the worker alive
+					// for the remaining replicas.
+					log.Printf("sb: %v", err)
+					stats.Energies[r] = math.Inf(1)
+					stats.Stopped[r] = metrics.StopFailed
+					met.ObserveRun(time.Since(replicaStart), metrics.StopFailed)
+					continue
+				}
 				stats.Energies[r] = res.Energy
 				stats.Iterations[r] = res.Iterations
 				stats.Stopped[r] = res.Stopped
 				stats.EarlyStopped[r] = res.StoppedEarly
+				stats.Diverged[r] = res.Diverged
+				stats.Rescued[r] = res.Rescued
 				// Replicas arrive in increasing order per worker, so a
 				// strict < keeps the lowest index among equal energies.
 				if local.replica < 0 || res.Energy < local.res.Energy {
@@ -240,9 +272,23 @@ dispatch:
 		}
 	}
 	stats.BestReplica = best.replica
+	if best.replica < 0 {
+		// Every launched replica panicked: return a deterministic all-up
+		// state with its true energy instead of a zero-value Result, so
+		// the caller still holds a valid (if unoptimized) configuration.
+		best.res = failedFallback(p)
+	}
 	for _, stopped := range stats.EarlyStopped {
 		if stopped {
 			stats.EarlyStops++
+		}
+	}
+	for r := range stats.Diverged {
+		if stats.Diverged[r] {
+			stats.Diverges++
+		}
+		if stats.Rescued[r] {
+			stats.Rescues++
 		}
 	}
 	if reason := metrics.ReasonFromContext(ctx); reason != metrics.StopNone {
@@ -256,4 +302,38 @@ dispatch:
 		batchMet.Restarts.Add(int64(launched - 1))
 	}
 	return best.res, stats
+}
+
+// runReplica executes one replica inside a recover boundary, converting a
+// panic anywhere under SolveWith (or an armed sb.batch.worker failpoint)
+// into an error so one buggy trajectory can never take down the batch.
+func runReplica(ctx context.Context, p *ising.Problem, params Params, ws *Workspace, replica int) (res Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("replica %d panicked: %v", replica, rec)
+		}
+	}()
+	if siteBatchWorker.Fire() {
+		panic("fault: injected sb.batch.worker panic")
+	}
+	return SolveWith(ctx, p, params, ws), nil
+}
+
+// failedFallback is the all-replicas-panicked result: the deterministic
+// all-up spin state with its true energy and StopFailed, so consumers get
+// a valid configuration honestly labelled rather than a zero value whose
+// 0 energy could read as a winning result.
+func failedFallback(p *ising.Problem) Result {
+	n := p.N()
+	spins := make([]int8, n)
+	for i := range spins {
+		spins[i] = 1
+	}
+	e := p.EnergySpinsInto(spins, make([]float64, n), make([]float64, n))
+	return Result{
+		Spins:     spins,
+		Energy:    e,
+		Objective: e + p.Offset,
+		Stopped:   metrics.StopFailed,
+	}
 }

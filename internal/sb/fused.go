@@ -55,7 +55,9 @@ type FusedWorkspace struct {
 	bestE       []float64 // per replica
 	lastSampled []int     // per replica
 	samples     []int     // per replica
+	rescued     []bool    // per replica: divergence rescue already spent
 	laneReplica []int     // lane -> replica mapping, compacted with the lanes
+	dts         []float64 // per-lane time step (damped by a rescue), compacted
 	windows     []energyWindow
 
 	rng *rand.Rand
@@ -96,13 +98,17 @@ func (fw *FusedWorkspace) ensure(n, r int) {
 		fw.bestE = make([]float64, r)
 		fw.lastSampled = make([]int, r)
 		fw.samples = make([]int, r)
+		fw.rescued = make([]bool, r)
 		fw.laneReplica = make([]int, r)
+		fw.dts = make([]float64, r)
 		fw.windows = make([]energyWindow, r)
 	}
 	fw.bestE = fw.bestE[:r]
 	fw.lastSampled = fw.lastSampled[:r]
 	fw.samples = fw.samples[:r]
+	fw.rescued = fw.rescued[:r]
 	fw.laneReplica = fw.laneReplica[:r]
+	fw.dts = fw.dts[:r]
 	fw.windows = fw.windows[:r]
 }
 
@@ -206,9 +212,14 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		Iterations:   make([]int, replicas),
 		Stopped:      make([]metrics.StopReason, replicas),
 		EarlyStopped: make([]bool, replicas),
+		Diverged:     make([]bool, replicas),
+		Rescued:      make([]bool, replicas),
 		BatchStopped: metrics.StopMaxIters,
 		BestReplica:  -1,
 	}
+	// Position scan gating matches SolveWith: only the wall-clamped
+	// variants treat a non-finite position as proof of corruption.
+	scanX := params.Variant != Adiabatic
 	for r := range stats.Energies {
 		stats.Energies[r] = math.Inf(1)
 	}
@@ -237,6 +248,8 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		fw.bestE[l] = math.Inf(1)
 		fw.lastSampled[l] = -1
 		fw.samples[l] = 0
+		fw.rescued[l] = false
+		fw.dts[l] = params.Dt
 		fw.windows[l].reset(windowSize(params))
 	}
 	// dSB reads sign(x) in the field product. The signs are maintained
@@ -258,42 +271,13 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 	}
 	active := launch
 
-	// sample inspects every active lane's rounded solution at iteration
-	// it: one batched field product over the ±1 spin views, then a
-	// per-lane energy reduction replicating EnergyContinuousInto's order.
-	sample := func(it int) {
-		ab := active * n
-		for l := 0; l < active; l++ {
-			sp := fw.spins[l*n : l*n+n]
-			ising.SignsInto(fw.x[l*n:l*n+n], sp)
-			xs := fw.xs[l*n : l*n+n]
-			for i, s := range sp {
-				xs[i] = float64(s)
-			}
-		}
-		ising.FieldBatch(p.Coup, fw.xs[:ab], fw.fld[:ab], active)
-		for l := 0; l < active; l++ {
-			xs := fw.xs[l*n : l*n+n]
-			f := fw.fld[l*n : l*n+n]
-			e := 0.0
-			for i := 0; i < n; i++ {
-				e -= 0.5 * f[i] * xs[i]
-				e -= p.Bias(i) * xs[i]
-			}
-			r := fw.laneReplica[l]
-			fw.samples[r]++
-			if e < fw.bestE[r] {
-				fw.bestE[r] = e
-				copy(fw.best[r*n:(r+1)*n], fw.spins[l*n:l*n+n])
-			}
-			fw.lastSampled[r] = it
-		}
-	}
-
 	// retire finalizes lane l's replica at iteration it and compacts the
 	// last active lane into its slot, narrowing the batch. The final
 	// sample mirrors SolveWith's post-loop evaluation (scalar: it runs
-	// once per replica per batch, not per step).
+	// once per replica per batch, not per step) — including its divergence
+	// check: non-finite state found here overrides the nominal retirement
+	// reason with a quarantine, exactly as the scalar engine's post-loop
+	// sample does.
 	retire := func(l, it int, reason metrics.StopReason, early bool) {
 		r := fw.laneReplica[l]
 		if fw.lastSampled[r] != it {
@@ -301,7 +285,19 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 			ising.SignsInto(fw.x[l*n:l*n+n], sp)
 			e := p.EnergySpinsInto(sp, fw.xs[l*n:l*n+n], fw.fld[l*n:l*n+n])
 			fw.samples[r]++
-			if e < fw.bestE[r] {
+			if siteDiverge.FireKey(params.Seed + int64(r)) {
+				e = math.NaN()
+			}
+			switch {
+			case !isFinite(e) || (scanX && !allFinite(fw.x[l*n:l*n+n])):
+				reason = metrics.StopDiverged
+				early = false
+				if math.IsInf(fw.bestE[r], 1) {
+					copy(fw.best[r*n:(r+1)*n], sp)
+				}
+				fw.bestE[r] = math.Inf(1)
+				stats.Diverged[r] = true
+			case e < fw.bestE[r]:
 				fw.bestE[r] = e
 				copy(fw.best[r*n:(r+1)*n], sp)
 			}
@@ -326,11 +322,97 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 			// lane's ring buffer stays owned by exactly one slot.
 			fw.windows[l], fw.windows[last] = fw.windows[last], fw.windows[l]
 			fw.laneReplica[l] = fw.laneReplica[last]
+			fw.dts[l] = fw.dts[last]
 		}
 		active--
 	}
 
-	dt := params.Dt
+	// rescue is the one-shot divergence rescue, mirroring SolveWith: the
+	// lane is re-seeded from its replica seed (replaying the init draws),
+	// its time step halved, and its §3.3.1 window reset. The shared RNG is
+	// reseeded per lane, so trajectories stay deterministic no matter how
+	// many lanes rescue in one sample pass.
+	rescue := func(l, r int) {
+		fw.rescued[r] = true
+		stats.Rescued[r] = true
+		met.Rescues.Inc()
+		fw.dts[l] *= 0.5
+		fw.rng.Seed(params.Seed + int64(r))
+		xl := fw.x[l*n : l*n+n]
+		yl := fw.y[l*n : l*n+n]
+		for i := 0; i < n; i++ {
+			yl[i] = (fw.rng.Float64()*2 - 1) * params.InitAmplitude
+			xl[i] = (fw.rng.Float64()*2 - 1) * params.InitAmplitude * 0.01
+		}
+		if params.Variant == Discrete {
+			sl := fw.sgn[l*n : l*n+n]
+			for i, v := range xl {
+				if v >= 0 {
+					sl[i] = 1
+				} else {
+					sl[i] = -1
+				}
+			}
+		}
+		fw.windows[l].reset(windowSize(params))
+	}
+
+	// sample inspects every active lane's rounded solution at iteration
+	// it: one batched field product over the ±1 spin views, then a
+	// per-lane energy reduction replicating EnergyContinuousInto's order.
+	// Lanes are scanned top-down (like the stop-check loop) so a
+	// quarantine's compaction moves an already-processed lane into the
+	// vacated slot, never an unprocessed one.
+	sample := func(it int) {
+		ab := active * n
+		for l := 0; l < active; l++ {
+			sp := fw.spins[l*n : l*n+n]
+			ising.SignsInto(fw.x[l*n:l*n+n], sp)
+			xs := fw.xs[l*n : l*n+n]
+			for i, s := range sp {
+				xs[i] = float64(s)
+			}
+		}
+		ising.FieldBatch(p.Coup, fw.xs[:ab], fw.fld[:ab], active)
+		for l := active - 1; l >= 0; l-- {
+			xs := fw.xs[l*n : l*n+n]
+			f := fw.fld[l*n : l*n+n]
+			e := 0.0
+			for i := 0; i < n; i++ {
+				e -= 0.5 * f[i] * xs[i]
+				e -= p.Bias(i) * xs[i]
+			}
+			r := fw.laneReplica[l]
+			fw.samples[r]++
+			if siteDiverge.FireKey(params.Seed + int64(r)) {
+				e = math.NaN()
+			}
+			fw.lastSampled[r] = it
+			if !isFinite(e) || (scanX && !allFinite(fw.x[l*n:l*n+n])) {
+				if params.RescueDiverged && !fw.rescued[r] {
+					rescue(l, r)
+				} else {
+					// Quarantine: +Inf energy, last rounded state when no
+					// finite sample was ever recorded (SolveWith's contract).
+					if math.IsInf(fw.bestE[r], 1) {
+						copy(fw.best[r*n:(r+1)*n], fw.spins[l*n:l*n+n])
+					}
+					fw.bestE[r] = math.Inf(1)
+					stats.Diverged[r] = true
+					retire(l, it, metrics.StopDiverged, false)
+				}
+				continue
+			}
+			if e < fw.bestE[r] {
+				fw.bestE[r] = e
+				copy(fw.best[r*n:(r+1)*n], fw.spins[l*n:l*n+n])
+			}
+		}
+	}
+
+	// The time step is per lane (fw.dts): identical to params.Dt
+	// everywhere until a rescue damps one lane's step, so the no-fault
+	// arithmetic stays bit-identical to the shared-scalar form.
 	steps := params.Steps
 	for iter := 0; iter < steps && active > 0; iter++ {
 		at := a0 * float64(iter) / float64(steps) // shared pump ramp 0 -> a0
@@ -360,6 +442,7 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 				x := fw.x[l*n : l*n+n]
 				y := fw.y[l*n : l*n+n]
 				f := fw.fld[l*n : l*n+n]
+				dt := fw.dts[l]
 				for i := 0; i < n; i++ {
 					y[i] += dt * (-(x[i]*x[i]+a0-at)*x[i] + c0*f[i])
 					x[i] += dt * a0 * y[i]
@@ -371,6 +454,7 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 				y := fw.y[l*n : l*n+n]
 				f := fw.fld[l*n : l*n+n]
 				s := fw.sgn[l*n : l*n+n]
+				dt := fw.dts[l]
 				for i := 0; i < n; i++ {
 					y[i] += dt * (-(a0-at)*x[i] + c0*f[i])
 					x[i] += dt * a0 * y[i]
@@ -396,6 +480,7 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 				x := fw.x[l*n : l*n+n]
 				y := fw.y[l*n : l*n+n]
 				f := fw.fld[l*n : l*n+n]
+				dt := fw.dts[l]
 				for i := 0; i < n; i++ {
 					y[i] += dt * (-(a0-at)*x[i] + c0*f[i])
 					x[i] += dt * a0 * y[i]
@@ -464,6 +549,14 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 			stats.EarlyStops++
 		}
 	}
+	for r := range stats.Diverged {
+		if stats.Diverged[r] {
+			stats.Diverges++
+		}
+		if stats.Rescued[r] {
+			stats.Rescues++
+		}
+	}
 	if reason := metrics.ReasonFromContext(ctx); reason != metrics.StopNone {
 		stats.BatchStopped = reason
 	}
@@ -476,6 +569,8 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		Stopped:      stats.Stopped[best],
 		StoppedEarly: stats.EarlyStopped[best],
 		Samples:      fw.samples[best],
+		Diverged:     stats.Diverged[best],
+		Rescued:      stats.Rescued[best],
 	}
 
 	wall := time.Since(batchStart)

@@ -29,6 +29,7 @@ import (
 	"math"
 	"time"
 
+	"isinglut/internal/fault"
 	"isinglut/internal/ising"
 	"isinglut/internal/metrics"
 )
@@ -37,6 +38,31 @@ import (
 // handful of atomic adds per run (never per iteration), so the hot path
 // stays allocation-free and measurably unperturbed.
 var met = metrics.ForSolver("sb")
+
+// Failpoints (no-ops unless a chaos test arms them): sb.step poisons the
+// scalar engine's local field mid-loop, modelling a NaN escaping the
+// dynamics; sb.diverge poisons the sampled energy, keyed by the run's
+// seed so the goroutine and fused engines diverge on the same replicas
+// regardless of scheduling order.
+var (
+	siteStep    = fault.NewSite("sb.step")
+	siteDiverge = fault.NewSite("sb.diverge")
+)
+
+// isFinite reports v being neither NaN nor ±Inf: v-v is 0 for every
+// finite value and NaN otherwise.
+func isFinite(v float64) bool { return v-v == 0 }
+
+// allFinite reports whether every element of xs is finite — the
+// divergence guard's position scan at sample points.
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if v-v != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Variant selects the SB update rule.
 type Variant int
@@ -115,6 +141,13 @@ type Params struct {
 	OnSample func(iter int, x, y []float64)
 	// RecordTrace, when true, stores each sampled energy in the result.
 	RecordTrace bool
+	// RescueDiverged enables the one-shot divergence rescue: when the
+	// guard detects non-finite positions or energy at a sample point, the
+	// trajectory is re-seeded from Seed with the time step halved and the
+	// run continues (Result.Rescued reports it). A second divergence — or
+	// any divergence with the flag off — quarantines the run instead:
+	// Energy +Inf, Stopped StopDiverged, Result.Diverged set.
+	RescueDiverged bool
 }
 
 // DefaultParams returns the solver defaults used across the repository:
@@ -165,6 +198,14 @@ type Result struct {
 	StoppedEarly bool
 	// Samples is the number of energy evaluations performed.
 	Samples int
+	// Diverged reports that the run produced non-finite positions or
+	// energies and was quarantined: Energy is +Inf (so the run can never
+	// win a portfolio scan) and Spins holds the best finite state seen —
+	// or, when none was, the last rounded state, which is always valid ±1.
+	Diverged bool
+	// Rescued reports that a divergence was caught and the trajectory
+	// re-seeded once with a damped time step (Params.RescueDiverged).
+	Rescued bool
 	// Trace holds the sampled energies when Params.RecordTrace is set.
 	Trace []float64
 }
@@ -266,9 +307,20 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 	res := Result{}
 	bestE := math.Inf(1)
 	lastSampled := -1
+	diverged := false
+	// The divergence guard's position scan applies only to the
+	// wall-clamped variants, whose positions live in [-1, 1] by
+	// construction — there a non-finite entry proves a corrupted state.
+	// Adiabatic positions are unbounded and overflow transiently on driven
+	// problems while the rounded spins stay meaningful, so aSB divergence
+	// is detected through the sampled energy alone.
+	scanX := params.Variant != Adiabatic
 
 	// sample inspects the rounded solution at iteration iter: run the
-	// OnSample hook, track the best rounded state, record the trace.
+	// OnSample hook, track the best rounded state, record the trace. The
+	// divergence guard lives here: a non-finite sampled energy or any
+	// non-finite position raises the diverged flag instead of corrupting
+	// the best-so-far state.
 	sample := func(iter int) {
 		if params.OnSample != nil {
 			params.OnSample(iter, x, y)
@@ -279,11 +331,18 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 		if params.RecordTrace {
 			res.Trace = append(res.Trace, e)
 		}
+		if siteDiverge.FireKey(params.Seed) {
+			e = math.NaN()
+		}
+		lastSampled = iter
+		if !isFinite(e) || (scanX && !allFinite(x)) {
+			diverged = true
+			return
+		}
 		if e < bestE {
 			bestE = e
 			copy(ws.best, ws.spins)
 		}
-		lastSampled = iter
 	}
 
 	// stopCheck pushes the §3.3.1 window at the Stop.F cadence — always at
@@ -317,6 +376,9 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 			src = signs
 		}
 		p.Coup.Field(src, field)
+		if siteStep.Fire() {
+			field[0] = math.NaN()
+		}
 		if p.H != nil {
 			for i, h := range p.H {
 				field[i] += h
@@ -346,6 +408,27 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 		it := iter + 1
 		if sampleEvery > 0 && it%sampleEvery == 0 {
 			sample(it)
+			if diverged {
+				if params.RescueDiverged && !res.Rescued {
+					// One-shot rescue: re-seed the trajectory from the same
+					// seed with the time step halved, reset the §3.3.1
+					// window, and keep iterating. Any best-so-far state from
+					// before the divergence stays valid (it was finite).
+					diverged = false
+					res.Rescued = true
+					met.Rescues.Inc()
+					dt *= 0.5
+					ws.rng.Seed(params.Seed)
+					for i := range y {
+						y[i] = (ws.rng.Float64()*2 - 1) * params.InitAmplitude
+						x[i] = (ws.rng.Float64()*2 - 1) * params.InitAmplitude * 0.01
+					}
+					ws.window.reset(windowSize(params))
+				} else {
+					iter++
+					break
+				}
+			}
 		}
 		if stopF > 0 && it%stopF == 0 && stopCheck(it) {
 			iter++
@@ -359,14 +442,27 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 			break
 		}
 	}
-	if res.Stopped == metrics.StopNone {
-		res.Stopped = metrics.StopMaxIters
-	}
 
 	// Final evaluation (covers runs with no mid-run sampling, termination
 	// between sample points, and a stop fired off the sampling cadence).
 	if lastSampled != iter {
 		sample(iter)
+	}
+	if diverged {
+		// Quarantine: +Inf energy keeps the run out of every minimum scan
+		// (a diverged replica can never be a batch winner); when no finite
+		// sample was ever recorded the best buffer falls back to the last
+		// rounded state, so Spins is always valid ±1, never stale garbage.
+		res.Stopped = metrics.StopDiverged
+		res.StoppedEarly = false
+		res.Diverged = true
+		if math.IsInf(bestE, 1) {
+			copy(ws.best, ws.spins)
+		}
+		bestE = math.Inf(1)
+	}
+	if res.Stopped == metrics.StopNone {
+		res.Stopped = metrics.StopMaxIters
 	}
 
 	res.Spins = ws.best

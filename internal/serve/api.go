@@ -70,7 +70,14 @@ type DecomposeResponse struct {
 	ElapsedMS        float64     `json:"elapsed_ms"`
 	StopReason       string      `json:"stop_reason"`
 	Cached           bool        `json:"cached"`
-	Components       []Component `json:"components,omitempty"`
+	// Degraded marks a response produced by the DALTA fallback heuristic
+	// because the primary Ising solve path was unavailable (solver
+	// failure, divergence, or an open circuit breaker — DegradedReason
+	// says which). The decomposition is valid but typically worse than
+	// the proposed method's; degraded responses are never cached.
+	Degraded       bool        `json:"degraded,omitempty"`
+	DegradedReason string      `json:"degraded_reason,omitempty"`
+	Components     []Component `json:"components,omitempty"`
 }
 
 // Coupling is one symmetric Ising coupling J_ij = J_ji = v.
@@ -103,6 +110,12 @@ type SolveRequest struct {
 	F           int     `json:"f,omitempty"`
 	S           int     `json:"s,omitempty"`
 	Epsilon     float64 `json:"epsilon,omitempty"`
+	// Rescue enables the solver's one-shot divergence rescue: a replica
+	// whose dynamics overflow is re-seeded once with a halved step
+	// instead of being quarantined. Unlike Fused/Workers it can change
+	// the answer (a rescued trajectory differs), so it is part of the
+	// cache key.
+	Rescue bool `json:"rescue,omitempty"`
 
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -117,9 +130,15 @@ type SolveResponse struct {
 	StopReason string  `json:"stop_reason"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
 	Cached     bool    `json:"cached"`
+	// Rescued reports that the winning replica recovered from a detected
+	// divergence via the one-shot re-seed (SolveRequest.Rescue).
+	Rescued bool `json:"rescued,omitempty"`
 }
 
-// Health is the /healthz payload.
+// Health is the /healthz payload. /healthz is pure liveness — it
+// answers 200 as long as the process can serve HTTP, even while
+// draining (Status says "draining"); /readyz is the endpoint that flips
+// to 503 when the server should stop receiving traffic.
 type Health struct {
 	Status       string `json:"status"` // "ok" or "draining"
 	UptimeMS     int64  `json:"uptime_ms"`
@@ -128,6 +147,14 @@ type Health struct {
 	Queued       int    `json:"queued"`
 	InFlight     int    `json:"in_flight"`
 	CacheEntries int    `json:"cache_entries"`
+	// Breakers maps endpoint name to circuit-breaker state ("closed",
+	// "open", "half-open").
+	Breakers map[string]string `json:"breakers,omitempty"`
+}
+
+// Readiness is the /readyz payload.
+type Readiness struct {
+	Status string `json:"status"` // "ready" or "draining"
 }
 
 // errorResponse is the JSON error envelope for non-200 statuses.
@@ -269,6 +296,14 @@ func (r *SolveRequest) solveKey() string {
 	writeU64(h, math.Float64bits(r.Dt))
 	writeU64(h, uint64(r.Seed))
 	writeU64(h, uint64(r.Replicas))
+	// Rescue IS hashed, unlike Fused: a rescued trajectory legitimately
+	// differs from a quarantined one, so the two request forms must not
+	// share a cache slot.
+	if r.Rescue {
+		writeU64(h, 1)
+	} else {
+		writeU64(h, 0)
+	}
 	if r.DynamicStop {
 		writeU64(h, 1)
 		writeU64(h, uint64(r.F))

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker lifecycle.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // failing fast until the cooldown elapses
+	breakerHalfOpen                     // admitting a single probe request
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-endpoint circuit breaker over solver-job outcomes.
+// threshold consecutive failures open it; while open, requests fail fast
+// (the endpoint answers from its degraded path instead of queueing work
+// that is expected to fail). After cooldown one probe request is let
+// through (half-open): its success closes the breaker, its failure
+// re-opens it for another cooldown.
+//
+// Admission rejections (429/503) and client errors (400) are not
+// breaker events — only solver-job outcomes are, so a load spike cannot
+// trip it.
+type breaker struct {
+	threshold int           // consecutive failures before opening; <= 0 disables
+	cooldown  time.Duration // open duration before the half-open probe
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may run the protected operation. The
+// caller must report the outcome via success or failure when allow
+// returned true in the half-open state (and should for every outcome).
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a protected operation that completed normally; it
+// resets the failure streak and closes a half-open breaker.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed protected operation. The streak opens the
+// breaker at threshold; any half-open probe failure re-opens it
+// immediately.
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.failures = 0
+		b.probing = false
+	}
+}
+
+// currentState reports the state for the health payload.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -12,7 +12,14 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"isinglut/internal/fault"
 )
+
+// siteCache forces cache lookups to miss when armed, modelling a
+// degraded cache tier: the service must answer correctly (just slower)
+// when every request recomputes.
+var siteCache = fault.NewSite("serve.cache")
 
 // lruCache is a fixed-capacity LRU map from canonical request hashes to
 // completed responses. It is safe for concurrent use; a capacity of 0
@@ -43,6 +50,9 @@ func newLRUCache(capacity int) *lruCache {
 // hits; callers must treat them as immutable.
 func (c *lruCache) Get(key string) (any, bool) {
 	if c.capacity <= 0 {
+		return nil, false
+	}
+	if siteCache.Fire() {
 		return nil, false
 	}
 	c.mu.Lock()

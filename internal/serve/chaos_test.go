@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"isinglut"
+	"isinglut/internal/anneal"
+	"isinglut/internal/fault"
+	"isinglut/internal/ilp"
+	"isinglut/internal/ising"
+	"isinglut/internal/metrics"
+	"isinglut/internal/sb"
+)
+
+// chaosProblem builds a small internal ising.Problem for the solver-layer
+// failpoints that are not reachable through the HTTP surface.
+func chaosProblem(n int) *ising.Problem {
+	d := ising.NewDense(n)
+	for i := 0; i < n; i++ {
+		d.Set(i, (i+1)%n, -1)
+	}
+	p, err := ising.NewProblem(d, nil, 0)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// mustPanic runs fn and asserts it panicked with the given message
+// fragment — used for the failpoints (anneal.sweep, ilp.node) whose call
+// paths have no production recover boundary above them by design.
+func mustPanic(t *testing.T, fragment string, fn func()) {
+	t.Helper()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatalf("expected a panic containing %q", fragment)
+		}
+		if msg, ok := rec.(string); !ok || !strings.Contains(msg, fragment) {
+			t.Fatalf("panic %v, want message containing %q", rec, fragment)
+		}
+	}()
+	fn()
+}
+
+// TestChaosEverySiteFires is the chaos umbrella the issue asks for: under
+// -race, drive every registered failpoint at least once through its real
+// call path and assert the process (and where applicable, the daemon)
+// behaves per the fault model. The final check walks fault.Sites() so a
+// future failpoint that this suite forgets to exercise fails the test.
+func TestChaosEverySiteFires(t *testing.T) {
+	defer fault.DisarmAll()
+	_, ts := testServer(t, Config{Workers: 2, Retries: -1})
+
+	// sb.step: poison the scalar field kernel — the run must quarantine,
+	// not return a garbage finite winner.
+	fault.MustArm("sb.step", fault.Scenario{After: 2, Times: 1})
+	prob := isinglut.NewIsingProblem(8)
+	for i := 0; i < 8; i++ {
+		prob.SetCoupling(i, (i+1)%8, -1)
+	}
+	res, err := isinglut.SolveIsing(prob, isinglut.SBOptions{Steps: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged || !math.IsInf(res.Energy, 1) {
+		t.Fatalf("sb.step poison not quarantined: %+v", res)
+	}
+
+	// sb.diverge: NaN injected at a sample point of the keyed trajectory.
+	fault.MustArm("sb.diverge", fault.Scenario{Keys: []int64{7}, Times: -1})
+	res, err = isinglut.SolveIsing(prob, isinglut.SBOptions{Steps: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != "diverged" {
+		t.Fatalf("sb.diverge stop reason %q, want diverged", res.StopReason)
+	}
+	fault.DisarmAll()
+
+	// sb.batch.worker: a panicking replica worker (goroutine engine only —
+	// the fused engine has no per-replica workers) becomes a failed
+	// replica; the batch still returns a finite winner.
+	fault.MustArm("sb.batch.worker", fault.Scenario{Times: 1})
+	params := sb.DefaultParams()
+	params.Steps = 100
+	bres, bstats := sb.SolveBatch(context.Background(), chaosProblem(8), sb.BatchParams{
+		Base: params, Replicas: 4, Fused: sb.FuseOff,
+	})
+	failed := 0
+	for _, reason := range bstats.Stopped {
+		if reason == metrics.StopFailed {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("batch worker panic produced %d failed replicas, want 1", failed)
+	}
+	if math.IsInf(bres.Energy, 1) {
+		t.Fatal("batch with one panicked worker lost its finite winner")
+	}
+
+	// ising.field: one poisoned fused-batch field evaluation diverges one
+	// replica; the served solve still answers 200 off a finite survivor.
+	fault.MustArm("ising.field", fault.Scenario{Times: 1})
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		N: 8, Steps: 100, Seed: 1, Replicas: 2, Fused: true,
+		Couplings: ringCouplings(8),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fused solve with one poisoned replica: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	fault.DisarmAll()
+
+	// core.solve: the proposed method is down, so /v1/decompose must
+	// degrade to DALTA rather than fail.
+	fault.MustArm("core.solve", fault.Scenario{Times: -1})
+	resp = postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{
+		Benchmark: "exp", N: 6, Options: quickOptions(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompose under core.solve fault: status %d", resp.StatusCode)
+	}
+	if got := decodeBody[DecomposeResponse](t, resp); !got.Degraded {
+		t.Fatal("decompose under core.solve fault not marked degraded")
+	}
+	fault.DisarmAll()
+
+	// anneal.sweep and ilp.node: baseline solvers have no recover boundary
+	// above them (they are library calls, not daemon jobs), so the
+	// injected panic must surface to the caller.
+	fault.MustArm("anneal.sweep", fault.Scenario{Times: 1})
+	mustPanic(t, "anneal.sweep", func() {
+		anneal.Solve(context.Background(), chaosProblem(6),
+			anneal.Params{Sweeps: 10, TStart: 2, TEnd: 0.1, Seed: 1})
+	})
+	fault.MustArm("ilp.node", fault.Scenario{Times: 1})
+	mustPanic(t, "ilp.node", func() {
+		ilp.SolveRowCOP(context.Background(), ilp.Instance{
+			R: 2, C: 2,
+			Cost0: []float64{1, 0, 0, 1},
+			Cost1: []float64{0, 1, 1, 0},
+		}, ilp.Options{})
+	})
+
+	// serve.job: a panic inside the worker pool is isolated into a 500;
+	// the next request is answered normally by the same daemon.
+	fault.MustArm("serve.job", fault.Scenario{Times: 1})
+	req := SolveRequest{N: 6, Steps: 50, Seed: 9, Couplings: ringCouplings(6)}
+	resp = postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked job: status %d, want 500", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after panicked job: status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// serve.cache: an injected lookup failure forces a miss — the entry
+	// is recomputed, never served corrupted.
+	resp = postJSON(t, ts.URL+"/v1/solve", req)
+	if got := decodeBody[SolveResponse](t, resp); !got.Cached {
+		t.Fatal("warm-up request not served from cache")
+	}
+	fault.MustArm("serve.cache", fault.Scenario{Times: 1})
+	resp = postJSON(t, ts.URL+"/v1/solve", req)
+	if got := decodeBody[SolveResponse](t, resp); got.Cached {
+		t.Fatal("cache fault did not force a miss")
+	}
+
+	for _, site := range fault.Sites() {
+		if fault.Fired(site) == 0 {
+			t.Errorf("failpoint %q never fired — extend the chaos suite", site)
+		}
+	}
+}
+
+// TestDecomposeDegradedFallback pins the degradation contract: with the
+// Ising path persistently down, /v1/decompose answers 200 with a valid
+// DALTA decomposition marked degraded, never caches it, and recovers to
+// the proposed method as soon as the fault clears.
+func TestDecomposeDegradedFallback(t *testing.T) {
+	defer fault.DisarmAll()
+	_, ts := testServer(t, Config{Workers: 1, Retries: -1, BreakerThreshold: 100})
+	req := DecomposeRequest{Benchmark: "exp", N: 6, Options: quickOptions()}
+
+	fault.MustArm("core.solve", fault.Scenario{Times: -1})
+	resp := postJSON(t, ts.URL+"/v1/decompose", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (degraded)", resp.StatusCode)
+	}
+	got := decodeBody[DecomposeResponse](t, resp)
+	if !got.Degraded || got.DegradedReason == "" {
+		t.Fatalf("response not marked degraded: %+v", got)
+	}
+	if got.Cached {
+		t.Fatal("degraded response claims to be cached")
+	}
+	if got.LUTBits <= 0 || got.N != 6 {
+		t.Fatalf("degraded response is not a valid decomposition: %+v", got)
+	}
+
+	// Degraded answers must not enter the cache: the retry below, with the
+	// fault cleared, must reach the real solver and drop the flag.
+	fault.DisarmAll()
+	resp = postJSON(t, ts.URL+"/v1/decompose", req)
+	got = decodeBody[DecomposeResponse](t, resp)
+	if got.Degraded || got.Cached {
+		t.Fatalf("after fault cleared: degraded=%v cached=%v, want neither", got.Degraded, got.Cached)
+	}
+}
+
+// TestRetryRecoversTransientPanic arms a one-shot solver panic: the
+// first attempt dies, the configured retry succeeds, and the client sees
+// an ordinary 200 — no degraded flag, no 500.
+func TestRetryRecoversTransientPanic(t *testing.T) {
+	defer fault.DisarmAll()
+	_, ts := testServer(t, Config{Workers: 1, Retries: 1, RetryBackoff: time.Millisecond})
+
+	before := fault.Fired("core.solve")
+	fault.MustArm("core.solve", fault.Scenario{Times: 1})
+	resp := postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{
+		Benchmark: "exp", N: 6, Options: quickOptions(),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 after retry", resp.StatusCode)
+	}
+	got := decodeBody[DecomposeResponse](t, resp)
+	if got.Degraded {
+		t.Fatal("retried request fell back to DALTA instead of the recovered solver")
+	}
+	if got := fault.Fired("core.solve") - before; got != 1 {
+		t.Fatalf("core.solve fired %d times, want exactly 1", got)
+	}
+}
+
+// TestSolveBreakerOpens drives /v1/solve to repeated failure until the
+// endpoint's circuit breaker opens: subsequent requests fail fast with
+// 503 without entering the worker pool.
+func TestSolveBreakerOpens(t *testing.T) {
+	defer fault.DisarmAll()
+	s, ts := testServer(t, Config{
+		Workers: 1, Retries: -1,
+		BreakerThreshold: 2, BreakerCooldown: time.Hour,
+	})
+
+	// Every solve with this seed diverges to +Inf, which the JSON boundary
+	// treats as a solver failure.
+	fault.MustArm("sb.diverge", fault.Scenario{Keys: []int64{3}, Times: -1})
+	req := SolveRequest{N: 6, Steps: 100, Seed: 3, Couplings: ringCouplings(6)}
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failure %d: status %d, want 500", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	fired := fault.Fired("sb.diverge")
+	resp := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with breaker open, want 503", resp.StatusCode)
+	}
+	if body := decodeBody[errorResponse](t, resp); !strings.Contains(body.Error, "circuit breaker") {
+		t.Fatalf("error %q does not mention the breaker", body.Error)
+	}
+	if fault.Fired("sb.diverge") != fired {
+		t.Fatal("open breaker still ran the solver")
+	}
+	if got := s.solveBreaker.currentState(); got != breakerOpen {
+		t.Fatalf("breaker state %v, want open", got)
+	}
+}
+
+// TestDecomposeBreakerServesFallback: once the decompose breaker opens,
+// requests skip the solver entirely and go straight to the DALTA
+// fallback with the breaker named as the reason.
+func TestDecomposeBreakerServesFallback(t *testing.T) {
+	defer fault.DisarmAll()
+	_, ts := testServer(t, Config{
+		Workers: 1, Retries: -1, CacheSize: -1,
+		BreakerThreshold: 1, BreakerCooldown: time.Hour,
+	})
+	req := DecomposeRequest{Benchmark: "exp", N: 6, Options: quickOptions()}
+
+	fault.MustArm("core.solve", fault.Scenario{Times: -1})
+	resp := postJSON(t, ts.URL+"/v1/decompose", req)
+	got := decodeBody[DecomposeResponse](t, resp)
+	if !got.Degraded {
+		t.Fatal("first failing decompose not degraded")
+	}
+
+	// Threshold 1: that failure opened the breaker. The solver must not
+	// run again — the fallback answers directly.
+	fired := fault.Fired("core.solve")
+	resp = postJSON(t, ts.URL+"/v1/decompose", req)
+	got = decodeBody[DecomposeResponse](t, resp)
+	if !got.Degraded || got.DegradedReason != "circuit breaker open" {
+		t.Fatalf("degraded=%v reason=%q, want breaker-open fallback", got.Degraded, got.DegradedReason)
+	}
+	if fault.Fired("core.solve") != fired {
+		t.Fatal("open breaker still invoked the core solver")
+	}
+}
+
+// TestBreakerHalfOpenRecovery: after the cooldown, a single probe is
+// admitted; when it succeeds the breaker closes and traffic resumes.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	defer fault.DisarmAll()
+	s, ts := testServer(t, Config{
+		Workers: 1, Retries: -1, CacheSize: -1,
+		BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond,
+	})
+
+	fault.MustArm("sb.diverge", fault.Scenario{Keys: []int64{3}, Times: -1})
+	req := SolveRequest{N: 6, Steps: 100, Seed: 3, Couplings: ringCouplings(6)}
+	resp := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("seed failure: status %d, want 500", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := s.solveBreaker.currentState(); got != breakerOpen {
+		t.Fatalf("breaker state %v after threshold failures, want open", got)
+	}
+
+	fault.DisarmAll()
+	time.Sleep(20 * time.Millisecond)
+	resp = postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe after cooldown: status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := s.solveBreaker.currentState(); got != breakerClosed {
+		t.Fatalf("breaker state %v after successful probe, want closed", got)
+	}
+}

@@ -119,9 +119,24 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 }
 
 // TestDrainingRejectsNewWork flips the draining flag directly (no
-// signals) and checks the admission answer and the health flip.
+// signals) and checks the admission answer plus the probe split:
+// readiness (/readyz) flips to 503 so load balancers stop routing, but
+// liveness (/healthz) stays 200 — a draining process finishing its
+// in-flight work must not be restart-killed by its liveness probe.
 func TestDrainingRejectsNewWork(t *testing.T) {
 	s := New(Config{Workers: 1, DrainTimeout: 100 * time.Millisecond})
+
+	// Before drain: both probes green.
+	pre := httptest.NewRecorder()
+	s.Handler().ServeHTTP(pre, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if pre.Code != http.StatusOK {
+		t.Fatalf("readyz status %d before drain, want 200", pre.Code)
+	}
+	var ready Readiness
+	if err := json.NewDecoder(pre.Body).Decode(&ready); err != nil || ready.Status != "ready" {
+		t.Fatalf("readyz payload %+v (err %v), want status ready", ready, err)
+	}
+
 	s.draining.Store(true)
 
 	body, err := json.Marshal(SolveRequest{N: 4, Steps: 10, Couplings: ringCouplings(4)})
@@ -135,13 +150,25 @@ func TestDrainingRejectsNewWork(t *testing.T) {
 		t.Fatalf("status %d while draining, want 503", rec.Code)
 	}
 
+	r := httptest.NewRecorder()
+	s.Handler().ServeHTTP(r, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if r.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d while draining, want 503", r.Code)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&ready); err != nil || ready.Status != "draining" {
+		t.Fatalf("readyz payload %+v (err %v), want status draining", ready, err)
+	}
+
 	h := httptest.NewRecorder()
 	s.Handler().ServeHTTP(h, httptest.NewRequest(http.MethodGet, "/healthz", nil))
-	if h.Code != http.StatusServiceUnavailable {
-		t.Fatalf("healthz status %d while draining, want 503", h.Code)
+	if h.Code != http.StatusOK {
+		t.Fatalf("healthz status %d while draining, want 200 (pure liveness)", h.Code)
 	}
 	var payload Health
 	if err := json.NewDecoder(h.Body).Decode(&payload); err != nil || payload.Status != "draining" {
 		t.Fatalf("healthz payload %+v (err %v), want status draining", payload, err)
+	}
+	if payload.Breakers["decompose"] != "closed" || payload.Breakers["solve"] != "closed" {
+		t.Fatalf("breakers %+v, want both closed", payload.Breakers)
 	}
 }

@@ -5,7 +5,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"isinglut/internal/fault"
 )
+
+// siteJob panics a pool job as it starts executing — the chaos suite's
+// proof that one crashing solver job cannot take a pool worker (and with
+// it a slice of the daemon's capacity) down with it.
+var siteJob = fault.NewSite("serve.job")
 
 var (
 	// errSaturated is the admission-control rejection: the bounded queue
@@ -22,8 +29,12 @@ type task struct {
 	enqueued time.Time
 	// onStart, when non-nil, observes the queue wait just before run.
 	onStart func(wait time.Duration)
-	// done is closed once run has returned.
+	// done is closed once run has returned (or panicked).
 	done chan struct{}
+	// panicked holds the recovered panic value when run crashed; nil
+	// means run returned normally. Written by the worker before done is
+	// closed, so readers that waited on done see it without a lock.
+	panicked any
 }
 
 // pool is a fixed-size worker pool over a bounded FIFO queue. Admission
@@ -58,10 +69,27 @@ func (p *pool) worker() {
 		if t.onStart != nil {
 			t.onStart(time.Since(t.enqueued))
 		}
-		t.run()
+		runTask(t)
 		close(t.done)
 		p.inFlight.Add(-1)
 	}
+}
+
+// runTask executes one task behind a recover boundary: a panicking job
+// is converted into task.panicked for the HTTP layer to report as a
+// structured 500 instead of crashing the worker goroutine (which would
+// kill the whole process — an unrecovered panic in any goroutine is
+// fatal in Go).
+func runTask(t *task) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			t.panicked = rec
+		}
+	}()
+	if siteJob.Fire() {
+		panic("fault: injected serve.job panic")
+	}
+	t.run()
 }
 
 // submit enqueues run and returns a task whose done channel closes when

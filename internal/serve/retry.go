@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"isinglut/internal/metrics"
+)
+
+// panicError marks an error recovered from a solver panic, so callers
+// can tell a crash apart from a structured solver error when deciding
+// what to log and count.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("solver panicked: %v", e.val) }
+
+// attempt runs op behind its own recover boundary, converting a panic
+// into a *panicError. Retries and fallbacks run inside a single pool
+// job, so each attempt needs its own recovery — the pool-level recover
+// would otherwise abort the job on the first crash and take the
+// remaining attempts with it.
+func attempt(op func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &panicError{val: rec}
+		}
+	}()
+	return op()
+}
+
+// withRetries runs op up to 1+cfg.Retries times, sleeping a jittered
+// backoff (uniform in [RetryBackoff/2, 3*RetryBackoff/2]) between
+// attempts. Deterministic failures burn the retries and return the last
+// error; transient ones — a crash on a poisoned input buffer, an armed
+// failpoint counting down — recover on the next attempt. The context
+// short-circuits the loop: a cancelled request must not keep retrying.
+func (s *Server) withRetries(ctx context.Context, met *metrics.Service, op func() error) error {
+	var err error
+	for i := 0; ; i++ {
+		err = attempt(op)
+		if pe, ok := err.(*panicError); ok {
+			met.Panics.Inc()
+			s.cfg.Logf("adecompd: recovered solver panic: %v", pe.val)
+		}
+		if err == nil || i >= s.cfg.Retries || ctx.Err() != nil {
+			return err
+		}
+		met.Retries.Inc()
+		d := s.cfg.RetryBackoff/2 + time.Duration(rand.Int63n(int64(s.cfg.RetryBackoff)+1))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +46,25 @@ type Config struct {
 	MaxInputs int
 	// MaxSpins bounds accepted raw Ising problem sizes (default 4096).
 	MaxSpins int
+	// MaxSteps bounds /v1/solve iteration requests (default 1e9) and
+	// MaxReplicas the replica count (default 4096): both multiply the
+	// per-request work, so unbounded values would let one request pin a
+	// worker far beyond any timeout's patience.
+	MaxSteps    int
+	MaxReplicas int
+	// Retries is how many times a failed or panicked solver job is
+	// re-attempted before the request is declared failed (default 1;
+	// negative disables retries). RetryBackoff is the base for the
+	// jittered sleep between attempts (default 50ms).
+	Retries      int
+	RetryBackoff time.Duration
+	// BreakerThreshold consecutive solver failures open an endpoint's
+	// circuit breaker (default 5; negative disables the breakers).
+	// While open, /v1/decompose serves the DALTA fallback directly and
+	// /v1/solve fails fast with 503; after BreakerCooldown (default 5s)
+	// a single probe request is let through.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Logf, when non-nil, receives one line per lifecycle event (startup,
 	// drain, shutdown). Request logging is intentionally absent — the
 	// metrics layer carries the aggregate story.
@@ -82,6 +102,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxSpins <= 0 {
 		c.MaxSpins = 4096
 	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 1_000_000_000
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 4096
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -109,6 +150,9 @@ type Server struct {
 
 	decomposeMet *metrics.Service
 	solveMet     *metrics.Service
+
+	decomposeBreaker *breaker
+	solveBreaker     *breaker
 }
 
 // New builds a Server from the config (zero values take defaults).
@@ -122,11 +166,15 @@ func New(cfg Config) *Server {
 		start:        time.Now(),
 		decomposeMet: metrics.ForService("serve.decompose"),
 		solveMet:     metrics.ForService("serve.solve"),
+
+		decomposeBreaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		solveBreaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	return s
 }
@@ -174,7 +222,7 @@ func (s *Server) Run(ctx context.Context, ready chan<- net.Addr) error {
 // drainAndShutdown executes the graceful-drain sequence. Separate from
 // Run so tests can drive it without real signals too.
 func (s *Server) drainAndShutdown(httpSrv *http.Server) error {
-	s.draining.Store(true) // healthz flips, new submissions 503
+	s.draining.Store(true) // readyz flips to 503, new submissions 503
 	s.pool.drain()         // queue closed; accepted work keeps running
 	// Arm the hard deadline: when the budget elapses, every in-flight
 	// solve context cancels and the solvers return best-so-far.
@@ -211,12 +259,15 @@ func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context
 
 // admit runs work through the bounded pool, translating pool pressure to
 // HTTP semantics: 503 while draining, 429 + Retry-After when saturated.
-// It returns false when the request was rejected (and answered).
-func (s *Server) admit(w http.ResponseWriter, met *metrics.Service, started time.Time, work func()) bool {
+// It returns ok=false when the request was rejected (and answered).
+// jobErr surfaces a panic that escaped the job's own recovery and was
+// caught at the pool boundary — the worker survived, and the caller
+// turns the crash into a structured failure for this one request.
+func (s *Server) admit(w http.ResponseWriter, met *metrics.Service, started time.Time, work func()) (ok bool, jobErr error) {
 	if s.draining.Load() {
 		met.Drained.Inc()
 		writeError(w, met, started, http.StatusServiceUnavailable, "server draining")
-		return false
+		return false, nil
 	}
 	t, err := s.pool.submit(work, met.QueueWait.Observe)
 	switch err {
@@ -225,14 +276,19 @@ func (s *Server) admit(w http.ResponseWriter, met *metrics.Service, started time
 		met.Shed.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 		writeError(w, met, started, http.StatusTooManyRequests, "worker pool saturated, retry later")
-		return false
+		return false, nil
 	default: // errDraining
 		met.Drained.Inc()
 		writeError(w, met, started, http.StatusServiceUnavailable, "server draining")
-		return false
+		return false, nil
 	}
 	<-t.done
-	return true
+	if t.panicked != nil {
+		met.Panics.Inc()
+		s.cfg.Logf("adecompd: solver job panicked: %v", t.panicked)
+		return true, &panicError{val: t.panicked}
+	}
+	return true, nil
 }
 
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
@@ -243,6 +299,10 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	var req DecomposeRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, met, started, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, met, started, http.StatusBadRequest, "timeout_ms must be non-negative")
 		return
 	}
 	f, n, err := req.buildFunction(s.cfg.MaxInputs)
@@ -266,27 +326,55 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	}
 	met.CacheMisses.Inc()
 
+	if !s.decomposeBreaker.allow() {
+		met.BreakerOpen.Inc()
+		s.cfg.Logf("adecompd: decompose breaker open, serving DALTA fallback")
+		s.decomposeFallback(w, r, met, started, &req, f, n, opts, "circuit breaker open")
+		return
+	}
+
 	var (
 		res    *isinglut.Result
 		runErr error
 	)
-	ok := s.admit(w, met, started, func() {
+	ok, jobErr := s.admit(w, met, started, func() {
 		ctx, cancel := s.solveContext(r, req.TimeoutMS)
 		defer cancel()
-		res, runErr = isinglut.DecomposeContext(ctx, f, opts)
+		runErr = s.withRetries(ctx, met, func() error {
+			var err error
+			res, err = isinglut.DecomposeContext(ctx, f, opts)
+			return err
+		})
 	})
 	if !ok {
 		return
 	}
+	if jobErr != nil {
+		runErr = jobErr
+	}
 	if runErr != nil {
-		writeError(w, met, started, http.StatusInternalServerError, runErr.Error())
+		s.decomposeBreaker.failure()
+		s.cfg.Logf("adecompd: decompose failed (%v), serving DALTA fallback", runErr)
+		s.decomposeFallback(w, r, met, started, &req, f, n, opts, runErr.Error())
 		return
 	}
+	s.decomposeBreaker.success()
 
+	resp := decomposeResponse(req.Benchmark, n, f.NumOutputs(), res)
+	// Only uninterrupted runs enter the cache: a deadline-truncated result
+	// is valid but not the configuration's answer, and must not shadow it.
+	if resp.StopReason == "converged" {
+		s.cache.Put(key, resp)
+	}
+	writeJSON(w, met, started, http.StatusOK, resp)
+}
+
+// decomposeResponse maps a decomposition result onto the wire form.
+func decomposeResponse(benchmark string, n, m int, res *isinglut.Result) DecomposeResponse {
 	resp := DecomposeResponse{
-		Benchmark:        req.Benchmark,
+		Benchmark:        benchmark,
 		N:                n,
-		M:                f.NumOutputs(),
+		M:                m,
 		MED:              res.MED,
 		ER:               res.ER,
 		WorstED:          res.WorstED,
@@ -304,11 +392,37 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	// Only uninterrupted runs enter the cache: a deadline-truncated result
-	// is valid but not the configuration's answer, and must not shadow it.
-	if resp.StopReason == "converged" {
-		s.cache.Put(key, resp)
+	return resp
+}
+
+// decomposeFallback answers /v1/decompose with the DALTA heuristic when
+// the Ising solve path is unavailable: the caller still gets a valid
+// (if typically worse) decomposition, flagged "degraded" so it can
+// decide whether to retry later. It runs in the handler goroutine, not
+// the pool — the fallback must stay reachable when the pool itself is
+// the failing component — behind its own recover boundary. Degraded
+// responses are never cached: they must not shadow the configuration's
+// real answer once the solver recovers.
+func (s *Server) decomposeFallback(w http.ResponseWriter, r *http.Request, met *metrics.Service, started time.Time, req *DecomposeRequest, f *isinglut.Function, n int, opts isinglut.Options, reason string) {
+	fbOpts := opts
+	fbOpts.Method = isinglut.MethodDALTA
+	var res *isinglut.Result
+	err := attempt(func() error {
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		var e error
+		res, e = isinglut.DecomposeContext(ctx, f, fbOpts)
+		return e
+	})
+	if err != nil {
+		writeError(w, met, started, http.StatusInternalServerError,
+			fmt.Sprintf("solve failed (%s) and DALTA fallback failed: %v", reason, err))
+		return
 	}
+	met.Degraded.Inc()
+	resp := decomposeResponse(req.Benchmark, n, f.NumOutputs(), res)
+	resp.Degraded = true
+	resp.DegradedReason = reason
 	writeJSON(w, met, started, http.StatusOK, resp)
 }
 
@@ -338,22 +452,47 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	met.CacheMisses.Inc()
 
+	if !s.solveBreaker.allow() {
+		met.BreakerOpen.Inc()
+		writeError(w, met, started, http.StatusServiceUnavailable,
+			"solve circuit breaker open after repeated solver failures, retry later")
+		return
+	}
+
 	var (
 		res    isinglut.IsingResult
 		runErr error
 	)
-	ok := s.admit(w, met, started, func() {
+	ok, jobErr := s.admit(w, met, started, func() {
 		ctx, cancel := s.solveContext(r, req.TimeoutMS)
 		defer cancel()
-		res, runErr = isinglut.SolveIsingContext(ctx, prob, sbOpts)
+		runErr = s.withRetries(ctx, met, func() error {
+			var err error
+			res, err = isinglut.SolveIsingContext(ctx, prob, sbOpts)
+			if err != nil {
+				return err
+			}
+			// A diverged or all-failed batch has energy +Inf, which JSON
+			// cannot encode; the run is an error at this boundary (a retry
+			// helps when the cause was transient, e.g. an injected fault).
+			if res.StopReason == "diverged" || res.StopReason == "failed" {
+				return fmt.Errorf("solver %s: no finite-energy result (try rescue, a smaller dt, or more replicas)", res.StopReason)
+			}
+			return nil
+		})
 	})
 	if !ok {
 		return
 	}
+	if jobErr != nil {
+		runErr = jobErr
+	}
 	if runErr != nil {
+		s.solveBreaker.failure()
 		writeError(w, met, started, http.StatusInternalServerError, runErr.Error())
 		return
 	}
+	s.solveBreaker.success()
 
 	spins := make([]int8, len(res.Spins))
 	copy(spins, res.Spins) // res.Spins may alias solver workspace memory
@@ -365,6 +504,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		EarlyStops: res.EarlyStops,
 		StopReason: res.StopReason,
 		ElapsedMS:  float64(time.Since(started)) / float64(time.Millisecond),
+		Rescued:    res.Rescued,
 	}
 	if resp.StopReason == "converged" || resp.StopReason == "max-iters" {
 		s.cache.Put(key, resp)
@@ -373,7 +513,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // buildSolve validates the wire problem and maps it onto the public
-// Ising API.
+// Ising API. Validation is exhaustive by design: every numeric field is
+// range- and finiteness-checked here so that no request body can reach
+// a solver panic (the sb parameter checks) or poison the dynamics with
+// a NaN/Inf — malformed input is the client's error (400), never a 500.
 func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut.SBOptions, error) {
 	var opts isinglut.SBOptions
 	if req.N <= 1 {
@@ -385,14 +528,49 @@ func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut
 	if len(req.Biases) != 0 && len(req.Biases) != req.N {
 		return nil, opts, fmt.Errorf("biases has %d entries for n=%d", len(req.Biases), req.N)
 	}
+	if req.TimeoutMS < 0 {
+		return nil, opts, fmt.Errorf("timeout_ms must be non-negative, got %d", req.TimeoutMS)
+	}
+	if req.Steps < 0 {
+		return nil, opts, fmt.Errorf("steps must be non-negative, got %d", req.Steps)
+	}
+	if req.Steps > s.cfg.MaxSteps {
+		return nil, opts, fmt.Errorf("steps=%d exceeds the server limit of %d", req.Steps, s.cfg.MaxSteps)
+	}
+	if math.IsNaN(req.Dt) || math.IsInf(req.Dt, 0) || req.Dt < 0 {
+		return nil, opts, fmt.Errorf("dt must be finite and non-negative, got %g", req.Dt)
+	}
+	if req.Replicas < 0 {
+		return nil, opts, fmt.Errorf("replicas must be non-negative, got %d", req.Replicas)
+	}
+	if req.Replicas > s.cfg.MaxReplicas {
+		return nil, opts, fmt.Errorf("replicas=%d exceeds the server limit of %d", req.Replicas, s.cfg.MaxReplicas)
+	}
+	if req.Workers < 0 {
+		return nil, opts, fmt.Errorf("workers must be non-negative, got %d", req.Workers)
+	}
+	if req.DynamicStop {
+		if req.F < 0 || req.S < 0 {
+			return nil, opts, fmt.Errorf("f and s must be non-negative, got f=%d s=%d", req.F, req.S)
+		}
+		if math.IsNaN(req.Epsilon) || math.IsInf(req.Epsilon, 0) || req.Epsilon < 0 {
+			return nil, opts, fmt.Errorf("epsilon must be finite and non-negative, got %g", req.Epsilon)
+		}
+	}
 	p := isinglut.NewIsingProblem(req.N)
 	for _, c := range req.Couplings {
 		if c.I < 0 || c.I >= req.N || c.J < 0 || c.J >= req.N || c.I == c.J {
 			return nil, opts, fmt.Errorf("coupling (%d,%d) out of range for n=%d", c.I, c.J, req.N)
 		}
+		if math.IsNaN(c.V) || math.IsInf(c.V, 0) {
+			return nil, opts, fmt.Errorf("coupling (%d,%d) value must be finite, got %g", c.I, c.J, c.V)
+		}
 		p.SetCoupling(c.I, c.J, c.V)
 	}
 	for i, b := range req.Biases {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, opts, fmt.Errorf("bias %d must be finite, got %g", i, b)
+		}
 		p.SetBias(i, b)
 	}
 	switch req.Variant {
@@ -418,15 +596,18 @@ func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut
 	opts.Fused = req.Fused
 	opts.DynamicStop = req.DynamicStop
 	opts.F, opts.S, opts.Epsilon = req.F, req.S, req.Epsilon
+	opts.Rescue = req.Rescue
 	return p, opts, nil
 }
 
+// handleHealth is pure liveness: it answers 200 as long as the process
+// can serve HTTP at all, draining or not. Restart-on-liveness-failure
+// orchestration must not kill a draining process that is still finishing
+// in-flight work — that is what readiness (/readyz) signals.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	code := http.StatusOK
 	if s.draining.Load() {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
 	h := Health{
 		Status:       status,
@@ -436,10 +617,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Queued:       s.pool.queued(),
 		InFlight:     s.pool.running(),
 		CacheEntries: s.cache.Len(),
+		Breakers: map[string]string{
+			"decompose": s.decomposeBreaker.currentState().String(),
+			"solve":     s.solveBreaker.currentState().String(),
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleReady is the readiness probe: 200 while the server accepts new
+// work, 503 from the moment drain begins (load balancers stop routing
+// to it while the in-flight work finishes under the drain budget).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	status, code := "ready", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(h)
+	json.NewEncoder(w).Encode(Readiness{Status: status})
 }
 
 // decodeJSON parses the request body strictly: unknown fields are

@@ -3,6 +3,7 @@ package isinglut
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"isinglut/internal/anneal"
 	"isinglut/internal/ising"
@@ -36,6 +37,23 @@ func (p *IsingProblem) SetBias(i int, v float64) { p.h[i] = v }
 // Energy evaluates Eq. 1 on a ±1 spin assignment.
 func (p *IsingProblem) Energy(spins []int8) float64 {
 	return p.problem().Energy(spins)
+}
+
+// Validate reports whether the problem is numerically well-formed:
+// every coupling and bias must be finite. A single NaN or ±Inf input
+// poisons the whole oscillator state within one field product, so the
+// solvers reject such problems up front with an error instead of
+// running to a meaningless diverged result.
+func (p *IsingProblem) Validate() error {
+	if !p.dense.AllFinite() {
+		return fmt.Errorf("isinglut: problem has a non-finite coupling (NaN or ±Inf)")
+	}
+	for i, h := range p.h {
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			return fmt.Errorf("isinglut: non-finite bias h[%d] = %g", i, h)
+		}
+	}
+	return nil
 }
 
 func (p *IsingProblem) problem() *ising.Problem {
@@ -87,6 +105,12 @@ type SBOptions struct {
 	// rejected with an error when combined with Trace, which needs
 	// per-replica control flow. Results are bit-identical either way.
 	Fused bool
+	// Rescue enables the one-shot divergence rescue: a trajectory whose
+	// dynamics overflow the finite range is re-seeded once from its own
+	// seed with a halved time step instead of being quarantined with
+	// energy +Inf. Off by default — a diverged run then reports
+	// StopReason "diverged" and IsingResult.Diverged.
+	Rescue bool
 }
 
 // IsingResult reports a standalone Ising solve.
@@ -105,9 +129,21 @@ type IsingResult struct {
 	Replicas   int
 	EarlyStops int
 	// StopReason states how the run ended: "converged", "max-iters",
-	// "cancelled" or "deadline". Interrupted runs ("cancelled"/"deadline")
-	// still return the best state found before the interruption.
+	// "cancelled", "deadline", "diverged" or "failed". Interrupted runs
+	// ("cancelled"/"deadline") still return the best state found before
+	// the interruption.
 	StopReason string
+	// Diverged reports that the winning trajectory's dynamics overflowed
+	// the finite range: Energy is +Inf and Spins hold the best finite
+	// state observed before the overflow (for a batch, every replica
+	// diverged — a finite replica always outranks a diverged one).
+	Diverged bool
+	// Rescued reports that the winning trajectory recovered from a
+	// detected divergence via the one-shot re-seed (SBOptions.Rescue).
+	Rescued bool
+	// DivergedReplicas counts the batch replicas quarantined for
+	// divergence (0 or 1 for a single solve).
+	DivergedReplicas int
 }
 
 // SolveIsing searches the problem's ground state with simulated
@@ -120,6 +156,15 @@ func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
 // deadline interrupts the run at the next sample point and returns the
 // best-so-far state with StopReason set, never an error.
 func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (IsingResult, error) {
+	if err := p.Validate(); err != nil {
+		return IsingResult{}, err
+	}
+	if math.IsNaN(opts.Dt) || math.IsInf(opts.Dt, 0) {
+		return IsingResult{}, fmt.Errorf("isinglut: Dt must be finite, got %g", opts.Dt)
+	}
+	if math.IsNaN(opts.Epsilon) || math.IsInf(opts.Epsilon, 0) {
+		return IsingResult{}, fmt.Errorf("isinglut: Epsilon must be finite, got %g", opts.Epsilon)
+	}
 	params := sb.DefaultParams()
 	params.Variant = opts.Variant
 	if opts.Steps > 0 {
@@ -129,6 +174,7 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 		params.Dt = opts.Dt
 	}
 	params.Seed = opts.Seed
+	params.RescueDiverged = opts.Rescue
 	if opts.DynamicStop {
 		f, s, eps := opts.F, opts.S, opts.Epsilon
 		if f <= 0 {
@@ -154,6 +200,7 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 	prob := p.problem()
 	replicas := 1
 	earlyStops := 0
+	divergedReplicas := 0
 	var res sb.Result
 	stopReason := ""
 	if opts.Replicas > 1 || opts.Fused {
@@ -174,11 +221,15 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 		res = batch
 		replicas = stats.Replicas
 		earlyStops = stats.EarlyStops
+		divergedReplicas = stats.Diverges
 		stopReason = stats.BatchStopped.String()
 	} else {
 		res = sb.SolveContext(ctx, prob, params)
 		if res.StoppedEarly {
 			earlyStops = 1
+		}
+		if res.Diverged {
+			divergedReplicas = 1
 		}
 		stopReason = res.Stopped.String()
 	}
@@ -190,15 +241,18 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 		sampleEvery = params.Steps
 	}
 	return IsingResult{
-		Spins:       res.Spins,
-		Energy:      res.Energy,
-		Iterations:  res.Iterations,
-		Stopped:     res.StoppedEarly,
-		Trace:       res.Trace,
-		SampleEvery: sampleEvery,
-		Replicas:    replicas,
-		EarlyStops:  earlyStops,
-		StopReason:  stopReason,
+		Spins:            res.Spins,
+		Energy:           res.Energy,
+		Iterations:       res.Iterations,
+		Stopped:          res.StoppedEarly,
+		Trace:            res.Trace,
+		SampleEvery:      sampleEvery,
+		Replicas:         replicas,
+		EarlyStops:       earlyStops,
+		StopReason:       stopReason,
+		Diverged:         res.Diverged,
+		Rescued:          res.Rescued,
+		DivergedReplicas: divergedReplicas,
 	}, nil
 }
 
@@ -213,7 +267,12 @@ func AnnealIsing(p *IsingProblem, sweeps int, tStart, tEnd float64, seed int64) 
 // deadline interrupts the schedule at the next sweep boundary and returns
 // the best-so-far state with StopReason set.
 func AnnealIsingContext(ctx context.Context, p *IsingProblem, sweeps int, tStart, tEnd float64, seed int64) (IsingResult, error) {
-	if sweeps <= 0 || tStart <= 0 || tEnd <= 0 || tEnd > tStart {
+	if err := p.Validate(); err != nil {
+		return IsingResult{}, err
+	}
+	// The comparisons below are written so a NaN temperature fails them
+	// too (NaN > 0 is false), not just negative or inverted schedules.
+	if sweeps <= 0 || !(tStart > 0) || !(tEnd > 0) || tEnd > tStart || math.IsInf(tStart, 0) {
 		return IsingResult{}, fmt.Errorf("isinglut: invalid annealing schedule (sweeps=%d, T %g->%g)", sweeps, tStart, tEnd)
 	}
 	res := anneal.Solve(ctx, p.problem(), anneal.Params{Sweeps: sweeps, TStart: tStart, TEnd: tEnd, Seed: seed})

@@ -1,0 +1,91 @@
+package isinglut_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"isinglut"
+)
+
+// TestSolveIsingRejectsNonFiniteProblem: a single NaN or ±Inf coupling
+// or bias poisons the whole oscillator state within one field product,
+// so the public solvers must reject such problems up front with an error
+// instead of running to a meaningless diverged result.
+func TestSolveIsingRejectsNonFiniteProblem(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *isinglut.IsingProblem
+		want  string
+	}{
+		{"nan coupling", func() *isinglut.IsingProblem {
+			p := isinglut.NewIsingProblem(4)
+			p.SetCoupling(0, 1, math.NaN())
+			return p
+		}, "coupling"},
+		{"inf coupling", func() *isinglut.IsingProblem {
+			p := isinglut.NewIsingProblem(4)
+			p.SetCoupling(1, 2, math.Inf(-1))
+			return p
+		}, "coupling"},
+		{"nan bias", func() *isinglut.IsingProblem {
+			p := isinglut.NewIsingProblem(4)
+			p.SetBias(2, math.NaN())
+			return p
+		}, "bias"},
+		{"inf bias", func() *isinglut.IsingProblem {
+			p := isinglut.NewIsingProblem(4)
+			p.SetBias(0, math.Inf(1))
+			return p
+		}, "bias"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build()
+			if err := p.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.want)
+			}
+			if _, err := isinglut.SolveIsing(p, isinglut.SBOptions{Steps: 10}); err == nil {
+				t.Fatal("SolveIsing accepted a non-finite problem")
+			}
+			if _, err := isinglut.AnnealIsing(p, 10, 2, 0.1, 1); err == nil {
+				t.Fatal("AnnealIsing accepted a non-finite problem")
+			}
+		})
+	}
+}
+
+// TestSolveIsingRejectsNonFiniteOptions: NaN/Inf solver knobs must fail
+// fast instead of seeding NaN dynamics (Dt) or a never-firing stop
+// criterion (Epsilon).
+func TestSolveIsingRejectsNonFiniteOptions(t *testing.T) {
+	p := isinglut.NewIsingProblem(4)
+	p.SetCoupling(0, 1, -1)
+	for _, dt := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := isinglut.SolveIsing(p, isinglut.SBOptions{Steps: 10, Dt: dt}); err == nil {
+			t.Fatalf("SolveIsing accepted Dt = %g", dt)
+		}
+	}
+	if _, err := isinglut.SolveIsing(p, isinglut.SBOptions{
+		Steps: 10, DynamicStop: true, Epsilon: math.NaN(),
+	}); err == nil {
+		t.Fatal("SolveIsing accepted Epsilon = NaN")
+	}
+}
+
+// TestAnnealIsingRejectsNaNSchedule: the schedule comparisons are written
+// so NaN temperatures fail them (NaN > 0 is false), not just negative or
+// inverted ranges.
+func TestAnnealIsingRejectsNaNSchedule(t *testing.T) {
+	p := isinglut.NewIsingProblem(4)
+	p.SetCoupling(0, 1, -1)
+	for _, schedule := range [][2]float64{
+		{math.NaN(), 0.1},
+		{2, math.NaN()},
+		{math.Inf(1), 0.1},
+	} {
+		if _, err := isinglut.AnnealIsing(p, 10, schedule[0], schedule[1], 1); err == nil {
+			t.Fatalf("AnnealIsing accepted schedule T %g -> %g", schedule[0], schedule[1])
+		}
+	}
+}
