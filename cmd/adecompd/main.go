@@ -28,6 +28,12 @@
 // behind per-endpoint circuit breakers (-breaker-threshold,
 // -breaker-cooldown); when the Ising path stays down, /v1/decompose
 // degrades to the DALTA heuristic and marks the response "degraded".
+//
+// For chaos drills and load tests, repeatable -fault flags arm
+// internal/fault failpoints at startup (grammar
+// 'site=after:N,times:N,prob:P,seed:S,keys:a+b'):
+//
+//	adecompd -fault 'serve.decompose=times:-1'   # Ising path hard-down
 package main
 
 import (
@@ -38,8 +44,19 @@ import (
 	"os"
 	"time"
 
+	"isinglut/internal/fault"
 	"isinglut/internal/serve"
 )
+
+// faultSpecs collects repeatable -fault flags.
+type faultSpecs []string
+
+func (f *faultSpecs) String() string { return fmt.Sprint([]string(*f)) }
+
+func (f *faultSpecs) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -59,7 +76,11 @@ func main() {
 		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base jittered sleep between solver re-attempts")
 		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive solver failures before an endpoint's circuit breaker opens (-1 disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker duration before a half-open probe")
+
+		faults faultSpecs
 	)
+	flag.Var(&faults, "fault",
+		"arm a failpoint at startup, e.g. 'serve.decompose=times:-1' (repeatable; for chaos drills and load tests)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "adecompd: unexpected arguments %q\n", flag.Args())
@@ -67,6 +88,16 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	for _, spec := range faults {
+		site, sc, err := fault.ParseSpec(spec)
+		if err != nil {
+			logger.Fatalf("adecompd: -fault %q: %v", spec, err)
+		}
+		if err := fault.Arm(site, sc); err != nil {
+			logger.Fatalf("adecompd: -fault %q: %v", spec, err)
+		}
+		logger.Printf("adecompd: armed failpoint %s (%+v)", site, sc)
+	}
 	srv := serve.New(serve.Config{
 		Addr:           *addr,
 		Workers:        *workers,

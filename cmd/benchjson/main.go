@@ -10,6 +10,13 @@
 // what any contributor can reproduce) and parses the standard benchmark
 // output lines into {name, ns_op, allocs_op, runs} records, plus derived
 // speedup ratios for the fused-vs-unfused engine pairs.
+//
+// -serving folds a cmd/loadgen JSON report into the output as a
+// "serving" section, so one artifact carries both the solver-kernel and
+// the serving-layer numbers:
+//
+//	go run ./cmd/loadgen -boot -rps 200 -duration 10s -out /tmp/serving.json
+//	go run ./cmd/benchjson -serving /tmp/serving.json -out BENCH_PR6.json
 package main
 
 import (
@@ -49,6 +56,9 @@ type report struct {
 	BenchTime   string        `json:"benchtime"`
 	Results     []benchResult `json:"results"`
 	Speedups    []speedup     `json:"speedups"`
+	// Serving is a cmd/loadgen report passed through verbatim via
+	// -serving (absent when the flag is unused).
+	Serving json.RawMessage `json:"serving,omitempty"`
 }
 
 func main() {
@@ -57,6 +67,7 @@ func main() {
 		benchRe   = flag.String("bench", "FieldBatch|FieldColumns|SolveBatch|SolveFused", "benchmark regexp passed to go test")
 		benchTime = flag.String("benchtime", "300ms", "go test -benchtime value")
 		pkgs      = flag.String("pkgs", "./internal/ising,./internal/sb", "comma-separated packages to benchmark")
+		serving   = flag.String("serving", "", "cmd/loadgen JSON report to fold in as the serving section")
 	)
 	flag.Parse()
 
@@ -76,6 +87,18 @@ func main() {
 		BenchTime:   *benchTime,
 		Results:     results,
 		Speedups:    deriveSpeedups(results),
+	}
+	if *serving != "" {
+		raw, err := os.ReadFile(*serving)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if !json.Valid(raw) {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not valid JSON\n", *serving)
+			os.Exit(1)
+		}
+		rep.Serving = json.RawMessage(raw)
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

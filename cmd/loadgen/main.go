@@ -1,0 +1,191 @@
+// Command loadgen drives the adecompd serving stack with an open-loop
+// (coordinated-omission-safe) request schedule and emits a
+// machine-readable report: per-class HDR latency quantiles, status and
+// Retry-After accounting, cache hit ratio, and shed/degraded counts,
+// plus a list of invariant violations (dropped responses, statuses
+// outside each class's allowed set, degraded responses touching the
+// cache).
+//
+// Against a live daemon:
+//
+//	adecompd -addr 127.0.0.1:18080 &
+//	loadgen -addr http://127.0.0.1:18080 -rps 200 -duration 10s \
+//	        -mix 'hot=4,cold=2,deadline=1,oversized=1,malformed=1' \
+//	        -seed 7 -out report.json -strict
+//
+// Self-contained (boots an in-process server on a loopback port, arms
+// the serve.decompose failpoint automatically when the mix carries
+// degraded traffic):
+//
+//	loadgen -boot -rps 200 -duration 10s \
+//	        -mix 'hot=4,cold=2,deadline=1,oversized=1,malformed=1,degraded=1'
+//
+// The JSON report is what cmd/benchjson -serving folds into the
+// BENCH_PR*.json serving-layer section. -strict exits non-zero when the
+// run violates any invariant, which is how CI gates on it.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"isinglut/internal/fault"
+	"isinglut/internal/loadtest"
+	"isinglut/internal/serve"
+)
+
+// faultSpecs collects repeatable -fault flags (same grammar as
+// adecompd: 'site=times:-1,prob:0.5').
+type faultSpecs []string
+
+func (f *faultSpecs) String() string { return fmt.Sprint([]string(*f)) }
+
+func (f *faultSpecs) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running daemon, e.g. http://127.0.0.1:8080")
+		boot     = flag.Bool("boot", false, "boot an in-process server on a loopback port instead of -addr")
+		rps      = flag.Float64("rps", 100, "open-loop arrival rate")
+		duration = flag.Duration("duration", 10*time.Second, "schedule length")
+		inflight = flag.Int("inflight", 64, "client-side cap on concurrent in-flight requests")
+		mixFlag  = flag.String("mix", "hot=4,cold=2,deadline=1,oversized=1,malformed=1",
+			"weighted class mix (classes: hot, cold, deadline, oversized, malformed, degraded)")
+		seed   = flag.Int64("seed", 1, "schedule seed; equal seeds replay the identical schedule")
+		out    = flag.String("out", "", "write the JSON report here ('-' or empty = stdout)")
+		strict = flag.Bool("strict", false, "exit 1 when the report lists invariant violations")
+
+		workers  = flag.Int("workers", 0, "boot mode: concurrent solver jobs (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "boot mode: queued jobs before 429s")
+		cache    = flag.Int("cache", 256, "boot mode: LRU result-cache entries")
+		faults   faultSpecs
+		quietSrv = flag.Bool("quiet", false, "boot mode: suppress the embedded server's logs")
+	)
+	flag.Var(&faults, "fault",
+		"boot mode: arm a failpoint before the run, e.g. 'serve.decompose=times:-1' (repeatable)")
+	flag.Parse()
+	logger := log.New(os.Stderr, "loadgen: ", 0)
+	if flag.NArg() != 0 {
+		logger.Fatalf("unexpected arguments %q", flag.Args())
+	}
+	if (*addr == "") == !*boot {
+		logger.Fatal("exactly one of -addr or -boot is required")
+	}
+
+	mix, err := loadtest.ParseMix(*mixFlag)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	base := *addr
+	var shutdown func()
+	if *boot {
+		base, shutdown, err = bootServer(logger, mix, faults, *workers, *queue, *cache, *quietSrv)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer shutdown()
+	} else if len(faults) > 0 {
+		logger.Fatal("-fault only applies to -boot mode; arm a live daemon with adecompd -fault")
+	}
+
+	rep, err := loadtest.Run(context.Background(), loadtest.Options{
+		BaseURL:     base,
+		RPS:         *rps,
+		Duration:    *duration,
+		MaxInFlight: *inflight,
+		Mix:         mix,
+		Seed:        *seed,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	rep.Render(os.Stderr)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		logger.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		logger.Fatal(err)
+	}
+
+	if *strict && len(rep.Violations) > 0 {
+		logger.Fatalf("strict mode: %d invariant violation(s)", len(rep.Violations))
+	}
+}
+
+// bootServer starts an in-process serving stack on a loopback port and
+// returns its base URL plus a graceful-drain shutdown hook. When the mix
+// carries degraded traffic and nothing armed the serve.decompose
+// failpoint explicitly, it is armed permanently — degraded-class
+// invariants are meaningless against a healthy decompose path.
+func bootServer(logger *log.Logger, mix []loadtest.Weighted, faults []string,
+	workers, queue, cache int, quiet bool) (string, func(), error) {
+	for _, spec := range faults {
+		site, sc, err := fault.ParseSpec(spec)
+		if err != nil {
+			return "", nil, fmt.Errorf("-fault %q: %w", spec, err)
+		}
+		if err := fault.Arm(site, sc); err != nil {
+			return "", nil, fmt.Errorf("-fault %q: %w", spec, err)
+		}
+		logger.Printf("armed failpoint %s (%+v)", site, sc)
+	}
+	degradedWeight := 0
+	for _, w := range mix {
+		if w.Class == loadtest.ClassDegraded {
+			degradedWeight = w.Weight
+		}
+	}
+	if degradedWeight > 0 && !fault.Armed("serve.decompose") {
+		fault.MustArm("serve.decompose", fault.Scenario{Times: -1})
+		logger.Print("mix carries degraded traffic: armed serve.decompose (times:-1)")
+	}
+
+	logf := logger.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := serve.New(serve.Config{
+		Addr:       "127.0.0.1:0",
+		Workers:    workers,
+		QueueDepth: queue,
+		CacheSize:  cache,
+		Logf:       logf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx, ready) }()
+	select {
+	case bound := <-ready:
+		shutdown := func() {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					logger.Printf("embedded server exited: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				logger.Print("embedded server drain timed out")
+			}
+		}
+		return "http://" + bound.String(), shutdown, nil
+	case err := <-done:
+		cancel()
+		return "", nil, fmt.Errorf("embedded server failed to start: %w", err)
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -251,6 +253,60 @@ func Fired(site string) int64 {
 		return 0
 	}
 	return s.count.Load()
+}
+
+// ParseSpec parses a command-line failpoint spec of the form
+//
+//	site=field:value[,field:value...]
+//
+// with fields after, times, prob, seed and keys (keys takes a
+// +-separated int64 list). A bare "site" arms the default scenario
+// (fire once, immediately). This is what lets a daemon be booted with
+// faults pre-armed (adecompd -fault) so an external load driver can
+// exercise degraded-mode traffic without reaching into the process.
+func ParseSpec(spec string) (string, Scenario, error) {
+	var sc Scenario
+	site, rest, found := strings.Cut(spec, "=")
+	site = strings.TrimSpace(site)
+	if site == "" {
+		return "", sc, fmt.Errorf("fault: empty site in spec %q", spec)
+	}
+	if !found || strings.TrimSpace(rest) == "" {
+		return site, sc, nil
+	}
+	for _, field := range strings.Split(rest, ",") {
+		name, val, ok := strings.Cut(field, ":")
+		if !ok {
+			return "", sc, fmt.Errorf("fault: field %q in spec %q is not name:value", field, spec)
+		}
+		name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+		var err error
+		switch name {
+		case "after":
+			sc.After, err = strconv.Atoi(val)
+		case "times":
+			sc.Times, err = strconv.Atoi(val)
+		case "prob":
+			sc.Prob, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "keys":
+			for _, k := range strings.Split(val, "+") {
+				var key int64
+				key, err = strconv.ParseInt(strings.TrimSpace(k), 10, 64)
+				if err != nil {
+					break
+				}
+				sc.Keys = append(sc.Keys, key)
+			}
+		default:
+			return "", sc, fmt.Errorf("fault: unknown field %q in spec %q (want after, times, prob, seed or keys)", name, spec)
+		}
+		if err != nil {
+			return "", sc, fmt.Errorf("fault: bad value for %q in spec %q: %v", name, spec, err)
+		}
+	}
+	return site, sc, nil
 }
 
 // Armed reports whether the named site currently has a scenario.

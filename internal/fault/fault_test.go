@@ -182,3 +182,53 @@ func TestConcurrentFire(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestParseSpec covers the command-line scenario grammar end to end,
+// including the bare-site default and every rejection class.
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		site    string
+		want    Scenario
+		wantErr bool
+	}{
+		{spec: "serve.job", site: "serve.job", want: Scenario{}},
+		{spec: "serve.job=", site: "serve.job", want: Scenario{}},
+		{spec: "sb.step=after:3,times:-1", site: "sb.step", want: Scenario{After: 3, Times: -1}},
+		{spec: "serve.cache=prob:0.25,seed:7,times:5", site: "serve.cache",
+			want: Scenario{Prob: 0.25, Seed: 7, Times: 5}},
+		{spec: "sb.diverge=keys:3+9+27,times:-1", site: "sb.diverge",
+			want: Scenario{Keys: []int64{3, 9, 27}, Times: -1}},
+		{spec: "=after:1", wantErr: true},
+		{spec: "x=after", wantErr: true},
+		{spec: "x=bogus:1", wantErr: true},
+		{spec: "x=after:notanint", wantErr: true},
+		{spec: "x=keys:1+zap", wantErr: true},
+	}
+	for _, tc := range cases {
+		site, sc, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q) succeeded, want error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if site != tc.site {
+			t.Errorf("ParseSpec(%q) site = %q, want %q", tc.spec, site, tc.site)
+		}
+		if sc.After != tc.want.After || sc.Times != tc.want.Times ||
+			sc.Prob != tc.want.Prob || sc.Seed != tc.want.Seed ||
+			len(sc.Keys) != len(tc.want.Keys) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, sc, tc.want)
+		}
+		for i := range sc.Keys {
+			if sc.Keys[i] != tc.want.Keys[i] {
+				t.Errorf("ParseSpec(%q) keys = %v, want %v", tc.spec, sc.Keys, tc.want.Keys)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package loadtest
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock paces the open-loop schedule. The real clock spaces requests at
+// wall-time intervals (cmd/loadgen); the virtual clock advances
+// instantly, so the deterministic in-process e2e suite dispatches its
+// whole seeded schedule without waiting out the wall-clock duration.
+type Clock interface {
+	// Now returns the schedule's current time.
+	Now() time.Time
+	// Sleep advances the schedule by d.
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall-clock pacing used by cmd/loadgen.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a manual clock whose Sleep advances it instantly:
+// schedule arithmetic stays exact while no real time passes. Safe for
+// concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: the virtual time advances by d immediately.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,184 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// RPS is the open-loop arrival rate; Duration the schedule length.
+	// The run fires round(RPS*Duration) requests at fixed intervals
+	// regardless of how fast the server answers — the open-loop property
+	// that makes the latency numbers coordinated-omission-safe.
+	RPS      float64
+	Duration time.Duration
+	// MaxInFlight caps concurrent in-flight requests client-side
+	// (default 64). A capped request still starts its latency clock at
+	// its *scheduled* time, so client-side queueing is charged to the
+	// measurement, never hidden.
+	MaxInFlight int
+	// Mix is the weighted traffic mix (default: hot/cold/deadline/
+	// oversized/malformed at 4/2/1/1/1).
+	Mix []Weighted
+	// Seed drives the class draws and per-request problem seeds: equal
+	// seeds replay the identical schedule.
+	Seed int64
+	// Clock paces the schedule (default RealClock; tests inject
+	// VirtualClock for instant pacing).
+	Clock Clock
+	// Client is the HTTP client (default: pooled transport, 30s timeout).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.Mix == nil {
+		o.Mix = []Weighted{
+			{ClassCacheHot, 4}, {ClassCacheCold, 2}, {ClassDeadline, 1},
+			{ClassOversized, 1}, {ClassMalformed, 1},
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = RealClock{}
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+			},
+		}
+	}
+	return o
+}
+
+// record is one request's outcome. latencyNS runs from the scheduled
+// dispatch instant (wall clock, so client-side capacity waits count);
+// serviceNS from the moment the request actually hit the wire.
+type record struct {
+	class        Class
+	status       int // 0 on transport error
+	transportErr bool
+	cached       bool
+	degraded     bool
+	stopReason   string
+	retryAfterS  int // parsed Retry-After seconds; -1 when absent
+	serviceNS    int64
+	latencyNS    int64
+}
+
+// responseProbe is the subset of the wire responses the driver reads.
+type responseProbe struct {
+	Cached     bool   `json:"cached"`
+	Degraded   bool   `json:"degraded"`
+	StopReason string `json:"stop_reason"`
+}
+
+// Run executes one open-loop load run and builds its report. The
+// schedule is fixed up front from (RPS, Duration, Seed): request i is
+// dispatched at start + i/RPS on the pacing clock, on its own
+// goroutine, bounded by MaxInFlight. ctx cancellation stops scheduling
+// new requests; everything dispatched is awaited and reported.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: Options.BaseURL is required")
+	}
+	if opts.RPS <= 0 || opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadtest: RPS and Duration must be positive (got %g, %s)",
+			opts.RPS, opts.Duration)
+	}
+	mix, err := NewMix(opts.Mix)
+	if err != nil {
+		return nil, err
+	}
+	total := int(opts.RPS*opts.Duration.Seconds() + 0.5)
+	if total < 1 {
+		total = 1
+	}
+
+	gen := newGenerator(mix, opts.Seed)
+	records := make([]record, total)
+	sem := make(chan struct{}, opts.MaxInFlight)
+	var wg sync.WaitGroup
+
+	wallStart := time.Now()
+	start := opts.Clock.Now()
+	dispatched := 0
+	for i := 0; i < total; i++ {
+		sched := start.Add(time.Duration(float64(i) / opts.RPS * float64(time.Second)))
+		if d := sched.Sub(opts.Clock.Now()); d > 0 {
+			opts.Clock.Sleep(d)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		req := gen.next() // deterministic: only this goroutine draws
+		wallSched := time.Now()
+		dispatched++
+		wg.Add(1)
+		go func(i int, req genRequest, wallSched time.Time) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			records[i] = doRequest(opts.Client, opts.BaseURL, req, wallSched)
+		}(i, req, wallSched)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	rep := buildReport(records[:dispatched], opts, mix, wall)
+	rep.Violations = rep.Check()
+	return rep, nil
+}
+
+// doRequest fires one request and classifies its outcome.
+func doRequest(client *http.Client, baseURL string, req genRequest, wallSched time.Time) record {
+	rec := record{class: req.class, retryAfterS: -1}
+	sendStart := time.Now()
+	resp, err := client.Post(baseURL+req.path, "application/json", bytes.NewReader(req.body))
+	if err != nil {
+		rec.transportErr = true
+		rec.latencyNS = int64(time.Since(wallSched))
+		return rec
+	}
+	body, readErr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	resp.Body.Close()
+	rec.serviceNS = int64(time.Since(sendStart))
+	rec.latencyNS = int64(time.Since(wallSched))
+	if readErr != nil {
+		rec.transportErr = true
+		return rec
+	}
+	rec.status = resp.StatusCode
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			rec.retryAfterS = secs
+		}
+	}
+	if resp.StatusCode == http.StatusOK {
+		var probe responseProbe
+		if json.Unmarshal(body, &probe) == nil {
+			rec.cached = probe.Cached
+			rec.degraded = probe.Degraded
+			rec.stopReason = probe.StopReason
+		}
+	}
+	return rec
+}

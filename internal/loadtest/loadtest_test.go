@@ -1,0 +1,317 @@
+package loadtest
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    []Weighted
+		wantErr string
+	}{
+		{
+			name: "full vocabulary",
+			in:   "hot=4, cold=2,deadline=1,oversized=1,malformed=1,degraded=1",
+			want: []Weighted{
+				{ClassCacheHot, 4}, {ClassCacheCold, 2}, {ClassDeadline, 1},
+				{ClassOversized, 1}, {ClassMalformed, 1}, {ClassDegraded, 1},
+			},
+		},
+		{
+			name: "single entry with spaces",
+			in:   " hot = 3 ",
+			want: []Weighted{{ClassCacheHot, 3}},
+		},
+		{name: "unknown class", in: "tepid=1", wantErr: "unknown mix class"},
+		{name: "missing weight", in: "hot", wantErr: "not name=weight"},
+		{name: "bad weight", in: "hot=lots", wantErr: "bad weight"},
+		{name: "empty", in: "", wantErr: "empty mix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseMix(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseMix(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseMix(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ParseMix(%q) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewMixValidation(t *testing.T) {
+	if _, err := NewMix([]Weighted{{Class("nope"), 1}}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := NewMix([]Weighted{{ClassCacheHot, 1}, {ClassCacheHot, 2}}); err == nil {
+		t.Fatal("repeated class accepted")
+	}
+	if _, err := NewMix([]Weighted{{ClassCacheHot, -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewMix([]Weighted{{ClassCacheHot, 0}}); err == nil {
+		t.Fatal("zero-total mix accepted")
+	}
+	m, err := NewMix([]Weighted{{ClassCacheHot, 2}, {ClassMalformed, 0}, {ClassCacheCold, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weight(ClassCacheHot) != 2 || m.Weight(ClassCacheCold) != 1 || m.Weight(ClassMalformed) != 0 {
+		t.Fatalf("weights not preserved: %+v", m)
+	}
+}
+
+// TestMixPickDistribution: over many seeded draws each class's share
+// must track its weight; equal seeds must replay identical draws.
+func TestMixPickDistribution(t *testing.T) {
+	m, err := NewMix([]Weighted{{ClassCacheHot, 6}, {ClassCacheCold, 3}, {ClassMalformed, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 20000
+	counts := map[Class]int{}
+	rng := rand.New(rand.NewSource(42))
+	var first []Class
+	for i := 0; i < draws; i++ {
+		c := m.Pick(rng)
+		counts[c]++
+		if i < 64 {
+			first = append(first, c)
+		}
+	}
+	for class, weight := range map[Class]int{ClassCacheHot: 6, ClassCacheCold: 3, ClassMalformed: 1} {
+		want := float64(weight) / 10
+		got := float64(counts[class]) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("class %s share = %.3f, want ~%.3f", class, got, want)
+		}
+	}
+	rng2 := rand.New(rand.NewSource(42))
+	for i, want := range first {
+		if got := m.Pick(rng2); got != want {
+			t.Fatalf("draw %d: replay gave %s, first run gave %s", i, got, want)
+		}
+	}
+}
+
+// TestGeneratorDeterministic: the (class, path, body) sequence is a pure
+// function of the seed.
+func TestGeneratorDeterministic(t *testing.T) {
+	mix, err := NewMix([]Weighted{
+		{ClassCacheHot, 2}, {ClassCacheCold, 2}, {ClassDeadline, 1},
+		{ClassOversized, 1}, {ClassMalformed, 1}, {ClassDegraded, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := newGenerator(mix, 7), newGenerator(mix, 7)
+	g3 := newGenerator(mix, 8)
+	differs := false
+	for i := 0; i < 200; i++ {
+		a, b, c := g1.next(), g2.next(), g3.next()
+		if a.class != b.class || a.path != b.path || string(a.body) != string(b.body) {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, a.class, b.class)
+		}
+		if a.class != c.class || string(a.body) != string(c.body) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical 200-request schedules")
+	}
+}
+
+// TestGeneratorBodies: each class's request has the shape its server-side
+// invariants assume.
+func TestGeneratorBodies(t *testing.T) {
+	mix, err := NewMix([]Weighted{
+		{ClassCacheHot, 1}, {ClassCacheCold, 1}, {ClassDeadline, 1},
+		{ClassOversized, 1}, {ClassMalformed, 1}, {ClassDegraded, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGenerator(mix, 1)
+	hotBodies := map[string]bool{}
+	coldBodies := map[string]bool{}
+	for i := 0; i < 600; i++ {
+		r := g.next()
+		switch r.class {
+		case ClassCacheHot:
+			hotBodies[string(r.body)] = true
+		case ClassCacheCold:
+			coldBodies[string(r.body)] = true
+		case ClassDegraded:
+			if r.path != "/v1/decompose" {
+				t.Fatalf("degraded request hit %s", r.path)
+			}
+		default:
+			if r.path != "/v1/solve" {
+				t.Fatalf("%s request hit %s", r.class, r.path)
+			}
+		}
+	}
+	if len(hotBodies) != 1 {
+		t.Fatalf("cache-hot class produced %d distinct bodies, want exactly 1", len(hotBodies))
+	}
+	if len(coldBodies) < 50 {
+		t.Fatalf("cache-cold class produced only %d distinct bodies", len(coldBodies))
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewVirtualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Sleep(3 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after Sleep(3s): Now = %v", got)
+	}
+	c.Sleep(-time.Second)
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("negative Sleep moved the clock to %v", got)
+	}
+}
+
+// TestBuildReportAggregation: hand-built records must fold into the
+// expected per-class aggregates and quantiles.
+func TestBuildReportAggregation(t *testing.T) {
+	mix, err := NewMix([]Weighted{{ClassCacheHot, 3}, {ClassMalformed, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := func(d int) int64 { return int64(time.Duration(d) * time.Millisecond) }
+	records := []record{
+		{class: ClassCacheHot, status: 200, cached: false, serviceNS: ms(10), latencyNS: ms(12), retryAfterS: -1},
+		{class: ClassCacheHot, status: 200, cached: true, serviceNS: ms(1), latencyNS: ms(1), retryAfterS: -1},
+		{class: ClassCacheHot, status: 200, cached: true, serviceNS: ms(1), latencyNS: ms(2), retryAfterS: -1},
+		{class: ClassCacheHot, status: 429, retryAfterS: 2, serviceNS: ms(1), latencyNS: ms(1)},
+		{class: ClassCacheHot, status: 429, retryAfterS: 4, serviceNS: ms(1), latencyNS: ms(1)},
+		{class: ClassCacheHot, transportErr: true, latencyNS: ms(30), retryAfterS: -1},
+		{class: ClassMalformed, status: 400, serviceNS: ms(1), latencyNS: ms(1), retryAfterS: -1},
+	}
+	opts := Options{RPS: 7, Duration: time.Second, MaxInFlight: 4, Seed: 9}
+	rep := buildReport(records, opts, mix, 2*time.Second)
+	rep.Violations = rep.Check()
+
+	if rep.Scheduled != 7 || rep.Completed != 6 || rep.TransportErrors != 1 {
+		t.Fatalf("totals: %+v", rep)
+	}
+	if rep.AchievedRPS != 3 {
+		t.Fatalf("achieved rps = %g, want 3", rep.AchievedRPS)
+	}
+	if want := 2.0 / 7.0; math.Abs(rep.ShedFraction-want) > 1e-9 {
+		t.Fatalf("shed fraction = %g, want %g", rep.ShedFraction, want)
+	}
+	if want := 2.0 / 3.0; math.Abs(rep.CacheHitRate-want) > 1e-9 {
+		t.Fatalf("cache hit rate = %g, want %g", rep.CacheHitRate, want)
+	}
+
+	hot := rep.Class(ClassCacheHot)
+	if hot == nil {
+		t.Fatal("no cache_hot class report")
+	}
+	if hot.Status["200"] != 3 || hot.Status["429"] != 2 || hot.Shed != 2 {
+		t.Fatalf("hot statuses: %+v", hot.Status)
+	}
+	if hot.RetryAfter.Count != 2 || hot.RetryAfter.MinS != 2 || hot.RetryAfter.MaxS != 4 || hot.RetryAfter.MeanS != 3 {
+		t.Fatalf("retry-after stats: %+v", hot.RetryAfter)
+	}
+	if hot.CacheHits != 2 || hot.CacheMisses != 1 {
+		t.Fatalf("cache counts: hits=%d misses=%d", hot.CacheHits, hot.CacheMisses)
+	}
+	// 6 latency samples [12,1,2,1,1,30]ms → p50 near 1-2ms, max 30ms.
+	if hot.Latency.Count != 6 || hot.Latency.MaxUS != 30_000 {
+		t.Fatalf("latency: %+v", hot.Latency)
+	}
+	if hot.Latency.P50US > 3000 {
+		t.Fatalf("latency p50 = %gµs, want ≲2ms", hot.Latency.P50US)
+	}
+	// Only one real violation expected: the transport error.
+	joined := strings.Join(rep.Violations, "; ")
+	if !strings.Contains(joined, "transport errors") {
+		t.Fatalf("violations = %v, want transport-error entry", rep.Violations)
+	}
+
+	mal := rep.Class(ClassMalformed)
+	if mal == nil || mal.Status["400"] != 1 || len(mal.Unexpected) != 0 {
+		t.Fatalf("malformed class: %+v", mal)
+	}
+}
+
+// TestReportCheckViolations: each invariant breach produces a distinct
+// violation message.
+func TestReportCheckViolations(t *testing.T) {
+	mix, err := NewMix([]Weighted{{ClassMalformed, 1}, {ClassDegraded, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []record{
+		// Malformed answered 200: outside its allowed {400} set.
+		{class: ClassMalformed, status: 200, retryAfterS: -1},
+		// Degraded response claiming to be cached.
+		{class: ClassDegraded, status: 200, degraded: true, cached: true, retryAfterS: -1},
+	}
+	rep := buildReport(records, Options{RPS: 2, Duration: time.Second}, mix, time.Second)
+	rep.Violations = rep.Check()
+	joined := strings.Join(rep.Violations, "; ")
+	for _, want := range []string{"unexpected status 200", "degraded responses claiming to be cached"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations %v missing %q", rep.Violations, want)
+		}
+	}
+
+	// A degraded class that only ever got healthy answers means the
+	// failpoint was not armed — that must be flagged too.
+	records = []record{{class: ClassDegraded, status: 200, retryAfterS: -1}}
+	rep = buildReport(records, Options{RPS: 1, Duration: time.Second}, mix, time.Second)
+	if v := strings.Join(rep.Check(), "; "); !strings.Contains(v, "only healthy responses") {
+		t.Errorf("missing unarmed-failpoint violation: %v", v)
+	}
+}
+
+func TestExpectedStatuses(t *testing.T) {
+	if !expectedStatuses(ClassMalformed)[400] || expectedStatuses(ClassMalformed)[200] {
+		t.Fatal("malformed must allow only 400")
+	}
+	for _, c := range []Class{ClassCacheHot, ClassCacheCold, ClassDeadline, ClassOversized, ClassDegraded} {
+		set := expectedStatuses(c)
+		if !set[200] || !set[429] || !set[503] || set[400] || set[500] {
+			t.Fatalf("class %s allowed set wrong: %v", c, set)
+		}
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Run(ctx, Options{RPS: 10, Duration: time.Second}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Run(ctx, Options{BaseURL: "http://x", RPS: 0, Duration: time.Second}); err == nil {
+		t.Fatal("zero RPS accepted")
+	}
+	if _, err := Run(ctx, Options{BaseURL: "http://x", RPS: 1, Duration: 0}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := Run(ctx, Options{BaseURL: "http://x", RPS: 1, Duration: time.Second,
+		Mix: []Weighted{{Class("nope"), 1}}}); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}

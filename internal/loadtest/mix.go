@@ -1,0 +1,288 @@
+// Package loadtest is an open-loop load driver for the adecompd serving
+// stack: it fires a fixed, seeded request schedule at a target RPS
+// (coordinated-omission-safe — latency is measured from each request's
+// *scheduled* start, so a stalled server cannot hide its own queueing
+// delay by slowing the probe down), over a weighted mix of traffic
+// classes, and folds the outcomes into per-class HDR latency reports
+// with invariant checks. cmd/loadgen drives a live daemon with it; the
+// in-process e2e suite drives an httptest server with virtual-time
+// pacing for deterministic runs under -race.
+package loadtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"isinglut/internal/serve"
+)
+
+// Class is one traffic class of the workload mix.
+type Class string
+
+const (
+	// ClassCacheHot repeats one fixed solve: after the first miss every
+	// request should be a cache hit, pinning the hit path's latency.
+	ClassCacheHot Class = "cache_hot"
+	// ClassCacheCold submits a unique solve per request (fresh seed):
+	// every request pays the full solver cost.
+	ClassCacheCold Class = "cache_cold"
+	// ClassDeadline submits solves with a tight timeout_ms and a huge
+	// step budget: the server must answer 200 with stop_reason
+	// "deadline" in ~timeout_ms, making the class's service time
+	// clock-bound (that property calibrates the saturation tests).
+	ClassDeadline Class = "deadline"
+	// ClassOversized submits heavyweight solves (large n, many steps,
+	// multiple replicas) that pin workers for tens of milliseconds —
+	// the 429-bait that drives the pool into shedding.
+	ClassOversized Class = "oversized"
+	// ClassMalformed submits bodies the validation layer must reject
+	// with 400: unknown fields, truncated JSON, wrong types.
+	ClassMalformed Class = "malformed"
+	// ClassDegraded submits decompose requests meant to run against a
+	// daemon whose serve.decompose failpoint is armed (loadgen -boot
+	// arms it; adecompd -fault for a remote daemon): responses must be
+	// 200, marked degraded, and never cached.
+	ClassDegraded Class = "degraded"
+)
+
+// shortNames maps the -mix flag vocabulary onto classes.
+var shortNames = map[string]Class{
+	"hot":       ClassCacheHot,
+	"cold":      ClassCacheCold,
+	"deadline":  ClassDeadline,
+	"oversized": ClassOversized,
+	"malformed": ClassMalformed,
+	"degraded":  ClassDegraded,
+}
+
+// Classes lists every traffic class in report order.
+func Classes() []Class {
+	return []Class{ClassCacheHot, ClassCacheCold, ClassDeadline,
+		ClassOversized, ClassMalformed, ClassDegraded}
+}
+
+// Weighted pairs a traffic class with its relative weight in the mix.
+type Weighted struct {
+	Class  Class
+	Weight int
+}
+
+// Mix is a validated weighted workload mix with deterministic draws.
+type Mix struct {
+	entries []Weighted
+	total   int
+}
+
+// NewMix validates the weights (known classes, non-negative, positive
+// total) and fixes the draw order.
+func NewMix(ws []Weighted) (*Mix, error) {
+	m := &Mix{}
+	seen := map[Class]bool{}
+	for _, w := range ws {
+		known := false
+		for _, c := range Classes() {
+			if w.Class == c {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("loadtest: unknown class %q", w.Class)
+		}
+		if seen[w.Class] {
+			return nil, fmt.Errorf("loadtest: class %q repeated in mix", w.Class)
+		}
+		seen[w.Class] = true
+		if w.Weight < 0 {
+			return nil, fmt.Errorf("loadtest: class %q has negative weight %d", w.Class, w.Weight)
+		}
+		if w.Weight == 0 {
+			continue
+		}
+		m.entries = append(m.entries, w)
+		m.total += w.Weight
+	}
+	if m.total == 0 {
+		return nil, fmt.Errorf("loadtest: mix has no positive weight")
+	}
+	return m, nil
+}
+
+// ParseMix parses the -mix flag form "hot=3,cold=2,malformed=1".
+func ParseMix(s string) ([]Weighted, error) {
+	var out []Weighted
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadtest: mix entry %q is not name=weight", part)
+		}
+		class, ok := shortNames[strings.TrimSpace(name)]
+		if !ok {
+			names := make([]string, 0, len(shortNames))
+			for n := range shortNames {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("loadtest: unknown mix class %q (want one of %s)",
+				name, strings.Join(names, ", "))
+		}
+		weight, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: bad weight in %q: %v", part, err)
+		}
+		out = append(out, Weighted{Class: class, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadtest: empty mix %q", s)
+	}
+	return out, nil
+}
+
+// Pick draws one class from the mix using the supplied rng.
+func (m *Mix) Pick(rng *rand.Rand) Class {
+	n := rng.Intn(m.total)
+	for _, w := range m.entries {
+		n -= w.Weight
+		if n < 0 {
+			return w.Class
+		}
+	}
+	return m.entries[len(m.entries)-1].Class
+}
+
+// Weight reports a class's weight in the mix (0 when absent).
+func (m *Mix) Weight(c Class) int {
+	for _, w := range m.entries {
+		if w.Class == c {
+			return w.Weight
+		}
+	}
+	return 0
+}
+
+// Workload shape constants. The hot/cold solve costs a few
+// milliseconds — expensive enough that a cache hit is unambiguously
+// cheaper — the deadline solve is clock-bound at deadlineTimeoutMS, and
+// the oversized solve pins a worker for tens of milliseconds.
+const (
+	hotColdN     = 64
+	hotColdSteps = 5000
+	hotSeed      = 1
+
+	deadlineN         = 64
+	deadlineSteps     = 50_000_000
+	deadlineTimeoutMS = 10
+
+	oversizedN        = 128
+	oversizedSteps    = 2000
+	oversizedReplicas = 2
+)
+
+// genRequest is one scheduled request: its class, endpoint and body.
+type genRequest struct {
+	class Class
+	path  string
+	body  []byte
+}
+
+// generator draws classes and builds request bodies deterministically
+// from one seeded rng. It is driven only from the scheduler goroutine,
+// so the (class, body) sequence is a pure function of the seed.
+type generator struct {
+	rng       *rand.Rand
+	mix       *Mix
+	hot       []byte
+	degraded  []byte
+	malformed [][]byte
+	nMal      int
+}
+
+// ringCouplings builds the shared antiferromagnetic ring-plus-chords
+// coupler all solve classes use: deterministic, connected, and dense
+// enough that the solve cost scales with n.
+func ringCouplings(n int) []serve.Coupling {
+	out := make([]serve.Coupling, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, serve.Coupling{I: i, J: (i + 1) % n, V: -1})
+		if chord := (i + 5) % n; chord != i {
+			out = append(out, serve.Coupling{I: i, J: chord, V: 0.5})
+		}
+	}
+	return out
+}
+
+func solveBody(n, steps, replicas int, seed, timeoutMS int64) []byte {
+	body, err := json.Marshal(serve.SolveRequest{
+		N: n, Couplings: ringCouplings(n), Steps: steps, Seed: seed,
+		Replicas: replicas, TimeoutMS: timeoutMS,
+	})
+	if err != nil {
+		panic(err) // static request shapes; cannot fail
+	}
+	return body
+}
+
+func newGenerator(mix *Mix, seed int64) *generator {
+	degraded, err := json.Marshal(serve.DecomposeRequest{
+		Benchmark: "exp", N: 6,
+		Options: &serve.DecomposeOptions{Rounds: 1, Partitions: 2, Seed: 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &generator{
+		rng:      rand.New(rand.NewSource(seed)),
+		mix:      mix,
+		hot:      solveBody(hotColdN, hotColdSteps, 1, hotSeed, 0),
+		degraded: degraded,
+		malformed: [][]byte{
+			[]byte(`{"n": 4, "bogus_field": true}`), // unknown field
+			[]byte(`{"n": 4, "steps"`),              // truncated JSON
+			[]byte(`{"n": "four"}`),                 // wrong type
+		},
+	}
+}
+
+// next draws the next scheduled request.
+func (g *generator) next() genRequest {
+	class := g.mix.Pick(g.rng)
+	switch class {
+	case ClassCacheHot:
+		return genRequest{class: class, path: "/v1/solve", body: g.hot}
+	case ClassCacheCold:
+		seed := g.rng.Int63()%1_000_000_000 + 2 // never the hot seed
+		return genRequest{class: class, path: "/v1/solve",
+			body: solveBody(hotColdN, hotColdSteps, 1, seed, 0)}
+	case ClassDeadline:
+		seed := g.rng.Int63()%1_000_000_000 + 2
+		return genRequest{class: class, path: "/v1/solve",
+			body: solveBody(deadlineN, deadlineSteps, 1, seed, deadlineTimeoutMS)}
+	case ClassOversized:
+		seed := g.rng.Int63()%1_000_000_000 + 2
+		return genRequest{class: class, path: "/v1/solve",
+			body: solveBody(oversizedN, oversizedSteps, oversizedReplicas, seed, 0)}
+	case ClassMalformed:
+		body := g.malformed[g.nMal%len(g.malformed)]
+		g.nMal++
+		return genRequest{class: class, path: "/v1/solve", body: body}
+	default: // ClassDegraded
+		return genRequest{class: class, path: "/v1/decompose", body: g.degraded}
+	}
+}
+
+// expectedStatuses is the per-class invariant set: anything outside it
+// is a report violation (the CI smoke's non-{200,400,429,503} gate).
+func expectedStatuses(c Class) map[int]bool {
+	if c == ClassMalformed {
+		return map[int]bool{400: true}
+	}
+	return map[int]bool{200: true, 429: true, 503: true}
+}

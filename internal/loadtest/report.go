@@ -1,0 +1,326 @@
+package loadtest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"isinglut/internal/metrics"
+)
+
+// hdrBounds are the shared microsecond latency buckets: 1µs up to ~67s
+// in octaves of 8 linear sub-buckets (≈12.5% relative quantile error).
+func hdrBounds() []float64 { return metrics.HDRBounds(1, 26, 8) }
+
+// Quantiles summarizes one latency distribution in microseconds. The
+// quantiles are interpolated from the HDR bucket counts.
+type Quantiles struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// RetryAfterStats aggregates the Retry-After hints seen on 429s.
+type RetryAfterStats struct {
+	Count int64   `json:"count"`
+	MinS  int     `json:"min_s"`
+	MaxS  int     `json:"max_s"`
+	MeanS float64 `json:"mean_s"`
+}
+
+// ClassReport is one traffic class's aggregate outcome.
+type ClassReport struct {
+	Class           string           `json:"class"`
+	Scheduled       int64            `json:"scheduled"`
+	Completed       int64            `json:"completed"`
+	TransportErrors int64            `json:"transport_errors"`
+	Status          map[string]int64 `json:"status"`
+	// Unexpected lists statuses outside the class's allowed set — any
+	// entry is an invariant violation.
+	Unexpected []string `json:"unexpected_statuses,omitempty"`
+
+	Shed       int64           `json:"shed"`
+	RetryAfter RetryAfterStats `json:"retry_after"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Degraded    int64 `json:"degraded"`
+	// DegradedCached counts responses claiming to be both degraded and
+	// cached — the never-cached contract says this must be zero.
+	DegradedCached int64 `json:"degraded_cached"`
+	DeadlineStops  int64 `json:"deadline_stops"`
+
+	// Latency runs from each request's scheduled dispatch time
+	// (coordinated-omission-safe); Service from the moment the request
+	// hit the wire.
+	Latency Quantiles `json:"latency"`
+	Service Quantiles `json:"service"`
+
+	// LatencyHist is the raw HDR bucket snapshot behind Latency, for
+	// offline re-analysis.
+	LatencyHist metrics.HistogramSnapshot `json:"latency_hist"`
+}
+
+// Report is one load run's machine-readable result — the artifact
+// cmd/benchjson folds into the BENCH_PR*.json serving section.
+type Report struct {
+	Seed        int64          `json:"seed"`
+	TargetRPS   float64        `json:"target_rps"`
+	DurationSec float64        `json:"duration_sec"`
+	MaxInFlight int            `json:"max_in_flight"`
+	Mix         map[string]int `json:"mix"`
+
+	Scheduled       int64   `json:"scheduled"`
+	Completed       int64   `json:"completed"`
+	TransportErrors int64   `json:"transport_errors"`
+	WallSec         float64 `json:"wall_sec"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+
+	// ShedFraction is 429s over scheduled requests; CacheHitRate is
+	// hits/(hits+misses) over 200 responses across all classes;
+	// DegradedFraction is degraded-marked 200s over scheduled.
+	ShedFraction     float64 `json:"shed_fraction"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	DegradedFraction float64 `json:"degraded_fraction"`
+
+	Classes []ClassReport `json:"classes"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// classAccum is the in-flight aggregation state for one class.
+type classAccum struct {
+	rep         ClassReport
+	latency     *metrics.Histogram
+	service     *metrics.Histogram
+	latSum      float64
+	latMax      float64
+	svcSum      float64
+	svcMax      float64
+	retrySum    int64
+	retriesSeen bool
+}
+
+func buildReport(records []record, opts Options, mix *Mix, wall time.Duration) *Report {
+	accums := map[Class]*classAccum{}
+	accum := func(c Class) *classAccum {
+		a, ok := accums[c]
+		if !ok {
+			a = &classAccum{
+				rep:     ClassReport{Class: string(c), Status: map[string]int64{}},
+				latency: metrics.NewHistogram(hdrBounds()),
+				service: metrics.NewHistogram(hdrBounds()),
+			}
+			a.rep.RetryAfter.MinS = -1
+			accums[c] = a
+		}
+		return a
+	}
+
+	rep := &Report{
+		Seed:        opts.Seed,
+		TargetRPS:   opts.RPS,
+		DurationSec: opts.Duration.Seconds(),
+		MaxInFlight: opts.MaxInFlight,
+		Mix:         map[string]int{},
+		Scheduled:   int64(len(records)),
+		WallSec:     wall.Seconds(),
+	}
+	for _, c := range Classes() {
+		if w := mix.Weight(c); w > 0 {
+			rep.Mix[string(c)] = w
+		}
+	}
+
+	var shed, hits, misses, degraded int64
+	for _, r := range records {
+		a := accum(r.class)
+		a.rep.Scheduled++
+		latUS := float64(r.latencyNS) / 1e3
+		a.latency.Observe(latUS)
+		a.latSum += latUS
+		if latUS > a.latMax {
+			a.latMax = latUS
+		}
+		if r.transportErr {
+			a.rep.TransportErrors++
+			rep.TransportErrors++
+			continue
+		}
+		a.rep.Completed++
+		rep.Completed++
+		svcUS := float64(r.serviceNS) / 1e3
+		a.service.Observe(svcUS)
+		a.svcSum += svcUS
+		if svcUS > a.svcMax {
+			a.svcMax = svcUS
+		}
+		a.rep.Status[fmt.Sprintf("%d", r.status)]++
+		if !expectedStatuses(r.class)[r.status] {
+			a.rep.Unexpected = appendUnique(a.rep.Unexpected, fmt.Sprintf("%d", r.status))
+		}
+		if r.status == 429 {
+			a.rep.Shed++
+			shed++
+			if r.retryAfterS >= 0 {
+				ra := &a.rep.RetryAfter
+				ra.Count++
+				a.retrySum += int64(r.retryAfterS)
+				if !a.retriesSeen || r.retryAfterS < ra.MinS {
+					ra.MinS = r.retryAfterS
+				}
+				if r.retryAfterS > ra.MaxS {
+					ra.MaxS = r.retryAfterS
+				}
+				a.retriesSeen = true
+			}
+		}
+		if r.status == 200 {
+			if r.cached {
+				a.rep.CacheHits++
+				hits++
+			} else {
+				a.rep.CacheMisses++
+				misses++
+			}
+			if r.degraded {
+				a.rep.Degraded++
+				degraded++
+				if r.cached {
+					a.rep.DegradedCached++
+				}
+			}
+			if r.stopReason == "deadline" {
+				a.rep.DeadlineStops++
+			}
+		}
+	}
+
+	if rep.WallSec > 0 {
+		rep.AchievedRPS = float64(rep.Completed) / rep.WallSec
+	}
+	if rep.Scheduled > 0 {
+		rep.ShedFraction = float64(shed) / float64(rep.Scheduled)
+		rep.DegradedFraction = float64(degraded) / float64(rep.Scheduled)
+	}
+	if hits+misses > 0 {
+		rep.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+
+	for _, a := range accums {
+		a.rep.Latency = quantiles(a.latency, a.latSum, a.latMax)
+		a.rep.Service = quantiles(a.service, a.svcSum, a.svcMax)
+		a.rep.LatencyHist = a.latency.Snapshot()
+		if a.rep.RetryAfter.Count > 0 {
+			a.rep.RetryAfter.MeanS = float64(a.retrySum) / float64(a.rep.RetryAfter.Count)
+		} else {
+			a.rep.RetryAfter.MinS = 0
+		}
+		rep.Classes = append(rep.Classes, a.rep)
+	}
+	sort.Slice(rep.Classes, func(i, j int) bool { return rep.Classes[i].Class < rep.Classes[j].Class })
+	return rep
+}
+
+func quantiles(h *metrics.Histogram, sum, max float64) Quantiles {
+	snap := h.Snapshot()
+	q := Quantiles{
+		Count:  snap.Total(),
+		P50US:  snap.Quantile(0.50),
+		P90US:  snap.Quantile(0.90),
+		P99US:  snap.Quantile(0.99),
+		P999US: snap.Quantile(0.999),
+		MaxUS:  max,
+	}
+	if q.Count > 0 {
+		q.MeanUS = sum / float64(q.Count)
+	}
+	return q
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+// Class returns the named class's report (nil when the class saw no
+// traffic).
+func (r *Report) Class(c Class) *ClassReport {
+	for i := range r.Classes {
+		if r.Classes[i].Class == string(c) {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// Check evaluates the run's structural invariants and returns one
+// message per violation:
+//
+//   - every scheduled request produced exactly one outcome (no dropped
+//     responses) and none failed at the transport layer;
+//   - every class saw only its allowed status set (the CI smoke's
+//     non-{200,400,429,503} gate falls out of this);
+//   - degraded responses are marked and never cached;
+//   - degraded-class traffic actually degraded (a healthy answer means
+//     the failpoint the class assumes was not armed).
+func (r *Report) Check() []string {
+	var v []string
+	if r.Completed+r.TransportErrors != r.Scheduled {
+		v = append(v, fmt.Sprintf("dropped responses: scheduled %d, accounted %d",
+			r.Scheduled, r.Completed+r.TransportErrors))
+	}
+	if r.TransportErrors > 0 {
+		v = append(v, fmt.Sprintf("%d transport errors", r.TransportErrors))
+	}
+	for _, c := range r.Classes {
+		if c.Scheduled != c.Completed+c.TransportErrors {
+			v = append(v, fmt.Sprintf("class %s dropped responses: scheduled %d, accounted %d",
+				c.Class, c.Scheduled, c.Completed+c.TransportErrors))
+		}
+		for _, s := range c.Unexpected {
+			v = append(v, fmt.Sprintf("class %s saw unexpected status %s (%d total statuses: %v)",
+				c.Class, s, c.Completed, c.Status))
+		}
+		if c.DegradedCached > 0 {
+			v = append(v, fmt.Sprintf("class %s served %d degraded responses claiming to be cached",
+				c.Class, c.DegradedCached))
+		}
+		if c.Class == string(ClassDegraded) && c.Status["200"] > 0 && c.Degraded == 0 {
+			v = append(v, "degraded class served only healthy responses (is serve.decompose armed?)")
+		}
+	}
+	return v
+}
+
+// Render writes a compact human-readable summary of the report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d scheduled @ %.0f rps over %.1fs (wall %.2fs, achieved %.0f rps)\n",
+		r.Scheduled, r.TargetRPS, r.DurationSec, r.WallSec, r.AchievedRPS)
+	fmt.Fprintf(w, "loadgen: shed %.1f%%  cache-hit %.1f%%  degraded %.1f%%  transport-errors %d\n",
+		100*r.ShedFraction, 100*r.CacheHitRate, 100*r.DegradedFraction, r.TransportErrors)
+	fmt.Fprintf(w, "%-10s %9s %9s %6s %10s %10s %10s %10s\n",
+		"class", "scheduled", "ok", "shed", "p50", "p99", "p999", "max")
+	for _, c := range r.Classes {
+		fmt.Fprintf(w, "%-10s %9d %9d %6d %10s %10s %10s %10s\n",
+			c.Class, c.Scheduled, c.Status["200"]+c.Status["400"], c.Shed,
+			usDur(c.Latency.P50US), usDur(c.Latency.P99US),
+			usDur(c.Latency.P999US), usDur(c.Latency.MaxUS))
+	}
+	for _, viol := range r.Violations {
+		fmt.Fprintf(w, "loadgen: VIOLATION: %s\n", viol)
+	}
+}
+
+func usDur(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(10 * time.Microsecond).String()
+}

@@ -55,6 +55,28 @@ func PowerOfTwoBounds(lo float64, n int) []float64 {
 	return bounds
 }
 
+// HDRBounds returns log-linear histogram bounds in the HDR-histogram
+// style: octaves powers of two starting at lo, each split into sub
+// linearly spaced sub-buckets, preceded by a [0, lo) underflow bucket.
+// The sub-bucket split bounds the relative quantile error at roughly
+// 1/sub across the whole range, which is what the serving-layer load
+// reports need to quote p99/p999 from bucket counts alone.
+func HDRBounds(lo float64, octaves, sub int) []float64 {
+	if lo <= 0 || octaves < 1 || sub < 1 {
+		panic("metrics: HDRBounds needs lo > 0, octaves >= 1 and sub >= 1")
+	}
+	bounds := make([]float64, 0, 1+octaves*sub)
+	bounds = append(bounds, 0)
+	base := lo
+	for o := 0; o < octaves; o++ {
+		for i := 0; i < sub; i++ {
+			bounds = append(bounds, base+float64(i)*base/float64(sub))
+		}
+		base *= 2
+	}
+	return bounds
+}
+
 // Observe adds one observation. NaN is counted in bucket 0 (the bucket
 // scan treats it like a below-range value) rather than dropped, so the
 // total observation count stays trustworthy.
@@ -112,6 +134,53 @@ func (s HistogramSnapshot) Total() int64 {
 		total += c
 	}
 	return total
+}
+
+// Quantile returns the value at quantile q (in [0, 1]) estimated from
+// the bucket counts by linear interpolation inside the covering bucket.
+// The open-ended last bucket interpolates as if it spanned one more
+// bucket width, so extreme quantiles stay finite. Returns 0 when the
+// snapshot is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank || i == len(s.Counts)-1 {
+			lo := s.Bounds[i]
+			var hi float64
+			if i+1 < len(s.Bounds) {
+				hi = s.Bounds[i+1]
+			} else if i > 0 {
+				hi = lo + (lo - s.Bounds[i-1])
+			} else {
+				hi = lo + 1
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Render writes the snapshot as an aligned text table with bar marks, in

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHDRBoundsShape(t *testing.T) {
+	bounds := HDRBounds(1, 3, 4)
+	want := []float64{0, 1, 1.25, 1.5, 1.75, 2, 2.5, 3, 3.5, 4, 5, 6, 7}
+	if len(bounds) != len(want) {
+		t.Fatalf("len = %d, want %d (%v)", len(bounds), len(want), bounds)
+	}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("bounds[%d] = %g, want %g", i, bounds[i], want[i])
+		}
+	}
+	// The construction must satisfy NewHistogram's strict ascent.
+	NewHistogram(bounds)
+}
+
+func TestHDRBoundsRelativeError(t *testing.T) {
+	// Every value in range must land in a bucket whose width is at most
+	// ~1/sub of its lower bound — the HDR property the load reports rely
+	// on for p99/p999 accuracy.
+	const sub = 8
+	bounds := HDRBounds(1, 20, sub)
+	h := NewHistogram(bounds)
+	for v := 1.0; v < 500_000; v *= 1.7 {
+		i := h.bucketOf(v)
+		if i == 0 || i+1 >= len(bounds) {
+			continue
+		}
+		width := bounds[i+1] - bounds[i]
+		if width > bounds[i]/float64(sub)*1.0001 {
+			t.Fatalf("bucket [%g,%g) for v=%g wider than lo/sub", bounds[i], bounds[i+1], v)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	h := NewHistogram(HDRBounds(1, 14, 8))
+	// 10k uniform observations on [0, 1000): quantile q should come back
+	// close to 1000q, within one HDR bucket (~12.5% relative).
+	for i := 0; i < 10_000; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	snap := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := snap.Quantile(q)
+		want := 1000 * q
+		if math.Abs(got-want) > want*0.15+1 {
+			t.Errorf("Quantile(%g) = %g, want ~%g", q, got, want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(HDRBounds(1, 4, 2))
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %g, want 0", got)
+	}
+	h.Observe(3)
+	snap := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		got := snap.Quantile(q)
+		if got < 2 || got > 4.5 {
+			t.Fatalf("single-sample Quantile(%g) = %g, outside its bucket", q, got)
+		}
+	}
+	// Clamped inputs must not panic or escape the observed range.
+	if got := snap.Quantile(-1); got < 0 {
+		t.Fatalf("Quantile(-1) = %g", got)
+	}
+	if got := snap.Quantile(2); got < 0 {
+		t.Fatalf("Quantile(2) = %g", got)
+	}
+	// Overflow bucket stays finite.
+	h2 := NewHistogram([]float64{0, 1, 2})
+	h2.Observe(1e12)
+	if got := h2.Snapshot().Quantile(0.99); math.IsInf(got, 0) || got < 2 {
+		t.Fatalf("overflow-bucket quantile = %g, want finite >= 2", got)
+	}
+}

@@ -47,8 +47,14 @@ type breaker struct {
 	probing  bool // a half-open probe is in flight
 }
 
-func newBreaker(threshold int, cooldown time.Duration) *breaker {
-	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+// newBreaker builds a breaker on the given time source. now is
+// injectable (Config.Clock) so half-open timing is controllable from
+// deterministic tests; production passes the real clock.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
 }
 
 // allow reports whether a request may run the protected operation. The

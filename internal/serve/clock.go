@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts the serving stack's time-based behavior — circuit
+// breaker cooldown timing and retry-backoff sleeps — so deterministic
+// test harnesses (the loadtest e2e suite) can inject a virtual source
+// instead of racing the real clock. Production uses the real clock via
+// the zero Config.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, whichever comes first.
+	Sleep(ctx context.Context, d time.Duration)
+}
+
+// realClock is the production Clock: time.Now and a context-aware timer.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

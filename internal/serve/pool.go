@@ -49,6 +49,10 @@ type pool struct {
 	mu       sync.Mutex
 	draining bool
 	inFlight atomic.Int64
+	// execNS/execCount accumulate per-task execution wall clock; their
+	// ratio is the mean service time the Retry-After estimate needs.
+	execNS    atomic.Int64
+	execCount atomic.Int64
 }
 
 // newPool starts workers goroutines over a queue holding up to depth
@@ -69,7 +73,10 @@ func (p *pool) worker() {
 		if t.onStart != nil {
 			t.onStart(time.Since(t.enqueued))
 		}
+		started := time.Now()
 		runTask(t)
+		p.execNS.Add(int64(time.Since(started)))
+		p.execCount.Add(1)
 		close(t.done)
 		p.inFlight.Add(-1)
 	}
@@ -129,6 +136,16 @@ func (p *pool) wait() { p.wg.Wait() }
 
 // queued reports the number of tasks waiting for a worker.
 func (p *pool) queued() int { return len(p.jobs) }
+
+// meanExec reports the mean task execution time over the pool's
+// lifetime (0 before any task has completed).
+func (p *pool) meanExec() time.Duration {
+	n := p.execCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(p.execNS.Load() / n)
+}
 
 // running reports the number of tasks currently executing.
 func (p *pool) running() int { return int(p.inFlight.Load()) }

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"isinglut/internal/metrics"
@@ -30,10 +29,21 @@ func attempt(op func() error) (err error) {
 	return op()
 }
 
+// retryDelay draws one jittered backoff, uniform in
+// [RetryBackoff/2, 3*RetryBackoff/2], from the server's seeded jitter
+// source (Config.JitterSeed) rather than the global rand — a seeded
+// server produces a reproducible jitter sequence, which is what makes
+// the loadtest e2e runs deterministic.
+func (s *Server) retryDelay() time.Duration {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	return s.cfg.RetryBackoff/2 + time.Duration(s.jitter.Int63n(int64(s.cfg.RetryBackoff)+1))
+}
+
 // withRetries runs op up to 1+cfg.Retries times, sleeping a jittered
-// backoff (uniform in [RetryBackoff/2, 3*RetryBackoff/2]) between
-// attempts. Deterministic failures burn the retries and return the last
-// error; transient ones — a crash on a poisoned input buffer, an armed
+// backoff (see retryDelay) between attempts on the server's clock.
+// Deterministic failures burn the retries and return the last error;
+// transient ones — a crash on a poisoned input buffer, an armed
 // failpoint counting down — recover on the next attempt. The context
 // short-circuits the loop: a cancelled request must not keep retrying.
 func (s *Server) withRetries(ctx context.Context, met *metrics.Service, op func() error) error {
@@ -48,10 +58,8 @@ func (s *Server) withRetries(ctx context.Context, met *metrics.Service, op func(
 			return err
 		}
 		met.Retries.Inc()
-		d := s.cfg.RetryBackoff/2 + time.Duration(rand.Int63n(int64(s.cfg.RetryBackoff)+1))
-		select {
-		case <-time.After(d):
-		case <-ctx.Done():
+		s.clk.Sleep(ctx, s.retryDelay())
+		if ctx.Err() != nil {
 			return err
 		}
 	}

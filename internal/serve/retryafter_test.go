@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterMonotoneGrowth pins the satellite contract: the 429
+// Retry-After hint must grow (never shrink) as the backlog rises, so a
+// client shed under sustained saturation is told to come back when
+// capacity has actually freed up, not into the same full queue.
+func TestRetryAfterMonotoneGrowth(t *testing.T) {
+	const workers = 4
+	mean := 250 * time.Millisecond
+	prev := 0
+	for backlog := 1; backlog <= 4096; backlog *= 2 {
+		got := retryAfterSeconds(backlog, workers, mean)
+		if got < prev {
+			t.Fatalf("retryAfterSeconds(backlog=%d) = %d < %d at smaller backlog", backlog, got, prev)
+		}
+		if got < MinRetryAfterSeconds || got > MaxRetryAfterSeconds {
+			t.Fatalf("retryAfterSeconds(backlog=%d) = %d outside [%d,%d]", backlog, got,
+				MinRetryAfterSeconds, MaxRetryAfterSeconds)
+		}
+		prev = got
+	}
+	// The growth must be real, not a constant: a 100x deeper backlog at
+	// 250ms mean service time has to push the hint well past the minimum.
+	if lo, hi := retryAfterSeconds(2, workers, mean), retryAfterSeconds(200, workers, mean); hi <= lo {
+		t.Fatalf("hint did not grow with backlog: %d -> %d", lo, hi)
+	}
+}
+
+func TestRetryAfterClamps(t *testing.T) {
+	if got := retryAfterSeconds(1, 4, time.Millisecond); got != MinRetryAfterSeconds {
+		t.Fatalf("tiny backlog hint = %d, want the %ds floor", got, MinRetryAfterSeconds)
+	}
+	if got := retryAfterSeconds(1_000_000, 1, time.Second); got != MaxRetryAfterSeconds {
+		t.Fatalf("huge backlog hint = %d, want the %ds ceiling", got, MaxRetryAfterSeconds)
+	}
+	// Cold start (no completed task yet) must fall back to the
+	// conservative default instead of dividing by zero mean.
+	if got := retryAfterSeconds(8, 2, 0); got < MinRetryAfterSeconds {
+		t.Fatalf("cold-start hint = %d", got)
+	}
+	if got := retryAfterSeconds(8, 0, time.Second); got < MinRetryAfterSeconds {
+		t.Fatalf("zero-worker hint = %d", got)
+	}
+}
+
+// TestPoolTracksMeanExec: the worker loop must accumulate per-task
+// execution time, because that mean is the Retry-After estimate's input.
+func TestPoolTracksMeanExec(t *testing.T) {
+	p := newPool(1, 4)
+	if p.meanExec() != 0 {
+		t.Fatalf("fresh pool meanExec = %v, want 0", p.meanExec())
+	}
+	noWait := func(time.Duration) {}
+	for i := 0; i < 3; i++ {
+		task, err := p.submit(func() { time.Sleep(5 * time.Millisecond) }, noWait)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-task.done
+	}
+	if got := p.meanExec(); got < 4*time.Millisecond {
+		t.Fatalf("meanExec = %v after 5ms tasks, want >= 4ms", got)
+	}
+	p.drain()
+	p.wait()
+}

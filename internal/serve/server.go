@@ -3,22 +3,35 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"isinglut"
+	"isinglut/internal/fault"
 	"isinglut/internal/metrics"
 )
+
+// siteDecompose fails the /v1/decompose solver job when armed, modelling
+// a persistent primary-path outage scoped to one endpoint: the loadtest
+// degraded-traffic class arms it to force the decompose breaker open and
+// exercise the DALTA fallback without disturbing /v1/solve traffic.
+var siteDecompose = fault.NewSite("serve.decompose")
+
+// errInjectedOutage is what siteDecompose's firing reports upward.
+var errInjectedOutage = errors.New("fault: injected serve.decompose outage")
 
 // Config sizes the service. The zero value is usable: every field has a
 // production-minded default applied by New.
@@ -69,6 +82,14 @@ type Config struct {
 	// drain, shutdown). Request logging is intentionally absent — the
 	// metrics layer carries the aggregate story.
 	Logf func(format string, args ...any)
+	// Clock supplies the serving stack's time-based behavior: breaker
+	// cooldown timing and retry-backoff sleeps. Nil uses the real clock;
+	// deterministic test harnesses inject a virtual one.
+	Clock Clock
+	// JitterSeed seeds the retry-backoff jitter source. 0 seeds from the
+	// clock at startup (production); a fixed non-zero seed makes the
+	// jitter sequence — and with it a loadtest e2e run — reproducible.
+	JitterSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +147,12 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = c.Clock.Now().UnixNano()
+	}
 	return c
 }
 
@@ -140,6 +167,12 @@ type Server struct {
 	cache *lruCache
 	mux   *http.ServeMux
 	start time.Time
+	clk   Clock
+
+	// jitter is the seeded retry-backoff source (Config.JitterSeed);
+	// rand.Rand is not concurrency-safe, hence the mutex.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 
 	draining atomic.Bool
 	// hardCtx is cancelled DrainTimeout after drain begins; every
@@ -164,11 +197,13 @@ func New(cfg Config) *Server {
 		cache:        newLRUCache(cfg.CacheSize),
 		mux:          http.NewServeMux(),
 		start:        time.Now(),
+		clk:          cfg.Clock,
+		jitter:       rand.New(rand.NewSource(cfg.JitterSeed)),
 		decomposeMet: metrics.ForService("serve.decompose"),
 		solveMet:     metrics.ForService("serve.solve"),
 
-		decomposeBreaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		solveBreaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		decomposeBreaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
+		solveBreaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
@@ -274,7 +309,7 @@ func (s *Server) admit(w http.ResponseWriter, met *metrics.Service, started time
 	case nil:
 	case errSaturated:
 		met.Shed.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, met, started, http.StatusTooManyRequests, "worker pool saturated, retry later")
 		return false, nil
 	default: // errDraining
@@ -341,6 +376,9 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := s.solveContext(r, req.TimeoutMS)
 		defer cancel()
 		runErr = s.withRetries(ctx, met, func() error {
+			if siteDecompose.Fire() {
+				return errInjectedOutage
+			}
 			var err error
 			res, err = isinglut.DecomposeContext(ctx, f, opts)
 			return err
@@ -664,5 +702,44 @@ func writeError(w http.ResponseWriter, met *metrics.Service, started time.Time, 
 	writeJSON(w, met, started, code, errorResponse{Error: msg})
 }
 
-// RetryAfterSeconds is the advisory backoff clients get with a 429.
-const RetryAfterSeconds = 1
+// MinRetryAfterSeconds and MaxRetryAfterSeconds clamp the advisory
+// backoff clients get with a 429 (see retryAfterSeconds).
+const (
+	MinRetryAfterSeconds = 1
+	MaxRetryAfterSeconds = 60
+)
+
+// coldStartServiceTime stands in for the mean service time before the
+// pool has completed any work: a shed this early says nothing about
+// backlog drain speed, so the estimate stays conservative.
+const coldStartServiceTime = 100 * time.Millisecond
+
+// retryAfterSeconds derives the 429 Retry-After hint from the live
+// backlog: with backlog tasks ahead (queued + executing + the retrying
+// request itself) and the pool clearing one task per meanExec/workers on
+// average, the backlog drains in about backlog*meanExec/workers. A fixed
+// hint lies under sustained saturation — clients come back into the same
+// full queue — whereas this estimate grows with the backlog, spreading
+// the retry storm to when capacity actually frees up.
+func retryAfterSeconds(backlog, workers int, meanExec time.Duration) int {
+	if meanExec <= 0 {
+		meanExec = coldStartServiceTime
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	est := time.Duration(backlog) * meanExec / time.Duration(workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < MinRetryAfterSeconds {
+		return MinRetryAfterSeconds
+	}
+	if secs > MaxRetryAfterSeconds {
+		return MaxRetryAfterSeconds
+	}
+	return secs
+}
+
+func (s *Server) retryAfterSeconds() int {
+	backlog := s.pool.queued() + s.pool.running() + 1
+	return retryAfterSeconds(backlog, s.cfg.Workers, s.pool.meanExec())
+}
