@@ -64,7 +64,7 @@ type report struct {
 func main() {
 	var (
 		out       = flag.String("out", "", "output file (default stdout)")
-		benchRe   = flag.String("bench", "FieldBatch|FieldColumns|SolveBatch|SolveFused", "benchmark regexp passed to go test")
+		benchRe   = flag.String("bench", "FieldBatch|FieldColumns|FieldSigns|SolveBatch|SolveFused", "benchmark regexp passed to go test")
 		benchTime = flag.String("benchtime", "300ms", "go test -benchtime value")
 		pkgs      = flag.String("pkgs", "./internal/ising,./internal/sb", "comma-separated packages to benchmark")
 		serving   = flag.String("serving", "", "cmd/loadgen JSON report to fold in as the serving section")
@@ -179,7 +179,9 @@ func cpuSuffix(name string) string {
 
 // deriveSpeedups pairs baseline/optimized benchmarks that share a
 // parameter suffix: SolveBatch vs SolveFused, FieldColumns vs FieldBatch
-// (per coupler).
+// (per coupler), dense-kernel-on-sparse-instance vs the CSR and
+// quantized kernels, and the float fused dSB solve vs its quantized and
+// sparse counterparts.
 func deriveSpeedups(results []benchResult) []speedup {
 	byName := make(map[string]benchResult, len(results))
 	for _, r := range results {
@@ -189,6 +191,12 @@ func deriveSpeedups(results []benchResult) []speedup {
 		{"BenchmarkSolveBatch", "BenchmarkSolveFused"},
 		{"BenchmarkFieldColumnsDense", "BenchmarkFieldBatchDense"},
 		{"BenchmarkFieldColumnsBipartite", "BenchmarkFieldBatchBipartite"},
+		{"BenchmarkFieldBatchSparseAsDense", "BenchmarkFieldBatchSparseCSR"},
+		{"BenchmarkFieldBatchDense", "BenchmarkFieldSignsQuantDense"},
+		{"BenchmarkFieldBatchSparseAsDense", "BenchmarkFieldSignsQuantSparse"},
+		{"BenchmarkSolveFusedDSB", "BenchmarkSolveFusedDSBQuant"},
+		{"BenchmarkSolveFusedDSBSparseDense", "BenchmarkSolveFusedDSBSparseCSR"},
+		{"BenchmarkSolveFusedDSBSparseDense", "BenchmarkSolveFusedDSBSparseQuant"},
 	}
 	var out []speedup
 	for _, r := range results {

@@ -63,6 +63,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent SB replicas (0 = GOMAXPROCS)")
 		fused    = flag.Bool("fused", false, "force the fused replica engine (one coupling stream per step for all replicas); incompatible with -tracecsv")
 		rescue   = flag.Bool("rescue", false, "re-seed a diverged trajectory once with a halved dt instead of quarantining it")
+		sparse   = flag.Bool("sparse", false, "route the solve through the CSR sparse coupler when the instance is sparse enough (bit-identical results, nnz-bound kernels)")
+		quant    = flag.Bool("quant", false, "int8/int16 fixed-point dSB field kernels (quantize J once, integer accumulate); requires -solver dsb")
 		stop     = flag.Bool("stop", false, "enable the dynamic stop criterion")
 		fIter    = flag.Int("f", 20, "dynamic stop: sample every f iterations")
 		sWin     = flag.Int("s", 20, "dynamic stop: variance window size")
@@ -115,6 +117,8 @@ func main() {
 			Workers:  *workers,
 			Fused:    *fused,
 			Rescue:   *rescue,
+			Sparse:   *sparse,
+			Quantize: *quant,
 		}
 		if variant == isinglut.AdiabaticSB && *dt == 0 {
 			opts.Dt = 0.5 // aSB stability limit
@@ -226,6 +230,9 @@ func report(solver string, res isinglut.IsingResult) {
 	}
 	if res.Rescued {
 		fmt.Println("rescued    : winner recovered from a divergence via re-seed with halved dt")
+	}
+	if res.Quantized {
+		fmt.Println("quantized  : fixed-point field kernels (energies evaluated against exact J)")
 	}
 	if res.StopReason != "" && res.StopReason != "converged" && res.StopReason != "max-iters" {
 		fmt.Printf("stop reason: %s (best-so-far state reported)\n", res.StopReason)

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"isinglut"
 )
 
 func TestLoadProblemJSON(t *testing.T) {
@@ -88,5 +90,36 @@ func TestDemoDeterministic(t *testing.T) {
 	spins := []int8{1, -1, 1, -1, 1}
 	if a.Energy(spins) != b.Energy(spins) {
 		t.Fatal("same seed produced different demo problems")
+	}
+}
+
+// TestSparseQuantFlagOptions exercises the SBOptions combinations the
+// -sparse and -quant flags produce: a sparse demo ring solved through the
+// CSR coupler with the quantized dSB kernels, and the -quant with a
+// non-dsb solver misuse the CLI surfaces as an error.
+func TestSparseQuantFlagOptions(t *testing.T) {
+	prob, err := demoProblem("ring", 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := isinglut.SolveIsing(prob, isinglut.SBOptions{
+		Variant:  isinglut.DiscreteSB,
+		Steps:    300,
+		Seed:     3,
+		Sparse:   true,
+		Quantize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quantized {
+		t.Fatal("-sparse -quant -solver dsb did not take the quantized fast path")
+	}
+	if len(res.Spins) != 32 {
+		t.Fatalf("got %d spins, want 32", len(res.Spins))
+	}
+	// -quant with the default bsb solver must be rejected, not ignored.
+	if _, err := isinglut.SolveIsing(prob, isinglut.SBOptions{Quantize: true}); err == nil {
+		t.Fatal("-quant without -solver dsb accepted")
 	}
 }

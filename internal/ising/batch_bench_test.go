@@ -73,6 +73,95 @@ func BenchmarkFieldBatchBipartite(b *testing.B) {
 	})
 }
 
+// benchSparseDensity is the instance density for the sparse kernel
+// benches: well under DefaultSparseDensity, the regime CSR exists for.
+const benchSparseDensity = 0.05
+
+// benchSigns turns a position block into the ±1 sign lanes the dSB
+// engines maintain — the input the quantized kernels consume.
+func benchSigns(x []float64) []float64 {
+	s := make([]float64, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			s[i] = 1
+		} else {
+			s[i] = -1
+		}
+	}
+	return s
+}
+
+// BenchmarkFieldBatchSparseAsDense is the dense-kernel baseline on a
+// sparse instance: the dense batch kernel streaming mostly zeros.
+func BenchmarkFieldBatchSparseAsDense(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		d := randomSparseDense(n, benchSparseDensity, 1)
+		x := randomBlock(n, r, 2, 0)
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * n * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.FieldBatch(x, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldBatchSparseCSR is the CSR kernel on the same instance:
+// nnz-bound instead of n²-bound. SetBytes reports the CSR stream
+// (12 bytes per stored entry) so MB/s stays meaningful.
+func BenchmarkFieldBatchSparseCSR(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		s := NewSparseFromDense(randomSparseDense(n, benchSparseDensity, 1))
+		x := randomBlock(n, r, 2, 0)
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(12 * s.NNZ()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.FieldBatch(x, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldSignsQuantDense measures the fixed-point batch kernel on
+// a dense instance against BenchmarkFieldBatchDense: int8 codes quarter
+// the J stream and the accumulate is pure integer adds.
+func BenchmarkFieldSignsQuantDense(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		q, ok := Quantize(randomDenseCoupler(n, 1))
+		if !ok {
+			b.Fatal("Quantize failed")
+		}
+		sigma := benchSigns(randomBlock(n, r, 2, 0))
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(n * n)) // int8 code stream
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.FieldSignsBatch(sigma, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldSignsQuantSparse combines both: quantized CSR codes on
+// the sparse instance, against BenchmarkFieldBatchSparseAsDense.
+func BenchmarkFieldSignsQuantSparse(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		q, ok := Quantize(NewSparseFromDense(randomSparseDense(n, benchSparseDensity, 1)))
+		if !ok {
+			b.Fatal("Quantize failed")
+		}
+		sigma := benchSigns(randomBlock(n, r, 2, 0))
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.FieldSignsBatch(sigma, out, r)
+		}
+	})
+}
+
 // BenchmarkFieldColumnsBipartite is the unfused bipartite baseline.
 func BenchmarkFieldColumnsBipartite(b *testing.B) {
 	benchGrid(b, func(b *testing.B, n, r int) {

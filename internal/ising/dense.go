@@ -37,6 +37,31 @@ func (c *normCache) norm(f func() float64) float64 {
 	return v
 }
 
+// finiteCache memoizes an AllFinite scan the same way normCache memoizes
+// the norm: 0 = unknown, 1 = all finite, -1 = non-finite seen.
+// Invalidated by mutation; concurrent misses recompute the same value.
+type finiteCache struct {
+	state atomic.Int32
+}
+
+func (c *finiteCache) invalidate() { c.state.Store(0) }
+
+func (c *finiteCache) allFinite(scan func() bool) bool {
+	switch c.state.Load() {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	ok := scan()
+	if ok {
+		c.state.Store(1)
+	} else {
+		c.state.Store(-1)
+	}
+	return ok
+}
+
 // Dense is a dense symmetric coupling matrix with zero diagonal, stored
 // row-major in a flat slice.
 type Dense struct {
@@ -90,6 +115,24 @@ func (d *Dense) AllFinite() bool {
 		}
 	}
 	return true
+}
+
+// NNZ returns the number of nonzero couplings (counting both triangle
+// halves, like Sparse.NNZ).
+func (d *Dense) NNZ() int {
+	nnz := 0
+	for _, v := range d.j {
+		if v != 0 {
+			nnz++
+		}
+	}
+	return nnz
+}
+
+// Density returns NNZ / n² — the quantity the CompactCoupler auto-pick
+// thresholds on.
+func (d *Dense) Density() float64 {
+	return float64(d.NNZ()) / (float64(d.n) * float64(d.n))
 }
 
 // Field implements Coupler: out = J*x.
@@ -183,6 +226,7 @@ type Bipartite struct {
 	nu, nw int
 	b      []float64 // b[u*nw+w] = J between spin u and spin nu+w
 	frob   normCache
+	fin    finiteCache
 }
 
 // NewBipartite allocates an all-zero bipartite coupling with group sizes
@@ -201,12 +245,28 @@ func (b *Bipartite) N() int { return b.nu + b.nw }
 func (b *Bipartite) SetCross(u, w int, v float64) {
 	b.b[u*b.nw+w] = v
 	b.frob.invalidate()
+	b.fin.invalidate()
 }
 
 // AddCross accumulates onto the coupling between spin u and spin nu+w.
 func (b *Bipartite) AddCross(u, w int, v float64) {
 	b.b[u*b.nw+w] += v
 	b.frob.invalidate()
+	b.fin.invalidate()
+}
+
+// AllFinite reports whether every cross coupling is finite. The scan is
+// memoized (invalidated by SetCross/AddCross) because FieldBatch consults
+// it on every call to pick its kernel.
+func (b *Bipartite) AllFinite() bool {
+	return b.fin.allFinite(func() bool {
+		for _, v := range b.b {
+			if v-v != 0 {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // At implements Coupler.
@@ -272,10 +332,23 @@ func (b *Bipartite) FrobeniusNorm() float64 {
 // replicated: adding the resulting ±0 products cannot change any IEEE
 // partial sum here, because a sum that starts at +0 can never become -0,
 // and the skip would cost a branch per lane per row.
+//
+// That zero-product argument only holds for finite couplings: with an
+// Inf or NaN entry at a position where a lane sits exactly at x_u == 0,
+// the tile kernel's 0·Inf = NaN where the scalar kernel's skip produces
+// the skipped sum — a silent wrong answer, not a slowdown. Such matrices
+// are routed through the per-lane scalar kernel instead (the memoized
+// AllFinite makes the check one atomic load per call).
 func (b *Bipartite) FieldBatch(x, out []float64, r int) {
 	nu, nw := b.nu, b.nw
 	n := nu + nw
 	checkBatchDims(n, len(x), len(out), r)
+	if !b.AllFinite() {
+		for k := 0; k < r; k++ {
+			b.Field(x[k*n:k*n+n], out[k*n:k*n+n])
+		}
+		return
+	}
 	for k := 0; k < r; k++ {
 		ow := out[k*n+nu : k*n+n]
 		for w := range ow {

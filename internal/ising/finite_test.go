@@ -1,0 +1,69 @@
+package ising
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBipartiteFieldBatchNonFiniteRoutesToFallback is the regression test
+// for the batched bipartite kernel's wrong-answer case: the scalar Field
+// skips W-side rank-1 contributions where x[u] is exactly zero, while the
+// batch tile multiplies through — fine for finite J, but 0·Inf = NaN. A
+// non-finite coupling must route FieldBatch to the per-lane scalar path
+// so both agree bitwise.
+func TestBipartiteFieldBatchNonFiniteRoutesToFallback(t *testing.T) {
+	nu, nw := 3, 4
+	n := nu + nw
+	b := NewBipartite(nu, nw)
+	b.SetCross(0, 1, math.Inf(1))
+	b.SetCross(1, 2, -2)
+	b.SetCross(2, 0, 0.5)
+	if b.AllFinite() {
+		t.Fatal("AllFinite missed the Inf coupling")
+	}
+
+	r := 5
+	x := randomBlock(n, r, 11, 0)
+	// Zero out the U spin that feeds the Inf coupling in some lanes: the
+	// scalar kernel's xv==0 skip makes those W fields finite, the naive
+	// tile would make them NaN.
+	x[0*n+0] = 0
+	x[2*n+0] = 0
+	x[4*n+0] = 0
+
+	batch := make([]float64, n*r)
+	b.FieldBatch(x, batch, r)
+	lane := make([]float64, n)
+	for k := 0; k < r; k++ {
+		b.Field(x[k*n:k*n+n], lane)
+		for i := range lane {
+			if math.Float64bits(batch[k*n+i]) != math.Float64bits(lane[i]) {
+				t.Fatalf("lane %d spin %d: batch %v != scalar %v", k, i, batch[k*n+i], lane[i])
+			}
+		}
+	}
+}
+
+// TestBipartiteAllFiniteMemoized: the finiteness scan is cached (the
+// batch kernel consults it every call) and invalidated only by
+// SetCross/AddCross.
+func TestBipartiteAllFiniteMemoized(t *testing.T) {
+	b := NewBipartite(2, 2)
+	b.SetCross(0, 0, 1)
+	if !b.AllFinite() {
+		t.Fatal("finite coupler reported non-finite")
+	}
+	b.b[1] = math.NaN() // behind the cache's back
+	if !b.AllFinite() {
+		t.Fatal("scan re-ran without invalidation")
+	}
+	b.SetCross(1, 1, 2) // invalidates; NaN still present
+	if b.AllFinite() {
+		t.Fatal("SetCross did not invalidate the finiteness cache")
+	}
+	b.b[1] = 0
+	b.AddCross(0, 1, 1)
+	if !b.AllFinite() {
+		t.Fatal("AddCross did not invalidate the finiteness cache")
+	}
+}

@@ -3,7 +3,10 @@ package sb
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
+
+	"isinglut/internal/ising"
 )
 
 // benchBatchParams is the shared configuration for the engine benches:
@@ -56,4 +59,83 @@ func BenchmarkSolveFused(b *testing.B) {
 			SolveFusedWith(context.Background(), p, bp, fw)
 		}
 	})
+}
+
+// randomSparseProblem builds a density-0.05 spin-glass instance, the
+// regime the CSR and quantized fast paths target, with the coupler picked
+// by useCSR.
+func randomSparseProblem(n int, seed int64, useCSR bool) *ising.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	d := ising.NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.05 {
+				d.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	var c ising.Coupler = d
+	if useCSR {
+		c = ising.NewSparseFromDense(d)
+	}
+	p, err := ising.NewProblem(c, nil, 0)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// benchDSBParams is benchBatchParams restricted to the discrete variant,
+// the only one with a quantized fast path.
+func benchDSBParams(r int, quantize bool) BatchParams {
+	bp := benchBatchParams(r)
+	bp.Base.Variant = Discrete
+	bp.Base.Quantize = quantize
+	return bp
+}
+
+// benchFusedDSB runs the fused engine over the grid on a prebuilt problem
+// family; all five end-to-end dSB benches share it so the comparisons
+// isolate the coupler/quantization choice.
+func benchFusedDSB(b *testing.B, prob func(n int) *ising.Problem, quantize bool) {
+	benchEngineGrid(b, func(b *testing.B, n, r int) {
+		p := prob(n)
+		bp := benchDSBParams(r, quantize)
+		fw := NewFusedWorkspace(n, r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			SolveFusedWith(context.Background(), p, bp, fw)
+		}
+	})
+}
+
+// BenchmarkSolveFusedDSB is the float dSB trajectory baseline on a dense
+// spin glass.
+func BenchmarkSolveFusedDSB(b *testing.B) {
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomProblem(n, int64(n)) }, false)
+}
+
+// BenchmarkSolveFusedDSBQuant is the same trajectory through the int8
+// fixed-point field kernels (energies still evaluated against exact J).
+func BenchmarkSolveFusedDSBQuant(b *testing.B) {
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomProblem(n, int64(n)) }, true)
+}
+
+// BenchmarkSolveFusedDSBSparseDense runs a density-0.05 instance through
+// the dense coupler — the end-to-end baseline for the sparse speedup gate.
+func BenchmarkSolveFusedDSBSparseDense(b *testing.B) {
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), false) }, false)
+}
+
+// BenchmarkSolveFusedDSBSparseCSR is the same instance through the CSR
+// coupler: bit-identical trajectory, nnz-bound field kernels.
+func BenchmarkSolveFusedDSBSparseCSR(b *testing.B) {
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), true) }, false)
+}
+
+// BenchmarkSolveFusedDSBSparseQuant stacks both fast paths: quantized CSR
+// codes on the sparse instance.
+func BenchmarkSolveFusedDSBSparseQuant(b *testing.B) {
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), true) }, true)
 }

@@ -206,6 +206,14 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		}
 	}
 
+	// Quantize once per batch (same policy as SolveWith): a nil quant is
+	// the float64 path. Sample-point and stop-window energies below always
+	// evaluate against the exact float coupling either way.
+	var quant *ising.Quantized
+	if params.Quantize && params.Variant == Discrete {
+		quant, _ = ising.Quantize(p.Coup)
+	}
+
 	stats := Stats{
 		Replicas:     replicas,
 		Energies:     make([]float64, replicas),
@@ -418,12 +426,19 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		at := a0 * float64(iter) / float64(steps) // shared pump ramp 0 -> a0
 		ab := active * n
 
-		// One traversal of the coupling structure serves every lane.
-		src := fw.x
-		if params.Variant == Discrete {
-			src = fw.sgn
+		// One traversal of the coupling structure serves every lane. The
+		// quantized path (dSB-only) consumes the same incrementally
+		// maintained sign lanes the float dSB product reads, so the two
+		// paths see identical spins step for step.
+		if quant != nil {
+			quant.FieldSignsBatch(fw.sgn[:ab], fw.fld[:ab], active)
+		} else {
+			src := fw.x
+			if params.Variant == Discrete {
+				src = fw.sgn
+			}
+			ising.FieldBatch(p.Coup, src[:ab], fw.fld[:ab], active)
 		}
-		ising.FieldBatch(p.Coup, src[:ab], fw.fld[:ab], active)
 		if p.H != nil {
 			for l := 0; l < active; l++ {
 				f := fw.fld[l*n : l*n+n]
@@ -571,6 +586,7 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		Samples:      fw.samples[best],
 		Diverged:     stats.Diverged[best],
 		Rescued:      stats.Rescued[best],
+		Quantized:    quant != nil,
 	}
 
 	wall := time.Since(batchStart)

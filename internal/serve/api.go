@@ -116,6 +116,19 @@ type SolveRequest struct {
 	// the answer (a rescued trajectory differs), so it is part of the
 	// cache key.
 	Rescue bool `json:"rescue,omitempty"`
+	// Sparse routes the solve through the CSR sparse coupler when the
+	// instance is sparse enough for it to win. Results are bit-identical
+	// to the dense path, so like Fused the flag is cache-key-neutral: both
+	// request forms share one cache slot.
+	Sparse bool `json:"sparse,omitempty"`
+	// Quant enables the int8/int16 fixed-point dSB fast path (requires
+	// variant "dsb"). Quantization changes numerics within the documented
+	// envelope, so quantized results are never cached; the flag is still
+	// excluded from the cache key, which makes it a pure performance hint:
+	// a cached exact result may be served for a quant request (strictly
+	// better than what was asked for), but a quantized result can never be
+	// served for an exact request.
+	Quant bool `json:"quant,omitempty"`
 
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -133,6 +146,9 @@ type SolveResponse struct {
 	// Rescued reports that the winning replica recovered from a detected
 	// divergence via the one-shot re-seed (SolveRequest.Rescue).
 	Rescued bool `json:"rescued,omitempty"`
+	// Quantized reports that the solve actually ran on the fixed-point
+	// kernels (SolveRequest.Quant accepted and the coupling quantized).
+	Quantized bool `json:"quantized,omitempty"`
 }
 
 // Health is the /healthz payload. /healthz is pure liveness — it
@@ -287,10 +303,13 @@ func (r *SolveRequest) solveKey() string {
 	for _, b := range r.Biases {
 		writeU64(h, math.Float64bits(b))
 	}
-	// Fused is deliberately not hashed: the fused and unfused engines
-	// return bit-identical results for equal seeds, so both request forms
-	// share one cache slot (Workers and TimeoutMS are excluded for the
-	// same reason).
+	// Fused and Sparse are deliberately not hashed: the fused engine and
+	// the CSR coupler both return bit-identical results for equal seeds,
+	// so all request forms share one cache slot (Workers and TimeoutMS are
+	// excluded for the same reason). Quant is excluded too, but for the
+	// opposite reason: quantized results are never cached (handleSolve
+	// refuses to Put them), so hashing the flag would only split the slot
+	// that lets a quant request ride an already-cached exact result.
 	writeString(h, r.Variant)
 	writeU64(h, uint64(r.Steps))
 	writeU64(h, math.Float64bits(r.Dt))

@@ -83,6 +83,49 @@ func TestChaosEverySiteFires(t *testing.T) {
 	}
 	fault.DisarmAll()
 
+	// ising.quant.accum: a poisoned integer accumulate in the quantized
+	// dSB kernel must flow into the same divergence quarantine as a
+	// poisoned float field — the fixed-point path has no private failure
+	// mode the guard cannot see.
+	fault.MustArm("ising.quant.accum", fault.Scenario{After: 2, Times: -1})
+	res, err = isinglut.SolveIsing(prob, isinglut.SBOptions{
+		Variant: isinglut.DiscreteSB, Steps: 100, Seed: 1, Quantize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quantized {
+		t.Fatalf("quantized solve did not take the fixed-point path: %+v", res)
+	}
+	if !res.Diverged || !math.IsInf(res.Energy, 1) {
+		t.Fatalf("ising.quant.accum poison not quarantined: %+v", res)
+	}
+	fault.DisarmAll()
+
+	// ising.quant.overflow: a forced dynamic-range overflow must fall back
+	// to the float64 engine bit-identically — same energy as the exact
+	// solve, Quantized unset, no error surfaced.
+	exact, err := isinglut.SolveIsing(prob, isinglut.SBOptions{
+		Variant: isinglut.DiscreteSB, Steps: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.MustArm("ising.quant.overflow", fault.Scenario{Times: -1})
+	fb, err := isinglut.SolveIsing(prob, isinglut.SBOptions{
+		Variant: isinglut.DiscreteSB, Steps: 100, Seed: 1, Quantize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Quantized {
+		t.Fatalf("overflow fallback still reports the fixed-point path: %+v", fb)
+	}
+	if fb.Energy != exact.Energy || fb.Iterations != exact.Iterations {
+		t.Fatalf("overflow fallback not bit-identical to the float engine: %+v vs %+v", fb, exact)
+	}
+	fault.DisarmAll()
+
 	// sb.batch.worker: a panicking replica worker (goroutine engine only —
 	// the fused engine has no per-replica workers) becomes a failed
 	// replica; the batch still returns a finite winner.

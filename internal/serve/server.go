@@ -543,8 +543,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		StopReason: res.StopReason,
 		ElapsedMS:  float64(time.Since(started)) / float64(time.Millisecond),
 		Rescued:    res.Rescued,
+		Quantized:  res.Quantized,
 	}
-	if resp.StopReason == "converged" || resp.StopReason == "max-iters" {
+	// Quantized results never enter the cache: the slot is shared with the
+	// exact request form (Quant is excluded from the key), and an
+	// approximate result must not shadow the exact answer. A quant request
+	// whose solve fell back to the float engine (res.Quantized false) is
+	// the exact answer and caches normally.
+	if (resp.StopReason == "converged" || resp.StopReason == "max-iters") && !res.Quantized {
 		s.cache.Put(key, resp)
 	}
 	writeJSON(w, met, started, http.StatusOK, resp)
@@ -624,6 +630,9 @@ func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut
 	default:
 		return nil, opts, fmt.Errorf("unknown variant %q (want bsb, asb or dsb)", req.Variant)
 	}
+	if req.Quant && opts.Variant != isinglut.DiscreteSB {
+		return nil, opts, fmt.Errorf("quant requires variant \"dsb\", got %q", req.Variant)
+	}
 	opts.Steps = req.Steps
 	if req.Dt > 0 {
 		opts.Dt = req.Dt
@@ -635,6 +644,8 @@ func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut
 	opts.DynamicStop = req.DynamicStop
 	opts.F, opts.S, opts.Epsilon = req.F, req.S, req.Epsilon
 	opts.Rescue = req.Rescue
+	opts.Sparse = req.Sparse
+	opts.Quantize = req.Quant
 	return p, opts, nil
 }
 

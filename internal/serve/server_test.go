@@ -462,3 +462,87 @@ func TestSolveFusedSharesCacheSlot(t *testing.T) {
 		t.Fatalf("fused solve returned %d spins, want %d", len(first.Spins), base.N)
 	}
 }
+
+// TestSolveSparseSharesCacheSlot: the CSR coupler is bit-identical to the
+// dense one, so "sparse": true is excluded from the cache key — a sparse
+// request fills the slot its plain twin reads.
+func TestSolveSparseSharesCacheSlot(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	base := SolveRequest{
+		N: 12, Couplings: ringCouplings(12),
+		Steps: 300, Seed: 8, Replicas: 2,
+	}
+	sparseReq := base
+	sparseReq.Sparse = true
+	first := decodeBody[SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", sparseReq))
+	if first.Cached {
+		t.Fatal("first sparse request reported cached")
+	}
+	second := decodeBody[SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", base))
+	if !second.Cached {
+		t.Fatal("plain request missed the cache slot its sparse twin filled")
+	}
+	if second.Energy != first.Energy {
+		t.Fatalf("cached energy %g != sparse energy %g", second.Energy, first.Energy)
+	}
+}
+
+// TestSolveQuantNeverCached: quantized answers carry fixed-point numerics
+// and share their key with the exact request form, so they are never
+// stored — but a quant request may ride an exact entry already in the
+// slot (the cached answer is at least as accurate as the one requested).
+func TestSolveQuantNeverCached(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	base := SolveRequest{
+		N: 10, Couplings: ringCouplings(10),
+		Variant: "dsb", Steps: 300, Seed: 4, Replicas: 2,
+	}
+	quantReq := base
+	quantReq.Quant = true
+
+	first := decodeBody[SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", quantReq))
+	if first.Cached {
+		t.Fatal("first quant request reported cached")
+	}
+	if !first.Quantized {
+		t.Fatal("quant request did not take the fast path")
+	}
+	second := decodeBody[SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", quantReq))
+	if second.Cached {
+		t.Fatal("quantized result was stored in the cache")
+	}
+
+	exact := decodeBody[SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", base))
+	if exact.Cached {
+		t.Fatal("exact request hit a cache entry a quant solve should not have stored")
+	}
+	if exact.Quantized {
+		t.Fatal("exact request reports Quantized")
+	}
+	rider := decodeBody[SolveResponse](t, postJSON(t, ts.URL+"/v1/solve", quantReq))
+	if !rider.Cached {
+		t.Fatal("quant request did not ride the exact cache entry")
+	}
+	if rider.Quantized {
+		t.Fatal("cache hit reports Quantized (the stored answer is exact)")
+	}
+	if rider.Energy != exact.Energy {
+		t.Fatalf("ridden entry energy %g != exact energy %g", rider.Energy, exact.Energy)
+	}
+}
+
+// TestSolveQuantRequiresDSB: "quant": true with a non-dsb variant is a
+// request error, mirroring the library-level validation.
+func TestSolveQuantRequiresDSB(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		N: 6, Couplings: ringCouplings(6), Steps: 100, Quant: true,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	e := decodeBody[errorResponse](t, resp)
+	if e.Error == "" {
+		t.Fatal("empty error envelope")
+	}
+}

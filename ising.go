@@ -111,6 +111,23 @@ type SBOptions struct {
 	// energy +Inf. Off by default — a diverged run then reports
 	// StopReason "diverged" and IsingResult.Diverged.
 	Rescue bool
+	// Sparse routes the solve through the CSR sparse coupler when the
+	// problem's density is at or below the auto-pick threshold
+	// (ising.DefaultSparseDensity); denser problems keep the dense kernel.
+	// Results are bit-identical either way — the flag only changes the
+	// field-kernel cost, trading the dense kernel's n² streaming for an
+	// nnz-bound walk.
+	Sparse bool
+	// Quantize enables the int8/int16 fixed-point dSB fast path: the
+	// coupling is quantized once per solve and the per-step field product
+	// runs on integer accumulation, rescaling only at sample points
+	// (energies always evaluate against the exact float coupling).
+	// Requires Variant == DiscreteSB — the other variants need the
+	// continuous positions in the field product — and changes numerics
+	// within the envelope pinned by the differential tests.
+	// IsingResult.Quantized reports whether the fast path actually ran; a
+	// coupling that fails to quantize falls back to float64 silently.
+	Quantize bool
 }
 
 // IsingResult reports a standalone Ising solve.
@@ -144,6 +161,9 @@ type IsingResult struct {
 	// DivergedReplicas counts the batch replicas quarantined for
 	// divergence (0 or 1 for a single solve).
 	DivergedReplicas int
+	// Quantized reports that the solve ran on the fixed-point field
+	// kernels (SBOptions.Quantize accepted and the coupling quantized).
+	Quantized bool
 }
 
 // SolveIsing searches the problem's ground state with simulated
@@ -197,7 +217,17 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 	if opts.Fused && opts.Trace {
 		return IsingResult{}, fmt.Errorf("isinglut: Fused and Trace are mutually exclusive (trace recording needs per-replica control flow)")
 	}
+	if opts.Quantize && opts.Variant != DiscreteSB {
+		return IsingResult{}, fmt.Errorf("isinglut: Quantize requires the DiscreteSB variant (got %s)", opts.Variant)
+	}
+	params.Quantize = opts.Quantize
 	prob := p.problem()
+	if opts.Sparse {
+		// Auto-pick: CSR when the instance is sparse enough to win, the
+		// original dense coupler otherwise. Bit-identical results either
+		// way, so the flag is purely a performance hint.
+		prob.Coup = ising.CompactCoupler(p.dense)
+	}
 	replicas := 1
 	earlyStops := 0
 	divergedReplicas := 0
@@ -253,6 +283,7 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 		Diverged:         res.Diverged,
 		Rescued:          res.Rescued,
 		DivergedReplicas: divergedReplicas,
+		Quantized:        res.Quantized,
 	}, nil
 }
 

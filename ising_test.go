@@ -168,3 +168,73 @@ func TestSolveIsingFused(t *testing.T) {
 		t.Fatal("Fused+Trace accepted, want an error")
 	}
 }
+
+// TestSolveIsingSparseBitIdentity: the Sparse hint routes a low-density
+// instance onto the CSR coupler, which must not change a single bit of
+// the result — only which kernel streams J.
+func TestSolveIsingSparseBitIdentity(t *testing.T) {
+	n := 64
+	p := isinglut.NewIsingProblem(n)
+	for i := 0; i < n; i++ {
+		p.SetCoupling(i, (i+1)%n, -1) // ring: ~3% dense, CSR auto-picks
+	}
+	for _, v := range []isinglut.SBVariant{isinglut.BallisticSB, isinglut.DiscreteSB} {
+		for _, replicas := range []int{1, 4} {
+			opts := isinglut.SBOptions{Variant: v, Steps: 300, Seed: 7, Replicas: replicas}
+			dense, err := isinglut.SolveIsing(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Sparse = true
+			sparse, err := isinglut.SolveIsing(p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(dense.Energy) != math.Float64bits(sparse.Energy) ||
+				dense.Iterations != sparse.Iterations {
+				t.Fatalf("%v r=%d: dense (E=%.17g, it=%d) != sparse (E=%.17g, it=%d)",
+					v, replicas, dense.Energy, dense.Iterations, sparse.Energy, sparse.Iterations)
+			}
+			for i := range dense.Spins {
+				if dense.Spins[i] != sparse.Spins[i] {
+					t.Fatalf("%v r=%d: spins differ at %d", v, replicas, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveIsingQuantize: Quantize outside DiscreteSB is a validation
+// error; on the unit-coupling max-cut instance (losslessly quantizable)
+// the fast path runs and is bit-identical to the float dSB solve.
+func TestSolveIsingQuantize(t *testing.T) {
+	p := maxCutProblem()
+	if _, err := isinglut.SolveIsing(p, isinglut.SBOptions{Variant: isinglut.BallisticSB, Quantize: true}); err == nil {
+		t.Fatal("Quantize accepted outside DiscreteSB, want an error")
+	}
+
+	opts := isinglut.SBOptions{Variant: isinglut.DiscreteSB, Steps: 500, Seed: 1}
+	exact, err := isinglut.SolveIsing(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Quantize = true
+	quant, err := isinglut.SolveIsing(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quant.Quantized {
+		t.Fatal("quantized fast path not taken")
+	}
+	if exact.Quantized {
+		t.Fatal("float solve reports Quantized")
+	}
+	if math.Float64bits(exact.Energy) != math.Float64bits(quant.Energy) ||
+		exact.Iterations != quant.Iterations {
+		t.Fatalf("lossless quantization moved the trajectory: (E=%.17g, it=%d) vs (E=%.17g, it=%d)",
+			exact.Energy, exact.Iterations, quant.Energy, quant.Iterations)
+	}
+	if math.Abs(p.Energy(quant.Spins)-quant.Energy) > 1e-9 {
+		t.Fatal("reported energy inconsistent with spins under exact J")
+	}
+}

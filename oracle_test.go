@@ -170,6 +170,83 @@ func TestOracleBSBStagnation(t *testing.T) {
 	}
 }
 
+// TestOracleSparseDenseBitIdentity: re-housing a coupling matrix in the
+// CSR coupler must not move a single bit of any solver trajectory. The
+// CSR kernels accumulate in the same order as the dense ones and only
+// skip exact zeros (which contribute nothing to an IEEE sum), so for
+// both SB variants the full batch — winner, per-replica energies,
+// iteration counts — is required to match the dense run bitwise.
+func TestOracleSparseDenseBitIdentity(t *testing.T) {
+	for _, trial := range []int{0, 3, 6, 9, 12} {
+		pd, seed := denseTrialProblem(trial)
+		sparse := ising.NewSparseFromDense(pd.Coup.(*ising.Dense))
+		ps, err := ising.NewProblem(sparse, pd.H, pd.Offset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []sb.Variant{sb.Ballistic, sb.Discrete} {
+			params := sb.DefaultParamsFor(v)
+			params.Steps = 600
+			params.Seed = seed
+			bp := sb.BatchParams{Base: params, Replicas: 8, Workers: 2}
+			dres, dstats := sb.SolveBatch(context.Background(), pd, bp)
+			sres, sstats := sb.SolveBatch(context.Background(), ps, bp)
+			if math.Float64bits(dres.Energy) != math.Float64bits(sres.Energy) {
+				t.Errorf("seed %d %v: dense energy %.17g != sparse %.17g", seed, v, dres.Energy, sres.Energy)
+			}
+			if dres.Iterations != sres.Iterations {
+				t.Errorf("seed %d %v: dense iterations %d != sparse %d", seed, v, dres.Iterations, sres.Iterations)
+			}
+			for i := range dres.Spins {
+				if dres.Spins[i] != sres.Spins[i] {
+					t.Errorf("seed %d %v: winning spins differ at %d", seed, v, i)
+					break
+				}
+			}
+			for r := range dstats.Energies {
+				if math.Float64bits(dstats.Energies[r]) != math.Float64bits(sstats.Energies[r]) {
+					t.Errorf("seed %d %v replica %d: dense %.17g != sparse %.17g",
+						seed, v, r, dstats.Energies[r], sstats.Energies[r])
+				}
+			}
+		}
+	}
+}
+
+// TestOracleQuantizedEnvelope: the int8/int16 fast path perturbs each
+// coupling by at most scale/2, which on these small instances is far
+// below the spectral gap — so the quantized dSB batch must still land on
+// the exhaustively verified ground state, and because sample energies
+// are evaluated against the exact float J, the reported energy matches
+// the true ground energy to oracle tolerance (not merely to the
+// quantization envelope). This pins the envelope contract end to end:
+// kernel-level deviation is bounded (TestQuantizeErrorEnvelope), and
+// solve-level answers stay exact.
+func TestOracleQuantizedEnvelope(t *testing.T) {
+	for _, trial := range []int{0, 1, 2, 5, 7, 8, 10, 11, 13, 14} {
+		p, seed := denseTrialProblem(trial)
+		_, ground := ising.BruteForce(p)
+
+		params := sb.DefaultParamsFor(sb.Discrete)
+		params.Steps = 2000
+		params.Seed = seed
+		params.Quantize = true
+		res, stats := sb.SolveBatch(context.Background(), p, sb.BatchParams{Base: params, Replicas: 16, Workers: 4})
+		if !res.Quantized {
+			t.Fatalf("seed %d: quantized fast path not taken", seed)
+		}
+		if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > oracleTol {
+			t.Errorf("seed %d: reported energy %.12f but spins evaluate to %.12f (exact J)", seed, res.Energy, got)
+		}
+		if math.Abs(res.Energy-ground) > oracleTol {
+			t.Errorf("seed %d: quantized dSB energy %.12f, ground %.12f", seed, res.Energy, ground)
+		}
+		if stats.Replicas != 16 {
+			t.Errorf("seed %d: stats report %d replicas, want 16", seed, stats.Replicas)
+		}
+	}
+}
+
 // randomCOP draws a core COP over a random disjoint partition with
 // independent nonnegative entry costs. The (vars, freeSize) pairs keep
 // the spin count 2r + c at or below 12 so both enumerations stay instant.
