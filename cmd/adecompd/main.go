@@ -24,6 +24,13 @@
 // (/readyz flips to 503), gives in-flight work -drain to finish (then
 // cancels it into best-so-far responses) and exits cleanly.
 //
+// With -peers, the daemon is a shard coordinator: /v1/solve requests
+// carrying "shard" > 0 are decomposed and the sub-solves dispatched
+// round-robin to the peer daemons' /v1/solve endpoints (per-sub-solve
+// -shard-timeout, per-peer circuit breakers reported on /healthz); any
+// failed dispatch is served by the bit-identical local fallback, so
+// peer loss degrades placement, never answers.
+//
 // Failed or panicked solver jobs are retried (-retries, -retry-backoff)
 // behind per-endpoint circuit breakers (-breaker-threshold,
 // -breaker-cooldown); when the Ising path stays down, /v1/decompose
@@ -42,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"isinglut/internal/fault"
@@ -76,6 +84,8 @@ func main() {
 		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base jittered sleep between solver re-attempts")
 		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive solver failures before an endpoint's circuit breaker opens (-1 disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker duration before a half-open probe")
+		peerList     = flag.String("peers", "", "comma-separated peer daemon base URLs; sharded solves (shard > 0) dispatch sub-solves to peers over /v1/solve, falling back locally behind per-peer breakers")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "per-sub-solve deadline when dispatching to peers")
 
 		faults faultSpecs
 	)
@@ -88,6 +98,12 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var peers []string
+	for _, p := range strings.Split(*peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
 	for _, spec := range faults {
 		site, sc, err := fault.ParseSpec(spec)
 		if err != nil {
@@ -115,8 +131,13 @@ func main() {
 		RetryBackoff:     *retryBackoff,
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
+		Peers:            peers,
+		ShardTimeout:     *shardTimeout,
 		Logf:             logger.Printf,
 	})
+	if len(peers) > 0 {
+		logger.Printf("adecompd: coordinator mode, %d peer(s): %s", len(peers), strings.Join(peers, ", "))
+	}
 	if err := srv.Run(context.Background(), nil); err != nil {
 		logger.Fatalf("adecompd: %v", err)
 	}

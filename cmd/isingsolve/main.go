@@ -16,6 +16,7 @@
 //	isingsolve -in problem.json -replicas 8 -workers 4   # replica batch, best kept
 //	isingsolve -in problem.json -replicas 8 -fused       # fused lock-step batch
 //	isingsolve -demo ring -demo-n 11 -solver sa
+//	isingsolve -in big.json -shard -max-shard 256        # shard-and-exchange decomposition
 //
 // The -demo flag generates built-in instances (ring: antiferromagnetic
 // cycle; spinglass: Gaussian couplings) instead of reading a file.
@@ -65,6 +66,9 @@ func main() {
 		rescue   = flag.Bool("rescue", false, "re-seed a diverged trajectory once with a halved dt instead of quarantining it")
 		sparse   = flag.Bool("sparse", false, "route the solve through the CSR sparse coupler when the instance is sparse enough (bit-identical results, nnz-bound kernels)")
 		quant    = flag.Bool("quant", false, "int8/int16 fixed-point dSB field kernels (quantize J once, integer accumulate); requires -solver dsb")
+		shard    = flag.Bool("shard", false, "decompose the instance into coupled subproblems (shard-and-exchange) instead of solving it whole; incompatible with -tracecsv")
+		maxShard = flag.Int("max-shard", 256, "largest subproblem size under -shard")
+		shardRnd = flag.Int("shard-rounds", 0, "exchange rounds under -shard (0 = solver default)")
 		stop     = flag.Bool("stop", false, "enable the dynamic stop criterion")
 		fIter    = flag.Int("f", 20, "dynamic stop: sample every f iterations")
 		sWin     = flag.Int("s", 20, "dynamic stop: variance window size")
@@ -84,7 +88,10 @@ func main() {
 	if *showMet {
 		// Snapshot inside the closure: defer evaluates call arguments
 		// immediately, which would capture the pre-run (empty) registry.
-		defer func() { metrics.Render(os.Stderr, metrics.Snapshot()) }()
+		defer func() {
+			metrics.Render(os.Stderr, metrics.Snapshot())
+			metrics.RenderShard(os.Stderr, metrics.ShardSnapshot())
+		}()
 	}
 
 	prob, err := loadProblem(*in, *demo, *demoN, *seed)
@@ -128,6 +135,16 @@ func main() {
 			opts.F = *fIter
 			opts.S = *sWin
 			opts.Epsilon = *eps
+		}
+		if *shard {
+			if *csv != "" {
+				fatal(fmt.Errorf("-shard has no single trajectory to trace; drop -tracecsv"))
+			}
+			if *maxShard <= 0 {
+				fatal(fmt.Errorf("-max-shard must be positive, got %d", *maxShard))
+			}
+			opts.MaxShard = *maxShard
+			opts.ShardRounds = *shardRnd
 		}
 		res, err := isinglut.SolveIsingContext(ctx, prob, opts)
 		if err != nil {
@@ -233,6 +250,9 @@ func report(solver string, res isinglut.IsingResult) {
 	}
 	if res.Quantized {
 		fmt.Println("quantized  : fixed-point field kernels (energies evaluated against exact J)")
+	}
+	if res.Shards > 0 {
+		fmt.Printf("shards     : %d subproblems, %d exchange rounds\n", res.Shards, res.ExchangeRounds)
 	}
 	if res.StopReason != "" && res.StopReason != "converged" && res.StopReason != "max-iters" {
 		fmt.Printf("stop reason: %s (best-so-far state reported)\n", res.StopReason)

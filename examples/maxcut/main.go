@@ -29,6 +29,7 @@ func main() {
 	nodes := flag.Int("nodes", 40, "graph size")
 	degree := flag.Int("degree", 6, "average degree")
 	seed := flag.Int64("seed", 3, "random seed")
+	sweep := flag.Bool("shard-sweep", false, "sweep shard size × exchange rounds and report cut quality vs the whole-instance solve (the EXPERIMENTS.md sharding table)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -40,6 +41,11 @@ func main() {
 	prob := isinglut.NewIsingProblem(*nodes)
 	for _, e := range edges {
 		prob.SetCoupling(e.u, e.v, -e.w)
+	}
+
+	if *sweep {
+		shardSweep(prob, edges, *seed)
+		return
 	}
 
 	// bSB with the dynamic stop criterion.
@@ -68,6 +74,37 @@ func main() {
 	// Greedy baseline: local moves until no vertex wants to switch side.
 	greedy := greedyCut(*nodes, edges, rng)
 	fmt.Printf("greedy   : cut %.2f\n", cutValue(edges, greedy))
+}
+
+// shardSweep measures what decomposition costs: the whole-instance solve
+// is the quality reference, and each (max-shard, rounds) cell shows how
+// close shard-and-exchange gets as the exchange budget grows.
+func shardSweep(prob *isinglut.IsingProblem, edges []edge, seed int64) {
+	base := isinglut.SBOptions{
+		Steps: 3000, Seed: seed, DynamicStop: true, F: 20, S: 20, Epsilon: 1e-10,
+	}
+	whole, err := isinglut.SolveIsing(prob, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refCut := cutValue(edges, whole.Spins)
+	fmt.Printf("whole-instance bSB reference: cut %.2f (energy %.2f)\n\n", refCut, whole.Energy)
+	fmt.Printf("%-10s %-7s %-7s %10s %10s %8s\n",
+		"max-shard", "rounds", "shards", "cut", "energy", "quality")
+	for _, maxShard := range []int{32, 64, 128} {
+		for _, rounds := range []int{1, 2, 4, 8, 16} {
+			opts := base
+			opts.MaxShard = maxShard
+			opts.ShardRounds = rounds
+			res, err := isinglut.SolveIsing(prob, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cut := cutValue(edges, res.Spins)
+			fmt.Printf("%-10d %-7d %-7d %10.2f %10.2f %7.1f%%\n",
+				maxShard, rounds, res.Shards, cut, res.Energy, 100*cut/refCut)
+		}
+	}
 }
 
 func randomGraph(n, degree int, rng *rand.Rand) []edge {

@@ -296,6 +296,17 @@ func (s *Sparse) FieldBatch(x, out []float64, r int) {
 	}
 }
 
+// ForEachRow calls f for every stored entry (j, J_ij) of row i in
+// ascending-column order. Consumers that need the coupling graph itself —
+// the shard layer's adjacency extraction — walk the CSR structure this
+// way in O(nnz) instead of probing all n² slots through At.
+func (s *Sparse) ForEachRow(i int, f func(j int, v float64)) {
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	for e := lo; e < hi; e++ {
+		f(int(s.col[e]), s.val[e])
+	}
+}
+
 // ToDense materializes the CSR coupling as a Dense matrix (round-trip
 // validation and ablation benches).
 func (s *Sparse) ToDense() *Dense {

@@ -276,4 +276,5 @@ func Reset() {
 	for _, s := range solvers {
 		s.reset()
 	}
+	shardSingleton.reset()
 }

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Sharding is the shard-and-exchange solver's instrumentation set: one
+// process-wide singleton (Shard) that internal/shard and the serve-layer
+// coordinator update in flight. Like Solver, every field is a handful of
+// atomic operations — a shard round records itself with a few adds, so
+// the exchange loop stays allocation-free.
+type Sharding struct {
+	// Runs counts completed top-level shard solves; Rounds the exchange
+	// rounds they executed.
+	Runs   Counter
+	Rounds Counter
+
+	// SubSolves counts dispatched shard subproblem solves (local or
+	// peer); SubErrors the sub-solves that failed (their shard kept its
+	// current spins for that round).
+	SubSolves Counter
+	SubErrors Counter
+
+	// Accepted counts shard proposals that lowered the global energy and
+	// were exchanged into the global state; Rejected the proposals the
+	// energy guard discarded.
+	Accepted Counter
+	Rejected Counter
+
+	// PeerDispatch counts sub-solves sent to a peer daemon over
+	// /v1/solve; PeerFallback the peer failures (network error, non-200,
+	// open breaker, armed failpoint) that were served by the local
+	// solver instead.
+	PeerDispatch Counter
+	PeerFallback Counter
+
+	// RoundTime accumulates per-round wall clock across all shard solves.
+	RoundTime Timer
+}
+
+var shardSingleton = &Sharding{}
+
+// Shard returns the process-wide sharding instrumentation set. Call once
+// and keep the pointer, like ForSolver.
+func Shard() *Sharding { return shardSingleton }
+
+func (s *Sharding) reset() {
+	s.Runs.reset()
+	s.Rounds.reset()
+	s.SubSolves.reset()
+	s.SubErrors.reset()
+	s.Accepted.reset()
+	s.Rejected.reset()
+	s.PeerDispatch.reset()
+	s.PeerFallback.reset()
+	s.RoundTime.reset()
+}
+
+// ShardingSnapshot is a point-in-time copy of the sharding aggregates,
+// shaped for programmatic scraping like SolverSnapshot.
+type ShardingSnapshot struct {
+	Runs         int64 `json:"runs"`
+	Rounds       int64 `json:"rounds"`
+	SubSolves    int64 `json:"sub_solves"`
+	SubErrors    int64 `json:"sub_errors"`
+	Accepted     int64 `json:"accepted"`
+	Rejected     int64 `json:"rejected"`
+	PeerDispatch int64 `json:"peer_dispatch"`
+	PeerFallback int64 `json:"peer_fallback"`
+	RoundTimeNS  int64 `json:"round_time_ns"`
+	MeanRoundNS  int64 `json:"mean_round_ns"`
+}
+
+// ShardSnapshot copies the sharding aggregates.
+func ShardSnapshot() ShardingSnapshot {
+	s := shardSingleton
+	return ShardingSnapshot{
+		Runs:         s.Runs.Load(),
+		Rounds:       s.Rounds.Load(),
+		SubSolves:    s.SubSolves.Load(),
+		SubErrors:    s.SubErrors.Load(),
+		Accepted:     s.Accepted.Load(),
+		Rejected:     s.Rejected.Load(),
+		PeerDispatch: s.PeerDispatch.Load(),
+		PeerFallback: s.PeerFallback.Load(),
+		RoundTimeNS:  int64(s.RoundTime.Total()),
+		MeanRoundNS:  int64(s.RoundTime.Mean()),
+	}
+}
+
+// RenderShard writes a one-line human-readable summary of the sharding
+// aggregates (skipped entirely when no shard solve ever ran).
+func RenderShard(w io.Writer, snap ShardingSnapshot) {
+	if snap.Runs == 0 {
+		return
+	}
+	fmt.Fprintf(w, "shard: runs %d rounds %d sub-solves %d (errors %d) exchanges %d accepted / %d rejected peer %d dispatched / %d fallback round-time %s\n",
+		snap.Runs, snap.Rounds, snap.SubSolves, snap.SubErrors,
+		snap.Accepted, snap.Rejected, snap.PeerDispatch, snap.PeerFallback,
+		time.Duration(snap.RoundTimeNS).Round(time.Microsecond))
+}
+
+// The sharding aggregates are published as the expvar "isinglut.shard",
+// next to "isinglut.metrics" and "isinglut.services".
+func init() {
+	expvar.Publish("isinglut.shard", expvar.Func(func() any { return ShardSnapshot() }))
+}

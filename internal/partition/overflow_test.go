@@ -1,0 +1,74 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNewRejectsOversizedN is the regression test for the Rows()/Cols()
+// overflow hazard: 1 << |A| is computed in int arithmetic, so variable
+// counts beyond MaxVars must be rejected at construction, never reach
+// the shift. n=64 is the worst case — uint64(1)<<64-1 would wrap the
+// full mask to 0 and accept any maskA.
+func TestNewRejectsOversizedN(t *testing.T) {
+	for _, n := range []int{MaxVars + 1, 40, 63, 64, 65, 1 << 20} {
+		if _, err := New(n, 1); err == nil {
+			t.Errorf("New(%d, 1) accepted, want variable-count error", n)
+		} else if !strings.Contains(err.Error(), "unsupported variable count") {
+			t.Errorf("New(%d, 1) error %q, want unsupported-variable-count", n, err)
+		}
+	}
+	for _, n := range []int{0, -1} {
+		if _, err := New(n, 1); err == nil {
+			t.Errorf("New(%d, 1) accepted", n)
+		}
+	}
+	// The boundary itself must still work (with sides balanced under
+	// MaxSide), and its matrix dimensions must be positive ints — the
+	// overflow the cap exists to prevent.
+	p, err := New(MaxVars, uint64(1)<<(MaxVars/2)-1)
+	if err != nil {
+		t.Fatalf("New(MaxVars, balanced): %v", err)
+	}
+	if p.Rows() <= 0 || p.Cols() <= 0 {
+		t.Fatalf("Rows=%d Cols=%d at n=MaxVars, want positive", p.Rows(), p.Cols())
+	}
+}
+
+// TestNewOverlapRejectsOversizedSide: a side beyond MaxSide must fail
+// before scatterTable runs — at |A|=27 the table alone would be 1 GiB,
+// and larger sides push 1 << len(pos) toward overflow.
+func TestNewOverlapRejectsOversizedSide(t *testing.T) {
+	const n = MaxVars
+	maskA := uint64(1)<<(MaxSide+1) - 1 // |A| = 27
+	full := uint64(1)<<n - 1
+	maskB := full &^ maskA
+	if _, err := NewOverlap(n, maskA, maskB); err == nil {
+		t.Fatal("NewOverlap with |A|=27 accepted, want side-size error")
+	} else if !strings.Contains(err.Error(), "too large") {
+		t.Fatalf("error %q, want side-size rejection", err)
+	}
+	// Mirror case: oversized bound set.
+	if _, err := NewOverlap(n, full&^maskA, maskA); err == nil {
+		t.Fatal("NewOverlap with |B|=27 accepted, want side-size error")
+	}
+}
+
+// TestFromSetsRejectsOversized: the index-set constructor funnels through
+// the same guards.
+func TestFromSetsRejectsOversized(t *testing.T) {
+	big := make([]int, 1)
+	if _, err := FromSets(64, big); err == nil {
+		t.Fatal("FromSets(64, ...) accepted, want variable-count error")
+	}
+	if _, err := FromSets(40, []int{0, 1, 2}); err == nil {
+		t.Fatal("FromSets(40, ...) accepted, want variable-count error")
+	}
+	// In-range misuse still reports the index errors, not the size cap.
+	if _, err := FromSets(8, []int{9}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := FromSets(8, []int{1, 1}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+}

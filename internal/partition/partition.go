@@ -16,6 +16,20 @@ import (
 	"strings"
 )
 
+// MaxVars is the largest supported variable count. Rows and Cols are
+// computed as 1 << |A| and 1 << |B| in int arithmetic, and several
+// consumers multiply Rows()*Cols() to size the Boolean matrix, so the
+// bound keeps every such product far from int overflow (and the tables
+// far from any realistic memory budget). Constructors reject larger n
+// instead of silently wrapping.
+const MaxVars = 30
+
+// MaxSide caps |A| and |B| individually. A side of 26 already means a
+// 2^26-entry scatter table (512 MiB of uint64 per side at 26); beyond it
+// 1 << len(pos) in Rows/Cols/scatterTable approaches the int32 range and
+// the table allocation is guaranteed to be a bug, not a workload.
+const MaxSide = 26
+
 // Partition is an input partition of n variables into a free set A and a
 // bound set B. It is immutable after construction.
 //
@@ -50,8 +64,8 @@ type Partition struct {
 // maskA set means variable index b (0-based) belongs to A; all other
 // variables belong to B. Both sets must be non-empty.
 func New(n int, maskA uint64) (*Partition, error) {
-	if n <= 0 || n > 30 {
-		return nil, fmt.Errorf("partition: unsupported variable count %d", n)
+	if n <= 0 || n > MaxVars {
+		return nil, fmt.Errorf("partition: unsupported variable count %d (max %d)", n, MaxVars)
 	}
 	full := uint64(1)<<uint(n) - 1
 	if maskA&^full != 0 {
@@ -67,8 +81,8 @@ func New(n int, maskA uint64) (*Partition, error) {
 // and bound-set masks. Every variable must belong to at least one set;
 // variables in both are shared (the non-disjoint extension of [10]).
 func NewOverlap(n int, maskA, maskB uint64) (*Partition, error) {
-	if n <= 0 || n > 30 {
-		return nil, fmt.Errorf("partition: unsupported variable count %d", n)
+	if n <= 0 || n > MaxVars {
+		return nil, fmt.Errorf("partition: unsupported variable count %d (max %d)", n, MaxVars)
 	}
 	full := uint64(1)<<uint(n) - 1
 	if maskA&^full != 0 || maskB&^full != 0 {
@@ -89,8 +103,10 @@ func NewOverlap(n int, maskA, maskB uint64) (*Partition, error) {
 			p.posB = append(p.posB, b)
 		}
 	}
-	if len(p.posA) > 26 || len(p.posB) > 26 {
-		return nil, fmt.Errorf("partition: side sizes %d/%d too large", len(p.posA), len(p.posB))
+	// This check must run before scatterTable: a larger side would shift
+	// 1 << len(pos) toward overflow and allocate gigabyte-scale tables.
+	if len(p.posA) > MaxSide || len(p.posB) > MaxSide {
+		return nil, fmt.Errorf("partition: side sizes %d/%d too large (max %d)", len(p.posA), len(p.posB), MaxSide)
 	}
 	p.rowBits = scatterTable(p.posA)
 	p.colBits = scatterTable(p.posB)

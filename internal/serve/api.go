@@ -57,19 +57,19 @@ type Component struct {
 // DecomposeResponse reports a decomposition: the error metrics, the
 // synthesized LUT cost, and how the run ended.
 type DecomposeResponse struct {
-	Benchmark        string      `json:"benchmark,omitempty"`
-	N                int         `json:"n"`
-	M                int         `json:"m"`
-	MED              float64     `json:"med"`
-	ER               float64     `json:"er"`
-	WorstED          uint64      `json:"worst_ed"`
-	LUTBits          int         `json:"lut_bits"`
-	FlatBits         int         `json:"flat_bits"`
-	CompressionRatio float64     `json:"compression_ratio"`
-	CoreSolves       int         `json:"core_solves"`
-	ElapsedMS        float64     `json:"elapsed_ms"`
-	StopReason       string      `json:"stop_reason"`
-	Cached           bool        `json:"cached"`
+	Benchmark        string  `json:"benchmark,omitempty"`
+	N                int     `json:"n"`
+	M                int     `json:"m"`
+	MED              float64 `json:"med"`
+	ER               float64 `json:"er"`
+	WorstED          uint64  `json:"worst_ed"`
+	LUTBits          int     `json:"lut_bits"`
+	FlatBits         int     `json:"flat_bits"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	CoreSolves       int     `json:"core_solves"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+	StopReason       string  `json:"stop_reason"`
+	Cached           bool    `json:"cached"`
 	// Degraded marks a response produced by the DALTA fallback heuristic
 	// because the primary Ising solve path was unavailable (solver
 	// failure, divergence, or an open circuit breaker — DegradedReason
@@ -94,12 +94,12 @@ type SolveRequest struct {
 	Couplings []Coupling `json:"couplings,omitempty"`
 	Biases    []float64  `json:"biases,omitempty"`
 
-	Variant     string  `json:"variant,omitempty"` // "bsb" (default), "asb", "dsb"
-	Steps       int     `json:"steps,omitempty"`
-	Dt          float64 `json:"dt,omitempty"`
-	Seed        int64   `json:"seed,omitempty"`
-	Replicas    int     `json:"replicas,omitempty"`
-	Workers     int     `json:"workers,omitempty"`
+	Variant  string  `json:"variant,omitempty"` // "bsb" (default), "asb", "dsb"
+	Steps    int     `json:"steps,omitempty"`
+	Dt       float64 `json:"dt,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Replicas int     `json:"replicas,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
 	// Fused forces the fused replica engine (one coupling stream per step
 	// for the whole batch). Multi-replica solves fuse automatically; the
 	// result is bit-identical either way, so the flag only pins the
@@ -129,6 +129,17 @@ type SolveRequest struct {
 	// better than what was asked for), but a quantized result can never be
 	// served for an exact request.
 	Quant bool `json:"quant,omitempty"`
+	// Shard > 0 routes the solve through the shard-and-exchange
+	// decomposition layer with subproblems of at most Shard spins — the
+	// path for instances one SB solve cannot hold. When the server has
+	// peers configured, sub-solves additionally fan out across them
+	// (coordinator mode); the answer is bit-identical either way, so the
+	// peer topology — like Workers — never splits the cache slot, while
+	// Shard itself DOES change the answer and is hashed.
+	Shard int `json:"shard,omitempty"`
+	// ShardRounds bounds the exchange rounds of a sharded solve
+	// (default 12); needs Shard > 0. Part of the cache key too.
+	ShardRounds int `json:"shard_rounds,omitempty"`
 
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
@@ -149,6 +160,10 @@ type SolveResponse struct {
 	// Quantized reports that the solve actually ran on the fixed-point
 	// kernels (SolveRequest.Quant accepted and the coupling quantized).
 	Quantized bool `json:"quantized,omitempty"`
+	// Shards is the partition size of a sharded solve (0 for a direct
+	// solve); ShardRounds the exchange rounds it executed.
+	Shards      int `json:"shards,omitempty"`
+	ShardRounds int `json:"shard_rounds,omitempty"`
 }
 
 // Health is the /healthz payload. /healthz is pure liveness — it
@@ -331,6 +346,13 @@ func (r *SolveRequest) solveKey() string {
 	} else {
 		writeU64(h, 0)
 	}
+	// Shard and ShardRounds ARE hashed: the sharded solve runs a
+	// different algorithm (decomposition + exchange) whose answer
+	// legitimately differs from the direct solve's, and the round budget
+	// changes it again. The peer topology is not hashed — coordinator
+	// and single-node sharding are bit-identical by construction.
+	writeU64(h, uint64(r.Shard))
+	writeU64(h, uint64(r.ShardRounds))
 	return "s:" + hex.EncodeToString(h.Sum(nil))
 }
 

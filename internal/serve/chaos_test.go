@@ -237,6 +237,45 @@ func TestChaosEverySiteFires(t *testing.T) {
 	resp.Body.Close()
 	fault.DisarmAll()
 
+	// shard.solve and shard.exchange: a sharded solve with an injected
+	// sub-solve failure and a poisoned exchange proposal still answers 200
+	// — failed shards keep their spins, the accept guard rejects the
+	// corrupted proposal, and the best-so-far state stays valid.
+	fault.MustArm("shard.solve", fault.Scenario{Times: 1})
+	fault.MustArm("shard.exchange", fault.Scenario{Times: 1})
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		N: 12, Steps: 100, Seed: 21, Shard: 4, ShardRounds: 3,
+		Couplings: ringCouplings(12),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded solve under shard faults: status %d", resp.StatusCode)
+	}
+	if got := decodeBody[SolveResponse](t, resp); got.Shards < 2 {
+		t.Fatalf("sharded solve reported %d shards, want ≥2", got.Shards)
+	}
+	fault.DisarmAll()
+
+	// shard.dispatch: coordinator mode with every peer dispatch failing.
+	// The breaker records the failures and each sub-solve is served from
+	// the bit-identical local fallback, so the request still answers 200.
+	_, cts := testServer(t, Config{
+		Workers: 2, Retries: -1, Peers: []string{"http://peer.invalid"},
+	})
+	fallbacks := metrics.Shard().PeerFallback.Load()
+	fault.MustArm("shard.dispatch", fault.Scenario{Times: -1})
+	resp = postJSON(t, cts.URL+"/v1/solve", SolveRequest{
+		N: 12, Steps: 100, Seed: 22, Shard: 4, ShardRounds: 2,
+		Couplings: ringCouplings(12),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator solve with all peers down: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := metrics.Shard().PeerFallback.Load() - fallbacks; got == 0 {
+		t.Fatal("coordinator under shard.dispatch fault never took the local fallback")
+	}
+	fault.DisarmAll()
+
 	for _, site := range fault.Sites() {
 		if fault.Fired(site) == 0 {
 			t.Errorf("failpoint %q never fired — extend the chaos suite", site)

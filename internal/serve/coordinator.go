@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"isinglut"
+	"isinglut/internal/fault"
+	"isinglut/internal/metrics"
+	"isinglut/internal/shard"
+)
+
+// siteDispatch fails a peer dispatch when armed, modelling an unreachable
+// or misbehaving peer daemon: the coordinator records the breaker failure
+// and serves the sub-solve from the local fallback instead.
+var siteDispatch = fault.NewSite("shard.dispatch")
+
+// peerClient is one coordinator peer: the daemon's base URL plus a
+// dedicated circuit breaker, so one dead peer trips its own breaker and
+// stops eating a per-sub-solve timeout while the others keep serving.
+type peerClient struct {
+	url     string
+	breaker *breaker
+}
+
+// httpClient is shared across peers: connection pooling lives in the
+// transport, deadlines in the per-request contexts.
+var httpClient = &http.Client{}
+
+// shardDispatcher builds the coordinator-mode dispatcher for one
+// request: sub-solves round-robin across the configured peers over the
+// existing /v1/solve wire format (the SubProblem is already exactly a
+// solve body), and any failure — network error, non-200, open breaker,
+// or an armed shard.dispatch failpoint — falls back to the in-process
+// dispatcher, which is bit-identical to what the peer would have
+// computed (both run the same mapping for the same seed).
+func (s *Server) shardDispatcher(req *SolveRequest, opts isinglut.SBOptions) isinglut.ShardDispatcher {
+	return &peerDispatcher{
+		srv:      s,
+		req:      req,
+		fallback: isinglut.NewLocalShardDispatcher(opts),
+	}
+}
+
+type peerDispatcher struct {
+	srv      *Server
+	req      *SolveRequest
+	fallback isinglut.ShardDispatcher
+}
+
+// Solve implements the shard dispatcher over a peer's /v1/solve,
+// breaker-guarded with local fallback. Deterministic peer choice
+// (Index % peers) keeps the schedule reproducible; the result is
+// bit-identical either way, so failover never changes the answer.
+func (d *peerDispatcher) Solve(ctx context.Context, sub shard.SubProblem) (shard.SubResult, error) {
+	peer := d.srv.peers[sub.Index%len(d.srv.peers)]
+	res, err := d.peerSolve(ctx, peer, sub)
+	if err == nil {
+		return res, nil
+	}
+	metrics.Shard().PeerFallback.Inc()
+	d.srv.cfg.Logf("adecompd: peer %s sub-solve failed (%v), solving locally", peer.url, err)
+	return d.fallback.Solve(ctx, sub)
+}
+
+// peerSolve runs one sub-solve on the peer, translating the SubProblem
+// onto the solve wire format with the original request's solver knobs
+// and the schedule-derived seed.
+func (d *peerDispatcher) peerSolve(ctx context.Context, peer *peerClient, sub shard.SubProblem) (shard.SubResult, error) {
+	if siteDispatch.Fire() {
+		peer.breaker.failure()
+		return shard.SubResult{}, fmt.Errorf("fault: injected shard.dispatch failure (round %d shard %d)", sub.Round, sub.Index)
+	}
+	if !peer.breaker.allow() {
+		return shard.SubResult{}, fmt.Errorf("peer breaker open")
+	}
+	metrics.Shard().PeerDispatch.Inc()
+
+	preq := SolveRequest{
+		N:           sub.N,
+		Couplings:   make([]Coupling, len(sub.Couplings)),
+		Biases:      sub.Bias,
+		Variant:     d.req.Variant,
+		Steps:       d.req.Steps,
+		Dt:          d.req.Dt,
+		Seed:        sub.Seed,
+		Replicas:    d.req.Replicas,
+		DynamicStop: d.req.DynamicStop,
+		F:           d.req.F,
+		S:           d.req.S,
+		Epsilon:     d.req.Epsilon,
+		Rescue:      d.req.Rescue,
+		Sparse:      true, // subproblems are sparse by construction
+		Quant:       d.req.Quant,
+		TimeoutMS:   d.srv.cfg.ShardTimeout.Milliseconds(),
+	}
+	for i, t := range sub.Couplings {
+		preq.Couplings[i] = Coupling{I: t.I, J: t.J, V: t.V}
+	}
+	body, err := json.Marshal(preq)
+	if err != nil {
+		peer.breaker.failure()
+		return shard.SubResult{}, err
+	}
+	// The per-shard deadline caps how long one straggling peer can stall
+	// a round, independently of the outer request deadline (which still
+	// applies through ctx).
+	pctx, cancel := context.WithTimeout(ctx, d.srv.cfg.ShardTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(pctx, http.MethodPost, peer.url+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		peer.breaker.failure()
+		return shard.SubResult{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := httpClient.Do(hreq)
+	if err != nil {
+		peer.breaker.failure()
+		return shard.SubResult{}, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		peer.breaker.failure()
+		msg, _ := io.ReadAll(io.LimitReader(hres.Body, 512))
+		return shard.SubResult{}, fmt.Errorf("peer status %d: %s", hres.StatusCode, bytes.TrimSpace(msg))
+	}
+	var presp SolveResponse
+	if err := json.NewDecoder(io.LimitReader(hres.Body, 16<<20)).Decode(&presp); err != nil {
+		peer.breaker.failure()
+		return shard.SubResult{}, fmt.Errorf("peer response: %w", err)
+	}
+	peer.breaker.success()
+	return shard.SubResult{
+		Spins:      presp.Spins,
+		Energy:     presp.Energy,
+		Iterations: presp.Iterations,
+		Quantized:  presp.Quantized,
+	}, nil
+}
+
+// shardTimeoutDefault is the per-shard peer deadline when the config
+// names none: generous against a loaded peer, small against the outer
+// request timeouts a coordinator-mode client will use.
+const shardTimeoutDefault = 10 * time.Second

@@ -78,6 +78,16 @@ type Config struct {
 	// a single probe request is let through.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// Peers lists peer daemon base URLs (e.g. "http://10.0.0.2:8080")
+	// for coordinator mode: a sharded /v1/solve request ("shard" > 0)
+	// dispatches its sub-solves across them over the same /v1/solve wire
+	// format, breaker-guarded per peer with bit-identical local fallback.
+	// Empty keeps every sub-solve in-process.
+	Peers []string
+	// ShardTimeout is the per-shard peer deadline in coordinator mode
+	// (default 10s): a straggling peer fails that one sub-solve over to
+	// the local fallback instead of stalling the whole exchange round.
+	ShardTimeout time.Duration
 	// Logf, when non-nil, receives one line per lifecycle event (startup,
 	// drain, shutdown). Request logging is intentionally absent — the
 	// metrics layer carries the aggregate story.
@@ -144,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = shardTimeoutDefault
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -186,6 +199,10 @@ type Server struct {
 
 	decomposeBreaker *breaker
 	solveBreaker     *breaker
+
+	// peers are the coordinator-mode sub-solve targets (Config.Peers),
+	// each behind its own breaker.
+	peers []*peerClient
 }
 
 // New builds a Server from the config (zero values take defaults).
@@ -204,6 +221,12 @@ func New(cfg Config) *Server {
 
 		decomposeBreaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
 		solveBreaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
+	}
+	for _, url := range cfg.Peers {
+		s.peers = append(s.peers, &peerClient{
+			url:     url,
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
+		})
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
@@ -506,7 +529,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		runErr = s.withRetries(ctx, met, func() error {
 			var err error
-			res, err = isinglut.SolveIsingContext(ctx, prob, sbOpts)
+			if req.Shard > 0 && len(s.peers) > 0 {
+				// Coordinator mode: sub-solves fan out to the peer daemons,
+				// breaker-guarded with bit-identical local fallback, so the
+				// answer matches the single-node sharded solve exactly.
+				res, err = isinglut.SolveIsingShardedContext(ctx, prob, sbOpts, s.shardDispatcher(&req, sbOpts))
+			} else {
+				res, err = isinglut.SolveIsingContext(ctx, prob, sbOpts)
+			}
 			if err != nil {
 				return err
 			}
@@ -535,15 +565,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	spins := make([]int8, len(res.Spins))
 	copy(spins, res.Spins) // res.Spins may alias solver workspace memory
 	resp := SolveResponse{
-		Spins:      spins,
-		Energy:     res.Energy,
-		Iterations: res.Iterations,
-		Replicas:   res.Replicas,
-		EarlyStops: res.EarlyStops,
-		StopReason: res.StopReason,
-		ElapsedMS:  float64(time.Since(started)) / float64(time.Millisecond),
-		Rescued:    res.Rescued,
-		Quantized:  res.Quantized,
+		Spins:       spins,
+		Energy:      res.Energy,
+		Iterations:  res.Iterations,
+		Replicas:    res.Replicas,
+		EarlyStops:  res.EarlyStops,
+		StopReason:  res.StopReason,
+		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
+		Rescued:     res.Rescued,
+		Quantized:   res.Quantized,
+		Shards:      res.Shards,
+		ShardRounds: res.ExchangeRounds,
 	}
 	// Quantized results never enter the cache: the slot is shared with the
 	// exact request form (Quant is excluded from the key), and an
@@ -646,6 +678,17 @@ func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut
 	opts.Rescue = req.Rescue
 	opts.Sparse = req.Sparse
 	opts.Quantize = req.Quant
+	if req.Shard < 0 {
+		return nil, opts, fmt.Errorf("shard must be non-negative, got %d", req.Shard)
+	}
+	if req.ShardRounds < 0 {
+		return nil, opts, fmt.Errorf("shard_rounds must be non-negative, got %d", req.ShardRounds)
+	}
+	if req.ShardRounds > 0 && req.Shard == 0 {
+		return nil, opts, fmt.Errorf("shard_rounds needs shard > 0")
+	}
+	opts.MaxShard = req.Shard
+	opts.ShardRounds = req.ShardRounds
 	return p, opts, nil
 }
 
@@ -670,6 +713,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"decompose": s.decomposeBreaker.currentState().String(),
 			"solve":     s.solveBreaker.currentState().String(),
 		},
+	}
+	for _, p := range s.peers {
+		h.Breakers["peer:"+p.url] = p.breaker.currentState().String()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)

@@ -1,0 +1,154 @@
+package shard
+
+import "isinglut/internal/ising"
+
+// arc is one weighted adjacency edge of the coupling graph: a neighbor
+// vertex and the coupling J between the two.
+type arc struct {
+	to int
+	w  float64
+}
+
+// graph is the |J|-weighted adjacency view of a coupling matrix: adj[i]
+// lists every j with J_ij != 0 in ascending order, strength[i] is the
+// vertex's total |J| mass (the partitioner's seed order).
+type graph struct {
+	n        int
+	adj      [][]arc
+	strength []float64
+}
+
+// buildGraph extracts the coupling graph. A CSR coupling is walked in
+// O(nnz) through ForEachRow; any other coupler falls back to the n² At
+// scan (fine at the sizes a dense coupler can represent at all).
+func buildGraph(c ising.Coupler) *graph {
+	n := c.N()
+	g := &graph{n: n, adj: make([][]arc, n), strength: make([]float64, n)}
+	add := func(i, j int, v float64) {
+		g.adj[i] = append(g.adj[i], arc{to: j, w: v})
+		if v < 0 {
+			v = -v
+		}
+		g.strength[i] += v
+	}
+	if s, ok := c.(*ising.Sparse); ok {
+		for i := 0; i < n; i++ {
+			s.ForEachRow(i, func(j int, v float64) {
+				if v != 0 {
+					add(i, j, v)
+				}
+			})
+		}
+		return g
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := c.At(i, j); v != 0 && i != j {
+				add(i, j, v)
+			}
+		}
+	}
+	return g
+}
+
+// partitionGraph splits the vertices into disjoint shards of at most
+// maxShard members by greedy |J|-weighted growth: each shard is seeded
+// with the strongest unassigned vertex (total |J| mass, ties toward the
+// lowest index) and grown one vertex at a time by the largest |J| gain to
+// the shard so far (ties toward the lowest index again), closing when the
+// size cap is hit or the frontier runs dry — so a connected component
+// smaller than the cap always stays whole. The output shards are in
+// creation order with members sorted ascending, and the whole procedure
+// is deterministic: equal inputs partition identically on every run.
+func partitionGraph(g *graph, maxShard int) [][]int {
+	n := g.n
+	assigned := make([]bool, n)
+	// Static seed order: strength descending, index ascending. Strength
+	// never changes, so sorting once up front is enough.
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sortBy(seeds, func(a, b int) bool {
+		if g.strength[a] != g.strength[b] {
+			return g.strength[a] > g.strength[b]
+		}
+		return a < b
+	})
+
+	gain := make([]float64, n)
+	inCand := make([]bool, n)
+	var cand []int
+	var shards [][]int
+	nextSeed := 0
+
+	for {
+		// Advance to the strongest unassigned seed.
+		for nextSeed < n && assigned[seeds[nextSeed]] {
+			nextSeed++
+		}
+		if nextSeed >= n {
+			break
+		}
+		seed := seeds[nextSeed]
+		members := []int{seed}
+		assigned[seed] = true
+		cand = cand[:0]
+		grow := func(v int) {
+			for _, a := range g.adj[v] {
+				if assigned[a.to] {
+					continue
+				}
+				w := a.w
+				if w < 0 {
+					w = -w
+				}
+				gain[a.to] += w
+				if !inCand[a.to] {
+					inCand[a.to] = true
+					cand = append(cand, a.to)
+				}
+			}
+		}
+		grow(seed)
+		for len(members) < maxShard {
+			// Scan the frontier for the max-gain candidate. The scan's
+			// explicit (gain, index) comparison makes the pick independent
+			// of frontier insertion order.
+			best := -1
+			for _, v := range cand {
+				if assigned[v] {
+					continue
+				}
+				if best < 0 || gain[v] > gain[best] || (gain[v] == gain[best] && v < best) {
+					best = v
+				}
+			}
+			if best < 0 {
+				break // frontier dry: the component fit in this shard
+			}
+			assigned[best] = true
+			members = append(members, best)
+			grow(best)
+		}
+		// Reset the frontier state for the next shard.
+		for _, v := range cand {
+			gain[v] = 0
+			inCand[v] = false
+		}
+		sortBy(members, func(a, b int) bool { return a < b })
+		shards = append(shards, members)
+	}
+	return shards
+}
+
+// sortBy is an insertion sort: shard member lists and the seed order are
+// small-to-moderate, and avoiding sort.Slice keeps the comparisons
+// allocation-free.
+func sortBy(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"isinglut/internal/fault"
+	"isinglut/internal/ising"
+	"isinglut/internal/metrics"
+	"isinglut/internal/sb"
+)
+
+// quickBase is a compact per-subproblem SB parameterization: plenty for
+// the shard sizes the tests use, fast enough to run many rounds.
+func quickBase() sb.Params {
+	p := sb.DefaultParams()
+	p.Steps = 300
+	return p
+}
+
+// randProblem builds a random dense-backed instance: each pair coupled
+// with the given density, weights and biases uniform.
+func randProblem(t *testing.T, n int, density float64, seed int64) *ising.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := ising.NewDense(n)
+	h := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				d.Set(i, j, rng.Float64()*2-1)
+			}
+		}
+		h[i] = (rng.Float64()*2 - 1) * 0.3
+	}
+	p, err := ising.NewProblem(d, h, 0)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	return p
+}
+
+// TestPartitionCoversDisjoint pins the partitioner's invariants: every
+// vertex in exactly one shard, sizes within the cap, deterministic
+// output.
+func TestPartitionCoversDisjoint(t *testing.T) {
+	p := randProblem(t, 40, 0.2, 11)
+	for _, maxShard := range []int{1, 5, 12, 40, 100} {
+		shards := buildShards(p, maxShard)
+		seen := make([]int, 40)
+		for _, in := range shards {
+			if len(in.members) == 0 {
+				t.Fatalf("maxShard=%d: empty shard", maxShard)
+			}
+			if len(in.members) > maxShard {
+				t.Fatalf("maxShard=%d: shard of size %d", maxShard, len(in.members))
+			}
+			for i := 1; i < len(in.members); i++ {
+				if in.members[i-1] >= in.members[i] {
+					t.Fatalf("maxShard=%d: members not sorted: %v", maxShard, in.members)
+				}
+			}
+			for _, v := range in.members {
+				seen[v]++
+			}
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("maxShard=%d: vertex %d in %d shards", maxShard, v, c)
+			}
+		}
+	}
+}
+
+// TestShardMatchesBruteForce is the oracle check: on small instances the
+// exchange rounds must reach the dense ground state found by exhaustive
+// enumeration.
+func TestShardMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		n        int
+		density  float64
+		seed     int64
+		maxShard int
+	}{
+		{12, 0.3, 1, 5},
+		{14, 0.25, 2, 6},
+		{16, 0.2, 3, 7},
+		{18, 0.15, 4, 8},
+	}
+	for _, tc := range cases {
+		p := randProblem(t, tc.n, tc.density, tc.seed)
+		_, wantE := ising.BruteForce(p)
+		res, err := Solve(context.Background(), p, Config{
+			MaxShard: tc.maxShard,
+			Rounds:   60,
+			Patience: 2,
+			Restarts: 8,
+			Seed:     tc.seed,
+			Replicas: 4,
+			Base:     quickBase(),
+		})
+		if err != nil {
+			t.Fatalf("n=%d: Solve: %v", tc.n, err)
+		}
+		if res.Shards < 2 {
+			t.Fatalf("n=%d maxShard=%d: expected ≥2 shards, got %d", tc.n, tc.maxShard, res.Shards)
+		}
+		if math.Abs(res.Energy-wantE) > 1e-9 {
+			t.Errorf("n=%d seed=%d: sharded energy %.9f, brute force %.9f", tc.n, tc.seed, res.Energy, wantE)
+		}
+		if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+			t.Errorf("n=%d: reported energy %.9f but spins evaluate to %.9f", tc.n, res.Energy, got)
+		}
+	}
+}
+
+// TestShardDeterministicAcrossWorkers pins the Jacobi design: a fixed
+// seed yields bit-identical global spins for any worker count.
+func TestShardDeterministicAcrossWorkers(t *testing.T) {
+	p := randProblem(t, 60, 0.1, 7)
+	run := func(workers int) Result {
+		res, err := Solve(context.Background(), p, Config{
+			MaxShard: 16,
+			Rounds:   8,
+			Workers:  workers,
+			Seed:     42,
+			Replicas: 2,
+			Base:     quickBase(),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	if a.Energy != b.Energy {
+		t.Fatalf("energy differs across workers: %v vs %v", a.Energy, b.Energy)
+	}
+	if a.Rounds != b.Rounds || a.Accepted != b.Accepted {
+		t.Fatalf("schedule differs across workers: rounds %d/%d accepted %d/%d",
+			a.Rounds, b.Rounds, a.Accepted, b.Accepted)
+	}
+	for i := range a.Spins {
+		if a.Spins[i] != b.Spins[i] {
+			t.Fatalf("spin %d differs across workers: %d vs %d", i, a.Spins[i], b.Spins[i])
+		}
+	}
+}
+
+// TestShardCancellationReturnsBestSoFar cancels the context from the
+// round hook and expects a valid best-so-far result with the stop reason
+// recorded — the same contract every other solver layer honors.
+func TestShardCancellationReturnsBestSoFar(t *testing.T) {
+	p := randProblem(t, 48, 0.15, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Solve(ctx, p, Config{
+		MaxShard: 12,
+		Rounds:   50,
+		Seed:     5,
+		Base:     quickBase(),
+		OnRound: func(round int, _ float64) {
+			if round == 0 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Stopped != metrics.StopCancelled {
+		t.Fatalf("Stopped = %s, want cancelled", res.Stopped)
+	}
+	if res.Rounds < 1 || res.Rounds >= 50 {
+		t.Fatalf("Rounds = %d, want interrupted mid-schedule", res.Rounds)
+	}
+	if len(res.Spins) != 48 {
+		t.Fatalf("Spins length %d", len(res.Spins))
+	}
+	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+		t.Fatalf("best-so-far energy %.9f but spins evaluate to %.9f", res.Energy, got)
+	}
+}
+
+// TestShardOversizedSparse solves an n=2048 sparse MaxCut instance built
+// entirely in CSR form — the dense path would need the full n² matrix —
+// and expects a finite negative energy across multiple shards.
+func TestShardOversizedSparse(t *testing.T) {
+	const n = 2048
+	rng := rand.New(rand.NewSource(17))
+	var ts []ising.Triplet
+	for i := 0; i < n; i++ {
+		ts = append(ts, ising.Triplet{I: i, J: (i + 1) % n, V: -1}) // ring
+	}
+	for k := 0; k < n; k++ { // random chords
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			ts = append(ts, ising.Triplet{I: i, J: j, V: -1})
+		}
+	}
+	coup, err := ising.NewSparseFromTriplets(n, ts)
+	if err != nil {
+		t.Fatalf("NewSparseFromTriplets: %v", err)
+	}
+	p, err := ising.NewProblem(coup, nil, 0)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	base := quickBase()
+	base.Steps = 200
+	res, err := Solve(context.Background(), p, Config{
+		MaxShard: 256,
+		Rounds:   3,
+		Seed:     1,
+		Base:     base,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Shards < 8 {
+		t.Fatalf("Shards = %d, want ≥8 at maxShard=256", res.Shards)
+	}
+	if res.LargestShard > 256 {
+		t.Fatalf("LargestShard = %d exceeds cap", res.LargestShard)
+	}
+	if !(res.Energy < 0) || math.IsInf(res.Energy, 0) || math.IsNaN(res.Energy) {
+		t.Fatalf("Energy = %v, want finite negative", res.Energy)
+	}
+	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-6 {
+		t.Fatalf("energy %.9f but spins evaluate to %.9f", res.Energy, got)
+	}
+}
+
+// TestShardSolveFailpoint arms shard.solve so sub-solves fail: the
+// affected shards keep their spins, the solve still completes with a
+// valid state, and the error is accounted.
+func TestShardSolveFailpoint(t *testing.T) {
+	defer fault.DisarmAll()
+	fault.MustArm("shard.solve", fault.Scenario{Times: 2})
+	p := randProblem(t, 30, 0.2, 3)
+	res, err := Solve(context.Background(), p, Config{
+		MaxShard: 8,
+		Rounds:   4,
+		Workers:  1,
+		Seed:     2,
+		Base:     quickBase(),
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.SubErrors != 2 {
+		t.Fatalf("SubErrors = %d, want 2", res.SubErrors)
+	}
+	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+		t.Fatalf("energy %.9f but spins evaluate to %.9f", res.Energy, got)
+	}
+}
+
+// TestShardExchangeFailpoint arms shard.exchange: the corrupted proposal
+// must be rejected by the accept guard, and the solve must end with an
+// energy no worse than an untouched run's initial state would give.
+func TestShardExchangeFailpoint(t *testing.T) {
+	defer fault.DisarmAll()
+	fault.MustArm("shard.exchange", fault.Scenario{Times: 3})
+	p := randProblem(t, 30, 0.2, 4)
+	var energies []float64
+	res, err := Solve(context.Background(), p, Config{
+		MaxShard: 8,
+		Rounds:   6,
+		Seed:     2,
+		Base:     quickBase(),
+		OnRound:  func(_ int, e float64) { energies = append(energies, e) },
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if fault.Fired("shard.exchange") == 0 {
+		t.Fatal("shard.exchange never fired")
+	}
+	for i := 1; i < len(energies); i++ {
+		if energies[i] > energies[i-1]+1e-9 {
+			t.Fatalf("global energy rose between rounds: %v", energies)
+		}
+	}
+	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+		t.Fatalf("energy %.9f but spins evaluate to %.9f", res.Energy, got)
+	}
+}
+
+// TestShardMalformedDispatcher feeds garbage proposals through a custom
+// dispatcher and expects them all to be rejected as sub-errors — a buggy
+// peer can degrade progress, never corrupt the state.
+func TestShardMalformedDispatcher(t *testing.T) {
+	p := randProblem(t, 20, 0.3, 6)
+	res, err := Solve(context.Background(), p, Config{
+		MaxShard: 6,
+		Rounds:   2,
+		Seed:     1,
+		Dispatch: badDispatcher{},
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.SubErrors != res.SubSolves || res.SubSolves == 0 {
+		t.Fatalf("SubErrors = %d of %d sub-solves, want all", res.SubErrors, res.SubSolves)
+	}
+	if res.Stopped != metrics.StopMaxIters {
+		t.Fatalf("Stopped = %s, want max-iters (failure rounds are not convergence)", res.Stopped)
+	}
+	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+		t.Fatalf("energy %.9f but spins evaluate to %.9f", res.Energy, got)
+	}
+}
+
+// badDispatcher returns spins of the wrong length with non-±1 entries.
+type badDispatcher struct{}
+
+func (badDispatcher) Solve(_ context.Context, sub SubProblem) (SubResult, error) {
+	return SubResult{Spins: make([]int8, sub.N+1)}, nil
+}

@@ -7,29 +7,79 @@ import (
 
 	"isinglut/internal/anneal"
 	"isinglut/internal/ising"
+	"isinglut/internal/metrics"
 	"isinglut/internal/sb"
+	"isinglut/internal/shard"
 )
 
 // IsingProblem is a public builder for standalone second-order Ising
 // instances (Eq. 1): E = -sum h_i s_i - 1/2 sum J_ij s_i s_j. It exposes
 // the same solver stack the decomposer uses (bSB/aSB/dSB and simulated
 // annealing) for unrelated combinatorial problems such as max-cut.
+//
+// The default builder (NewIsingProblem) stores the couplings densely:
+// n² float64 slots, which is the fastest representation up to a few
+// thousand spins. NewSparseIsingProblem stores them in CSR form instead,
+// so oversized sparse instances (n ≫ 10³) never materialize the dense
+// matrix at all — the combination that the sharded solver
+// (SBOptions.MaxShard) is built for.
 type IsingProblem struct {
-	dense *ising.Dense
-	h     []float64
+	dense  *ising.Dense  // nil for sparse-backed problems
+	sparse *ising.Sparse // nil for dense-backed problems
+	h      []float64
 }
 
 // NewIsingProblem allocates an n-spin problem with zero couplings and
-// biases.
+// biases, stored densely.
 func NewIsingProblem(n int) *IsingProblem {
 	return &IsingProblem{dense: ising.NewDense(n), h: make([]float64, n)}
 }
 
-// N returns the spin count.
-func (p *IsingProblem) N() int { return p.dense.N() }
+// IsingCoupling is one symmetric coupling entry for the sparse builder:
+// J_ij = J_ji accumulate V.
+type IsingCoupling struct {
+	I, J int
+	V    float64
+}
 
-// SetCoupling assigns J_ij = J_ji = v (i != j).
-func (p *IsingProblem) SetCoupling(i, j int, v float64) { p.dense.Set(i, j, v) }
+// NewSparseIsingProblem builds an n-spin problem from coupling triplets,
+// stored in CSR form: memory is O(couplings), never O(n²), so instances
+// far beyond the dense builder's reach stay constructible. Duplicate
+// coordinates accumulate; diagonal or out-of-range entries are an error.
+func NewSparseIsingProblem(n int, couplings []IsingCoupling) (*IsingProblem, error) {
+	ts := make([]ising.Triplet, len(couplings))
+	for i, c := range couplings {
+		ts[i] = ising.Triplet{I: c.I, J: c.J, V: c.V}
+	}
+	s, err := ising.NewSparseFromTriplets(n, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &IsingProblem{sparse: s, h: make([]float64, n)}, nil
+}
+
+// coupler returns the problem's coupling matrix under the shared
+// interface, whichever representation backs it.
+func (p *IsingProblem) coupler() ising.Coupler {
+	if p.sparse != nil {
+		return p.sparse
+	}
+	return p.dense
+}
+
+// N returns the spin count.
+func (p *IsingProblem) N() int { return p.coupler().N() }
+
+// SetCoupling assigns J_ij = J_ji = v (i != j). On a sparse-backed
+// problem inserting a new structural entry is O(nnz); bulk construction
+// belongs in NewSparseIsingProblem.
+func (p *IsingProblem) SetCoupling(i, j int, v float64) {
+	if p.sparse != nil {
+		p.sparse.Set(i, j, v)
+		return
+	}
+	p.dense.Set(i, j, v)
+}
 
 // SetBias assigns h_i = v.
 func (p *IsingProblem) SetBias(i int, v float64) { p.h[i] = v }
@@ -45,7 +95,13 @@ func (p *IsingProblem) Energy(spins []int8) float64 {
 // solvers reject such problems up front with an error instead of
 // running to a meaningless diverged result.
 func (p *IsingProblem) Validate() error {
-	if !p.dense.AllFinite() {
+	finite := true
+	if p.sparse != nil {
+		finite = p.sparse.AllFinite()
+	} else {
+		finite = p.dense.AllFinite()
+	}
+	if !finite {
 		return fmt.Errorf("isinglut: problem has a non-finite coupling (NaN or ±Inf)")
 	}
 	for i, h := range p.h {
@@ -57,7 +113,7 @@ func (p *IsingProblem) Validate() error {
 }
 
 func (p *IsingProblem) problem() *ising.Problem {
-	prob, err := ising.NewProblem(p.dense, p.h, 0)
+	prob, err := ising.NewProblem(p.coupler(), p.h, 0)
 	if err != nil {
 		panic(err) // builder keeps dimensions consistent
 	}
@@ -128,6 +184,18 @@ type SBOptions struct {
 	// IsingResult.Quantized reports whether the fast path actually ran; a
 	// coupling that fails to quantize falls back to float64 silently.
 	Quantize bool
+	// MaxShard > 0 routes the solve through the shard-and-exchange
+	// decomposition layer: the coupling graph is split into subproblems
+	// of at most MaxShard spins (greedy |J|-weighted growth), each is
+	// solved on the batch engine with its boundary spins clamped to the
+	// current global state, and exchange rounds iterate until the global
+	// energy stabilizes. This is the path for instances one SB solve
+	// cannot hold; Trace is not supported through it and Fused is
+	// meaningless (the shard layer drives the batch engine itself).
+	MaxShard int
+	// ShardRounds bounds the exchange rounds of a sharded solve
+	// (default 12). Only meaningful with MaxShard > 0.
+	ShardRounds int
 }
 
 // IsingResult reports a standalone Ising solve.
@@ -164,6 +232,10 @@ type IsingResult struct {
 	// Quantized reports that the solve ran on the fixed-point field
 	// kernels (SBOptions.Quantize accepted and the coupling quantized).
 	Quantized bool
+	// Shards is the partition size of a sharded solve (0 for a direct
+	// solve); ExchangeRounds the exchange rounds it executed.
+	Shards         int
+	ExchangeRounds int
 }
 
 // SolveIsing searches the problem's ground state with simulated
@@ -176,6 +248,9 @@ func SolveIsing(p *IsingProblem, opts SBOptions) (IsingResult, error) {
 // deadline interrupts the run at the next sample point and returns the
 // best-so-far state with StopReason set, never an error.
 func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (IsingResult, error) {
+	if opts.MaxShard > 0 {
+		return SolveIsingShardedContext(ctx, p, opts, nil)
+	}
 	if err := p.Validate(); err != nil {
 		return IsingResult{}, err
 	}
@@ -222,10 +297,11 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 	}
 	params.Quantize = opts.Quantize
 	prob := p.problem()
-	if opts.Sparse {
+	if opts.Sparse && p.dense != nil {
 		// Auto-pick: CSR when the instance is sparse enough to win, the
 		// original dense coupler otherwise. Bit-identical results either
-		// way, so the flag is purely a performance hint.
+		// way, so the flag is purely a performance hint. (A sparse-backed
+		// problem is already CSR, so the flag is a no-op there.)
 		prob.Coup = ising.CompactCoupler(p.dense)
 	}
 	replicas := 1
@@ -285,6 +361,112 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 		DivergedReplicas: divergedReplicas,
 		Quantized:        res.Quantized,
 	}, nil
+}
+
+// ShardDispatcher runs one shard subproblem somewhere — the serve layer
+// implements it to dispatch sub-solves to peer daemons over /v1/solve.
+// Implementations must be safe for concurrent calls and deterministic
+// per SubProblem.Seed.
+type ShardDispatcher = shard.Dispatcher
+
+// SolveIsingShardedContext solves the problem through the
+// shard-and-exchange decomposition layer: split the coupling graph into
+// subproblems of at most opts.MaxShard spins, solve each with its
+// boundary clamped to the current global state, and iterate exchange
+// rounds until the global energy stabilizes, the round budget runs out,
+// or the context fires (best-so-far is returned either way, with
+// StopReason recorded). d routes the sub-solves; nil runs them
+// in-process on the batch engine. SolveIsingContext forwards here
+// automatically when opts.MaxShard > 0.
+func SolveIsingShardedContext(ctx context.Context, p *IsingProblem, opts SBOptions, d ShardDispatcher) (IsingResult, error) {
+	if err := p.Validate(); err != nil {
+		return IsingResult{}, err
+	}
+	if opts.MaxShard <= 0 {
+		return IsingResult{}, fmt.Errorf("isinglut: sharded solve needs MaxShard > 0, got %d", opts.MaxShard)
+	}
+	if opts.ShardRounds < 0 {
+		return IsingResult{}, fmt.Errorf("isinglut: ShardRounds must be non-negative, got %d", opts.ShardRounds)
+	}
+	if opts.Trace {
+		return IsingResult{}, fmt.Errorf("isinglut: Trace is not supported with MaxShard (no single trajectory to trace)")
+	}
+	if math.IsNaN(opts.Dt) || math.IsInf(opts.Dt, 0) {
+		return IsingResult{}, fmt.Errorf("isinglut: Dt must be finite, got %g", opts.Dt)
+	}
+	if math.IsNaN(opts.Epsilon) || math.IsInf(opts.Epsilon, 0) {
+		return IsingResult{}, fmt.Errorf("isinglut: Epsilon must be finite, got %g", opts.Epsilon)
+	}
+	if opts.Quantize && opts.Variant != DiscreteSB {
+		return IsingResult{}, fmt.Errorf("isinglut: Quantize requires the DiscreteSB variant (got %s)", opts.Variant)
+	}
+	res, err := shard.Solve(ctx, p.problem(), shard.Config{
+		MaxShard: opts.MaxShard,
+		Rounds:   opts.ShardRounds,
+		Workers:  opts.Workers,
+		Seed:     opts.Seed,
+		Replicas: opts.Replicas,
+		Base:     shardBaseParams(opts),
+		Dispatch: d,
+	})
+	if err != nil {
+		return IsingResult{}, err
+	}
+	replicas := opts.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	return IsingResult{
+		Spins:          res.Spins,
+		Energy:         res.Energy,
+		Iterations:     res.Iterations,
+		Stopped:        res.Stopped == metrics.StopConverged,
+		Replicas:       replicas,
+		StopReason:     res.Stopped.String(),
+		Quantized:      res.Quantized,
+		Shards:         res.Shards,
+		ExchangeRounds: res.Rounds,
+	}, nil
+}
+
+// shardBaseParams maps SBOptions onto the per-subproblem SB
+// parameterization of a sharded solve — the single source of truth for
+// both the in-process default dispatcher and the serve-layer
+// coordinator's local fallback, so the two paths stay bit-identical.
+func shardBaseParams(opts SBOptions) sb.Params {
+	base := sb.DefaultParamsFor(opts.Variant)
+	if opts.Steps > 0 {
+		base.Steps = opts.Steps
+	}
+	if opts.Dt > 0 {
+		base.Dt = opts.Dt
+	}
+	base.RescueDiverged = opts.Rescue
+	base.Quantize = opts.Quantize
+	if opts.DynamicStop {
+		f, s, eps := opts.F, opts.S, opts.Epsilon
+		if f <= 0 {
+			f = 20
+		}
+		if s <= 1 {
+			s = 20
+		}
+		if eps <= 0 {
+			eps = 1e-8
+		}
+		base.Stop = &sb.StopCriteria{F: f, S: s, Epsilon: eps}
+	}
+	return base
+}
+
+// NewLocalShardDispatcher returns the in-process sub-solve dispatcher a
+// sharded solve uses by default, parameterized exactly as
+// SolveIsingShardedContext(..., nil) would. The serve-layer coordinator
+// holds one as its breaker-guarded local fallback: a sub-solve that
+// fails over from a peer to this dispatcher produces the bit-identical
+// result the peer would have returned.
+func NewLocalShardDispatcher(opts SBOptions) ShardDispatcher {
+	return &shard.LocalDispatcher{Base: shardBaseParams(opts), Replicas: opts.Replicas}
 }
 
 // AnnealIsing searches the problem's ground state with simulated

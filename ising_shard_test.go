@@ -1,0 +1,145 @@
+package isinglut_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"isinglut"
+)
+
+// shardTestProblem builds a frustrated ring with a few chords — enough
+// structure to split into several shards with real boundary coupling.
+func shardTestProblem(t *testing.T, n int) *isinglut.IsingProblem {
+	t.Helper()
+	p := isinglut.NewIsingProblem(n)
+	for i := 0; i < n; i++ {
+		v := 1.0
+		if i%3 == 0 {
+			v = -1
+		}
+		p.SetCoupling(i, (i+1)%n, v)
+	}
+	for i := 0; i+n/2 < n; i += 7 {
+		p.SetCoupling(i, i+n/2, -0.5)
+	}
+	return p
+}
+
+// TestSolveIsingShardRouting pins the public entry point: MaxShard > 0
+// on SolveIsing routes through the shard-and-exchange solver, reporting
+// the decomposition in the result.
+func TestSolveIsingShardRouting(t *testing.T) {
+	p := shardTestProblem(t, 24)
+	res, err := isinglut.SolveIsing(p, isinglut.SBOptions{
+		Steps: 150, Seed: 3, MaxShard: 8, ShardRounds: 4,
+	})
+	if err != nil {
+		t.Fatalf("SolveIsing: %v", err)
+	}
+	if res.Shards < 2 {
+		t.Fatalf("Shards = %d, want ≥2 at MaxShard=8 for n=24", res.Shards)
+	}
+	if res.ExchangeRounds < 1 {
+		t.Fatalf("ExchangeRounds = %d, want ≥1", res.ExchangeRounds)
+	}
+	if len(res.Spins) != 24 {
+		t.Fatalf("Spins length %d", len(res.Spins))
+	}
+	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+		t.Fatalf("reported energy %.9f but spins evaluate to %.9f", res.Energy, got)
+	}
+}
+
+// TestSolveIsingShardValidation pins the error surface of the sharded
+// entry point: options that have no meaning under decomposition are
+// rejected up front, not silently ignored.
+func TestSolveIsingShardValidation(t *testing.T) {
+	p := shardTestProblem(t, 12)
+	cases := []struct {
+		name string
+		opts isinglut.SBOptions
+	}{
+		{"trace unsupported", isinglut.SBOptions{MaxShard: 4, Trace: true}},
+		{"negative rounds", isinglut.SBOptions{MaxShard: 4, ShardRounds: -1}},
+		{"quantize needs dsb", isinglut.SBOptions{MaxShard: 4, Quantize: true}},
+		{"nan dt", isinglut.SBOptions{MaxShard: 4, Dt: math.NaN()}},
+	}
+	for _, tc := range cases {
+		if _, err := isinglut.SolveIsing(p, tc.opts); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+// TestNewSparseIsingProblem pins the sparse constructor: a CSR-backed
+// problem behaves identically to the dense-backed one through the whole
+// public solve surface, and rejects malformed triplets.
+func TestNewSparseIsingProblem(t *testing.T) {
+	const n = 24
+	dense := shardTestProblem(t, n)
+	var cs []isinglut.IsingCoupling
+	for i := 0; i < n; i++ {
+		v := 1.0
+		if i%3 == 0 {
+			v = -1
+		}
+		cs = append(cs, isinglut.IsingCoupling{I: i, J: (i + 1) % n, V: v})
+	}
+	for i := 0; i+n/2 < n; i += 7 {
+		cs = append(cs, isinglut.IsingCoupling{I: i, J: i + n/2, V: -0.5})
+	}
+	sparse, err := isinglut.NewSparseIsingProblem(n, cs)
+	if err != nil {
+		t.Fatalf("NewSparseIsingProblem: %v", err)
+	}
+
+	opts := isinglut.SBOptions{Steps: 150, Seed: 5, MaxShard: 8, ShardRounds: 3}
+	dres, err := isinglut.SolveIsing(dense, opts)
+	if err != nil {
+		t.Fatalf("dense solve: %v", err)
+	}
+	sres, err := isinglut.SolveIsing(sparse, opts)
+	if err != nil {
+		t.Fatalf("sparse solve: %v", err)
+	}
+	if dres.Energy != sres.Energy {
+		t.Fatalf("sparse-backed energy %v, dense-backed %v", sres.Energy, dres.Energy)
+	}
+	for i := range dres.Spins {
+		if dres.Spins[i] != sres.Spins[i] {
+			t.Fatalf("spin %d differs between backings: %d vs %d", i, dres.Spins[i], sres.Spins[i])
+		}
+	}
+
+	if _, err := isinglut.NewSparseIsingProblem(4, []isinglut.IsingCoupling{{I: 0, J: 4, V: 1}}); err == nil {
+		t.Fatal("out-of-range triplet accepted")
+	}
+	if _, err := isinglut.NewSparseIsingProblem(4, []isinglut.IsingCoupling{{I: 2, J: 2, V: 1}}); err == nil {
+		t.Fatal("diagonal triplet accepted")
+	}
+}
+
+// TestShardedSolveCancellation checks the public-surface contract under
+// a cancelled context: best-so-far spins with the stop reason recorded,
+// not an error.
+func TestShardedSolveCancellation(t *testing.T) {
+	p := shardTestProblem(t, 36)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := isinglut.SolveIsingContext(ctx, p, isinglut.SBOptions{
+		Steps: 100, Seed: 7, MaxShard: 6, ShardRounds: 40,
+	})
+	if err != nil {
+		t.Fatalf("SolveIsingContext: %v", err)
+	}
+	if res.StopReason != "cancelled" {
+		t.Fatalf("StopReason = %q, want cancelled", res.StopReason)
+	}
+	if len(res.Spins) != 36 {
+		t.Fatalf("Spins length %d", len(res.Spins))
+	}
+	if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+		t.Fatalf("reported energy %.9f but spins evaluate to %.9f", res.Energy, got)
+	}
+}
