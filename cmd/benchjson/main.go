@@ -11,10 +11,13 @@
 // output lines into {name, ns_op, allocs_op, runs} records, plus derived
 // speedup ratios for the fused-vs-unfused engine pairs.
 //
-// -serving folds a cmd/loadgen JSON report into the output as a
-// "serving" section, so one artifact carries both the solver-kernel and
-// the serving-layer numbers:
+// Every run folds a cmd/loadgen report into the output as a "serving"
+// section, so one artifact carries both the solver-kernel and the
+// serving-layer numbers (the ROADMAP's track-serving-per-PR item). By
+// default the tool boots loadgen's in-process server itself; -serving
+// substitutes an existing report and -noserving opts out entirely:
 //
+//	go run ./cmd/benchjson -out BENCH_PR9.json                   # benches + fresh serving baseline
 //	go run ./cmd/loadgen -boot -rps 200 -duration 10s -out /tmp/serving.json
 //	go run ./cmd/benchjson -serving /tmp/serving.json -out BENCH_PR6.json
 package main
@@ -67,7 +70,9 @@ func main() {
 		benchRe   = flag.String("bench", "FieldBatch|FieldColumns|FieldSigns|SolveBatch|SolveFused", "benchmark regexp passed to go test")
 		benchTime = flag.String("benchtime", "300ms", "go test -benchtime value")
 		pkgs      = flag.String("pkgs", "./internal/ising,./internal/sb", "comma-separated packages to benchmark")
-		serving   = flag.String("serving", "", "cmd/loadgen JSON report to fold in as the serving section")
+		serving   = flag.String("serving", "", "existing cmd/loadgen JSON report to fold in as the serving section (default: run loadgen in-process)")
+		noServing = flag.Bool("noserving", false, "skip the serving section entirely")
+		servDur   = flag.Duration("serving-duration", 5*time.Second, "schedule length for the auto-run serving baseline")
 	)
 	flag.Parse()
 
@@ -88,7 +93,9 @@ func main() {
 		Results:     results,
 		Speedups:    deriveSpeedups(results),
 	}
-	if *serving != "" {
+	switch {
+	case *noServing:
+	case *serving != "":
 		raw, err := os.ReadFile(*serving)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -99,6 +106,13 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Serving = json.RawMessage(raw)
+	default:
+		raw, err := runServingBaseline(*servDur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rep.Serving = raw
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -115,6 +129,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d results -> %s\n", len(rep.Results), *out)
+}
+
+// runServingBaseline shells out to cmd/loadgen in boot mode (in-process
+// server on a loopback port, deterministic seeded schedule) so every
+// benchjson artifact carries a serving baseline without a separately
+// managed daemon.
+func runServingBaseline(dur time.Duration) (json.RawMessage, error) {
+	tmp, err := os.CreateTemp("", "benchjson-serving-*.json")
+	if err != nil {
+		return nil, err
+	}
+	path := tmp.Name()
+	tmp.Close()
+	defer os.Remove(path)
+
+	cmd := exec.Command("go", "run", "./cmd/loadgen",
+		"-boot", "-quiet", "-rps", "120", "-duration", dur.String(),
+		"-inflight", "128", "-seed", "7", "-out", path)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("serving baseline: %w", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(raw) {
+		return nil, fmt.Errorf("serving baseline produced invalid JSON")
+	}
+	return json.RawMessage(raw), nil
 }
 
 // runBench shells out to go test and parses the benchmark lines.
@@ -180,8 +224,9 @@ func cpuSuffix(name string) string {
 // deriveSpeedups pairs baseline/optimized benchmarks that share a
 // parameter suffix: SolveBatch vs SolveFused, FieldColumns vs FieldBatch
 // (per coupler), dense-kernel-on-sparse-instance vs the CSR and
-// quantized kernels, and the float fused dSB solve vs its quantized and
-// sparse counterparts.
+// quantized kernels, the float fused dSB solve vs its quantized and
+// sparse counterparts, and the scalar quantized kernels vs their
+// bit-packed popcount versions (kernel-level and end-to-end).
 func deriveSpeedups(results []benchResult) []speedup {
 	byName := make(map[string]benchResult, len(results))
 	for _, r := range results {
@@ -197,6 +242,11 @@ func deriveSpeedups(results []benchResult) []speedup {
 		{"BenchmarkSolveFusedDSB", "BenchmarkSolveFusedDSBQuant"},
 		{"BenchmarkSolveFusedDSBSparseDense", "BenchmarkSolveFusedDSBSparseCSR"},
 		{"BenchmarkSolveFusedDSBSparseDense", "BenchmarkSolveFusedDSBSparseQuant"},
+		{"BenchmarkFieldSignsQuantDense", "BenchmarkFieldSignsBitpackDense"},
+		{"BenchmarkFieldSignsQuantClustered", "BenchmarkFieldSignsBitpackClustered"},
+		{"BenchmarkFieldBatchDense", "BenchmarkFieldSignsBitpackDense"},
+		{"BenchmarkSolveFusedDSB", "BenchmarkSolveFusedDSBBitpack"},
+		{"BenchmarkSolveFusedDSBQuant", "BenchmarkSolveFusedDSBBitpack"},
 	}
 	var out []speedup
 	for _, r := range results {

@@ -123,3 +123,47 @@ func TestSparseQuantFlagOptions(t *testing.T) {
 		t.Fatal("-quant without -solver dsb accepted")
 	}
 }
+
+// TestBitpackFlagOptions exercises the SBOptions the -bitpack flag
+// produces: a dense demo instance solved through the popcount kernels
+// (bit-identical to -quant, so the result must match it exactly), and
+// the -bitpack with a non-dsb solver misuse surfacing as an error.
+func TestBitpackFlagOptions(t *testing.T) {
+	prob, err := demoProblem("spinglass", 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := isinglut.SBOptions{
+		Variant: isinglut.DiscreteSB,
+		Steps:   300,
+		Seed:    3,
+	}
+	quantOpts := base
+	quantOpts.Quantize = true
+	quant, err := isinglut.SolveIsing(prob, quantOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packOpts := base
+	packOpts.BitPack = true
+	packed, err := isinglut.SolveIsing(prob, packOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !packed.BitPacked || !packed.Quantized {
+		t.Fatalf("-bitpack -solver dsb did not take the packed path: %+v",
+			[]bool{packed.Quantized, packed.BitPacked})
+	}
+	if packed.Energy != quant.Energy {
+		t.Fatalf("-bitpack energy %v differs from -quant energy %v", packed.Energy, quant.Energy)
+	}
+	for i := range quant.Spins {
+		if packed.Spins[i] != quant.Spins[i] {
+			t.Fatalf("-bitpack spin %d differs from -quant", i)
+		}
+	}
+	// -bitpack with the default bsb solver must be rejected, not ignored.
+	if _, err := isinglut.SolveIsing(prob, isinglut.SBOptions{BitPack: true}); err == nil {
+		t.Fatal("-bitpack without -solver dsb accepted")
+	}
+}

@@ -118,6 +118,27 @@ func (v *Vector) Equal(w *Vector) bool {
 	return true
 }
 
+// Words exposes the backing uint64 words (64 bits per word, bit i of
+// word i/64 is vector bit i; tail bits beyond Len are zero). The slice
+// aliases the vector's storage — callers that write through it must
+// preserve the zero tail. It exists for popcount-kernel consumers that
+// need word-level access without a copy.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// AndCount returns popcount(v AND u) without materializing the
+// intersection — the inner operation of the bit-packed field kernels. It
+// panics if lengths differ.
+func (v *Vector) AndCount(u *Vector) int {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: AndCount length mismatch %d != %d", v.n, u.n))
+	}
+	total := 0
+	for i, w := range v.words {
+		total += bits.OnesCount64(w & u.words[i])
+	}
+	return total
+}
+
 // OnesCount returns the number of set bits.
 func (v *Vector) OnesCount() int {
 	total := 0

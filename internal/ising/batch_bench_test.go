@@ -15,8 +15,8 @@ func fieldColumns(c Coupler, x, out []float64, r int) {
 }
 
 func benchGrid(b *testing.B, run func(b *testing.B, n, r int)) {
-	for _, n := range []int{64, 256} {
-		for _, r := range []int{4, 16, 32} {
+	for _, n := range []int{64, 256, 1024} {
+		for _, r := range []int{4, 32, 64} {
 			b.Run(fmt.Sprintf("n=%d/r=%d", n, r), func(b *testing.B) {
 				run(b, n, r)
 			})
@@ -158,6 +158,78 @@ func BenchmarkFieldSignsQuantSparse(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			q.FieldSignsBatch(sigma, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldSignsBitpackDense is the popcount engine on the same
+// dense instances as BenchmarkFieldSignsQuantDense: sign/magnitude
+// bit-planes against replica-bit-sliced spin masks, word-parallel across
+// 64 replicas per popcount.
+func BenchmarkFieldSignsBitpackDense(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		q, ok := Quantize(randomDenseCoupler(n, 1))
+		if !ok {
+			b.Fatal("Quantize failed")
+		}
+		p, ok := NewPlanes(q)
+		if !ok {
+			b.Fatal("dense instance rejected by the packing dispatch")
+		}
+		sigma := benchSigns(randomBlock(n, r, 2, 0))
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.SetBytes(int64(n * n / 8 * p.PlaneCount())) // packed plane stream
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.FieldSignsBatch(sigma, out, r)
+		}
+	})
+}
+
+// benchClusteredDensity is the instance density for the bit-packed CSR
+// plane benches: sparse enough that quantization picks the CSR layout,
+// dense enough that the density × width dispatch accepts packing (the
+// 5%-dense instances above are rejected — scalar CSR quant wins there).
+const benchClusteredDensity = 0.2
+
+// BenchmarkFieldSignsQuantClustered is the scalar quantized CSR baseline
+// on the 20%-dense instances, paired with the bench below.
+func BenchmarkFieldSignsQuantClustered(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		q, ok := Quantize(NewSparseFromDense(randomSparseDense(n, benchClusteredDensity, 1)))
+		if !ok {
+			b.Fatal("Quantize failed")
+		}
+		sigma := benchSigns(randomBlock(n, r, 2, 0))
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.FieldSignsBatch(sigma, out, r)
+		}
+	})
+}
+
+// BenchmarkFieldSignsBitpackClustered is the CSR-backed plane engine on
+// the same 20%-dense instances: only 64-column groups containing
+// nonzeros are stored and swept.
+func BenchmarkFieldSignsBitpackClustered(b *testing.B) {
+	benchGrid(b, func(b *testing.B, n, r int) {
+		q, ok := Quantize(NewSparseFromDense(randomSparseDense(n, benchClusteredDensity, 1)))
+		if !ok {
+			b.Fatal("Quantize failed")
+		}
+		p, ok := NewPlanes(q)
+		if !ok {
+			b.Fatal("clustered instance rejected by the packing dispatch")
+		}
+		sigma := benchSigns(randomBlock(n, r, 2, 0))
+		out := make([]float64, n*r)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.FieldSignsBatch(sigma, out, r)
 		}
 	})
 }

@@ -21,8 +21,8 @@ func benchBatchParams(replicas int) BatchParams {
 }
 
 func benchEngineGrid(b *testing.B, run func(b *testing.B, n, r int)) {
-	for _, n := range []int{64, 256} {
-		for _, r := range []int{4, 16, 32} {
+	for _, n := range []int{64, 256, 1024} {
+		for _, r := range []int{4, 32, 64} {
 			b.Run(fmt.Sprintf("n=%d/r=%d", n, r), func(b *testing.B) {
 				run(b, n, r)
 			})
@@ -86,21 +86,22 @@ func randomSparseProblem(n int, seed int64, useCSR bool) *ising.Problem {
 }
 
 // benchDSBParams is benchBatchParams restricted to the discrete variant,
-// the only one with a quantized fast path.
-func benchDSBParams(r int, quantize bool) BatchParams {
+// the only one with quantized and bit-packed fast paths.
+func benchDSBParams(r int, quantize, bitpack bool) BatchParams {
 	bp := benchBatchParams(r)
 	bp.Base.Variant = Discrete
 	bp.Base.Quantize = quantize
+	bp.Base.BitPack = bitpack
 	return bp
 }
 
 // benchFusedDSB runs the fused engine over the grid on a prebuilt problem
 // family; all five end-to-end dSB benches share it so the comparisons
 // isolate the coupler/quantization choice.
-func benchFusedDSB(b *testing.B, prob func(n int) *ising.Problem, quantize bool) {
+func benchFusedDSB(b *testing.B, prob func(n int) *ising.Problem, quantize, bitpack bool) {
 	benchEngineGrid(b, func(b *testing.B, n, r int) {
 		p := prob(n)
-		bp := benchDSBParams(r, quantize)
+		bp := benchDSBParams(r, quantize, bitpack)
 		fw := NewFusedWorkspace(n, r)
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -113,29 +114,36 @@ func benchFusedDSB(b *testing.B, prob func(n int) *ising.Problem, quantize bool)
 // BenchmarkSolveFusedDSB is the float dSB trajectory baseline on a dense
 // spin glass.
 func BenchmarkSolveFusedDSB(b *testing.B) {
-	benchFusedDSB(b, func(n int) *ising.Problem { return randomProblem(n, int64(n)) }, false)
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomProblem(n, int64(n)) }, false, false)
 }
 
 // BenchmarkSolveFusedDSBQuant is the same trajectory through the int8
 // fixed-point field kernels (energies still evaluated against exact J).
 func BenchmarkSolveFusedDSBQuant(b *testing.B) {
-	benchFusedDSB(b, func(n int) *ising.Problem { return randomProblem(n, int64(n)) }, true)
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomProblem(n, int64(n)) }, true, false)
+}
+
+// BenchmarkSolveFusedDSBBitpack is the same trajectory again through the
+// bit-packed popcount kernels: sign/magnitude bit-planes against
+// replica-bit-sliced spin masks, bit-identical to the quantized run.
+func BenchmarkSolveFusedDSBBitpack(b *testing.B) {
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomProblem(n, int64(n)) }, false, true)
 }
 
 // BenchmarkSolveFusedDSBSparseDense runs a density-0.05 instance through
 // the dense coupler — the end-to-end baseline for the sparse speedup gate.
 func BenchmarkSolveFusedDSBSparseDense(b *testing.B) {
-	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), false) }, false)
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), false) }, false, false)
 }
 
 // BenchmarkSolveFusedDSBSparseCSR is the same instance through the CSR
 // coupler: bit-identical trajectory, nnz-bound field kernels.
 func BenchmarkSolveFusedDSBSparseCSR(b *testing.B) {
-	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), true) }, false)
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), true) }, false, false)
 }
 
 // BenchmarkSolveFusedDSBSparseQuant stacks both fast paths: quantized CSR
 // codes on the sparse instance.
 func BenchmarkSolveFusedDSBSparseQuant(b *testing.B) {
-	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), true) }, true)
+	benchFusedDSB(b, func(n int) *ising.Problem { return randomSparseProblem(n, int64(n), true) }, true, false)
 }

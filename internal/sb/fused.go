@@ -210,8 +210,15 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 	// the float64 path. Sample-point and stop-window energies below always
 	// evaluate against the exact float coupling either way.
 	var quant *ising.Quantized
-	if params.Quantize && params.Variant == Discrete {
+	if (params.Quantize || params.BitPack) && params.Variant == Discrete {
 		quant, _ = ising.Quantize(p.Coup)
+	}
+	// BitPack re-packs the codes into popcount bit-planes (nil: heuristic
+	// rejection or failed quantization — the scalar quantized kernels run
+	// instead, bit-identically).
+	var planes *ising.Planes
+	if params.BitPack && quant != nil {
+		planes, _ = ising.NewPlanes(quant)
 	}
 
 	stats := Stats{
@@ -430,9 +437,12 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		// quantized path (dSB-only) consumes the same incrementally
 		// maintained sign lanes the float dSB product reads, so the two
 		// paths see identical spins step for step.
-		if quant != nil {
+		switch {
+		case planes != nil:
+			planes.FieldSignsBatch(fw.sgn[:ab], fw.fld[:ab], active)
+		case quant != nil:
 			quant.FieldSignsBatch(fw.sgn[:ab], fw.fld[:ab], active)
-		} else {
+		default:
 			src := fw.x
 			if params.Variant == Discrete {
 				src = fw.sgn
@@ -587,6 +597,7 @@ func SolveFusedWith(ctx context.Context, p *ising.Problem, bp BatchParams, fw *F
 		Diverged:     stats.Diverged[best],
 		Rescued:      stats.Rescued[best],
 		Quantized:    quant != nil,
+		BitPacked:    planes != nil,
 	}
 
 	wall := time.Since(batchStart)

@@ -153,6 +153,18 @@ type Params struct {
 	// the run falls back to the float64 engine bit-identically, reported
 	// via Result.Quantized.
 	Quantize bool
+	// BitPack layers the popcount fast path on top of Quantize: the
+	// quantized codes are re-packed into sign+magnitude bit-planes
+	// (ising.NewPlanes) and the per-step field product runs on
+	// AND+POPCNT sweeps over packed ±1 spin masks — bit-identical to the
+	// scalar quantized kernels, so whole trajectories match the Quantize
+	// path exactly. It implies Quantize (the codes are the input), only
+	// applies to the Discrete variant, and degrades in two stages: an
+	// unquantizable coupling falls back to float64, and a coupling whose
+	// density × width heuristic rejects packing (tiny or very sparse
+	// instances where the scalar kernel wins) stays on the scalar
+	// quantized path. Result.BitPacked reports what actually ran.
+	BitPack bool
 	// RescueDiverged enables the one-shot divergence rescue: when the
 	// guard detects non-finite positions or energy at a sample point, the
 	// trajectory is re-seeded from Seed with the time step halved and the
@@ -223,6 +235,11 @@ type Result struct {
 	// was off, the variant was not Discrete, or the coupling failed to
 	// quantize and the solve fell back to float64.
 	Quantized bool
+	// BitPacked reports that the run used the bit-packed popcount field
+	// kernels (Params.BitPack accepted by the packing heuristic on top of
+	// a successful quantization); when false with Quantized true, the
+	// solve ran on the scalar quantized kernels instead.
+	BitPacked bool
 	// Trace holds the sampled energies when Params.RecordTrace is set.
 	Trace []float64
 }
@@ -317,8 +334,15 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 	// products. A nil quant (flag off, non-dSB variant, or unquantizable
 	// coupling) is the float64 path.
 	var quant *ising.Quantized
-	if params.Quantize && params.Variant == Discrete {
+	if (params.Quantize || params.BitPack) && params.Variant == Discrete {
 		quant, _ = ising.Quantize(p.Coup)
+	}
+	// BitPack re-packs the codes into popcount bit-planes; a nil planes
+	// (flag off, heuristic rejection, or failed quantization) stays on
+	// the scalar quantized kernels — bit-identically either way.
+	var planes *ising.Planes
+	if params.BitPack && quant != nil {
+		planes, _ = ising.NewPlanes(quant)
 	}
 
 	ws.ensure(n)
@@ -330,7 +354,7 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 		x[i] = (ws.rng.Float64()*2 - 1) * params.InitAmplitude * 0.01
 	}
 
-	res := Result{Quantized: quant != nil}
+	res := Result{Quantized: quant != nil, BitPacked: planes != nil}
 	bestE := math.Inf(1)
 	lastSampled := -1
 	diverged := false
@@ -404,9 +428,12 @@ func SolveWith(ctx context.Context, p *ising.Problem, params Params, ws *Workspa
 			}
 			src = signs
 		}
-		if quant != nil {
+		switch {
+		case planes != nil:
+			planes.FieldSigns(signs, field)
+		case quant != nil:
 			quant.FieldSigns(signs, field)
-		} else {
+		default:
 			p.Coup.Field(src, field)
 		}
 		if siteStep.Fire() {

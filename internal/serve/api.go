@@ -129,6 +129,14 @@ type SolveRequest struct {
 	// better than what was asked for), but a quantized result can never be
 	// served for an exact request.
 	Quant bool `json:"quant,omitempty"`
+	// BitPack layers the popcount fast path on top of quant (requires
+	// variant "dsb", implies quant): the quantized codes are re-packed
+	// into bit-planes and the field products run on AND+POPCNT sweeps —
+	// bit-identical to the quant path, throughput only. It shares quant's
+	// pinned cache semantics: bit-packed results are quantized results,
+	// so they are never cached, and the flag is excluded from the cache
+	// key so a bitpack request may ride an already-cached exact entry.
+	BitPack bool `json:"bitpack,omitempty"`
 	// Shard > 0 routes the solve through the shard-and-exchange
 	// decomposition layer with subproblems of at most Shard spins — the
 	// path for instances one SB solve cannot hold. When the server has
@@ -160,6 +168,9 @@ type SolveResponse struct {
 	// Quantized reports that the solve actually ran on the fixed-point
 	// kernels (SolveRequest.Quant accepted and the coupling quantized).
 	Quantized bool `json:"quantized,omitempty"`
+	// BitPacked reports that the solve ran on the bit-packed popcount
+	// kernels (SolveRequest.BitPack accepted by the packing heuristic).
+	BitPacked bool `json:"bitpacked,omitempty"`
 	// Shards is the partition size of a sharded solve (0 for a direct
 	// solve); ShardRounds the exchange rounds it executed.
 	Shards      int `json:"shards,omitempty"`
@@ -325,6 +336,9 @@ func (r *SolveRequest) solveKey() string {
 	// opposite reason: quantized results are never cached (handleSolve
 	// refuses to Put them), so hashing the flag would only split the slot
 	// that lets a quant request ride an already-cached exact result.
+	// BitPack inherits Quant's treatment wholesale: bit-packed results
+	// are quantized results (never cached), and the flag stays out of the
+	// key so a bitpack request rides exact entries too.
 	writeString(h, r.Variant)
 	writeU64(h, uint64(r.Steps))
 	writeU64(h, math.Float64bits(r.Dt))

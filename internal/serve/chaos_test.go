@@ -126,6 +126,59 @@ func TestChaosEverySiteFires(t *testing.T) {
 	}
 	fault.DisarmAll()
 
+	// The bit-pack failpoints need an instance the density × width
+	// dispatch accepts: a dense all-pairs 16-spin problem (the 8-spin
+	// ring is rejected, so its packed kernels would never run).
+	dense := isinglut.NewIsingProblem(16)
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			dense.SetCoupling(i, j, float64((i*5+j*3)%11-5)/5+0.1)
+		}
+	}
+
+	// ising.bitpack.accum: a poisoned popcount accumulate in the packed
+	// dSB kernel must land in the same divergence quarantine as every
+	// other poisoned field path — and the run must confirm the packed
+	// kernels were actually in play (BitPacked set).
+	fault.MustArm("ising.bitpack.accum", fault.Scenario{After: 2, Times: -1})
+	res, err = isinglut.SolveIsing(dense, isinglut.SBOptions{
+		Variant: isinglut.DiscreteSB, Steps: 100, Seed: 1, BitPack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BitPacked {
+		t.Fatalf("bit-packed solve did not take the popcount path: %+v", res)
+	}
+	if !res.Diverged || !math.IsInf(res.Energy, 1) {
+		t.Fatalf("ising.bitpack.accum poison not quarantined: %+v", res)
+	}
+	fault.DisarmAll()
+
+	// ising.bitpack.pack: a poisoned packer must degrade to the scalar
+	// quantized kernels bit-identically — same energy and step count as
+	// the plain quant solve, Quantized still set, BitPacked unset.
+	qref, err := isinglut.SolveIsing(dense, isinglut.SBOptions{
+		Variant: isinglut.DiscreteSB, Steps: 100, Seed: 1, Quantize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.MustArm("ising.bitpack.pack", fault.Scenario{Times: -1})
+	pfb, err := isinglut.SolveIsing(dense, isinglut.SBOptions{
+		Variant: isinglut.DiscreteSB, Steps: 100, Seed: 1, BitPack: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfb.BitPacked || !pfb.Quantized {
+		t.Fatalf("pack fallback flags wrong: quantized=%v bitpacked=%v", pfb.Quantized, pfb.BitPacked)
+	}
+	if pfb.Energy != qref.Energy || pfb.Iterations != qref.Iterations {
+		t.Fatalf("pack fallback not bit-identical to the scalar quant engine: %+v vs %+v", pfb, qref)
+	}
+	fault.DisarmAll()
+
 	// sb.batch.worker: a panicking replica worker (goroutine engine only —
 	// the fused engine has no per-replica workers) becomes a failed
 	// replica; the batch still returns a finite winner.

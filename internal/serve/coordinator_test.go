@@ -211,3 +211,84 @@ func TestQuantizedResultNeverCached(t *testing.T) {
 		t.Fatal("exact request reports the fixed-point path")
 	}
 }
+
+// denseCouplings builds an all-pairs coupling list with deterministic
+// varied magnitudes — dense enough for the quantizer to pick the dense
+// layout and for the bit-pack density × width dispatch to accept it.
+func denseCouplings(n int) []Coupling {
+	cs := make([]Coupling, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := float64((i*7+j*3)%13-6) / 6
+			if v == 0 {
+				v = 0.5
+			}
+			cs = append(cs, Coupling{I: i, J: j, V: v})
+		}
+	}
+	return cs
+}
+
+// TestBitpackRidesExactCacheEntry: bitpack inherits quant's cache-key
+// treatment wholesale — the flag is excluded from the key, so a
+// bit-packed request for a problem whose exact answer is already cached
+// rides that entry: cached:true with neither fast-path flag set.
+func TestBitpackRidesExactCacheEntry(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	req := SolveRequest{
+		N: 24, Steps: 100, Seed: 47, Variant: "dsb",
+		Couplings: denseCouplings(24),
+	}
+
+	exact := solveOK(t, ts.URL, req)
+	if exact.Cached || exact.Quantized || exact.BitPacked {
+		t.Fatalf("cold exact dsb solve: cached=%v quantized=%v bitpacked=%v, want none",
+			exact.Cached, exact.Quantized, exact.BitPacked)
+	}
+
+	breq := req
+	breq.BitPack = true
+	rode := solveOK(t, ts.URL, breq)
+	if !rode.Cached {
+		t.Fatal("bitpack request did not ride the exact cache entry")
+	}
+	if rode.Quantized || rode.BitPacked {
+		t.Fatalf("cache-served response claims a fast path ran: quantized=%v bitpacked=%v",
+			rode.Quantized, rode.BitPacked)
+	}
+	if rode.Energy != exact.Energy {
+		t.Fatalf("cache-served energy %v differs from the exact answer %v", rode.Energy, exact.Energy)
+	}
+}
+
+// TestBitpackedResultNeverCached: a bit-packed solve carries quantized
+// numerics, so like plain quant it must never populate the shared cache
+// slot — the next exact request still runs the float engine cold.
+func TestBitpackedResultNeverCached(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	req := SolveRequest{
+		N: 24, Steps: 100, Seed: 53, Variant: "dsb", BitPack: true,
+		Couplings: denseCouplings(24),
+	}
+
+	b := solveOK(t, ts.URL, req)
+	if b.Cached {
+		t.Fatal("cold bit-packed solve served from cache")
+	}
+	if !b.Quantized {
+		t.Fatal("bitpack request skipped the quantized path entirely")
+	}
+	if !b.BitPacked {
+		t.Fatal("dense 24-spin instance rejected by the packing dispatch")
+	}
+
+	exact := req
+	exact.BitPack = false
+	e := solveOK(t, ts.URL, exact)
+	if e.Cached {
+		t.Fatal("exact request was served the bit-packed result from cache")
+	}
+	if e.Quantized || e.BitPacked {
+		t.Fatalf("exact request reports a fast path: quantized=%v bitpacked=%v", e.Quantized, e.BitPacked)
+	}
+}

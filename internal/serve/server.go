@@ -574,6 +574,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS:   float64(time.Since(started)) / float64(time.Millisecond),
 		Rescued:     res.Rescued,
 		Quantized:   res.Quantized,
+		BitPacked:   res.BitPacked,
 		Shards:      res.Shards,
 		ShardRounds: res.ExchangeRounds,
 	}
@@ -665,6 +666,9 @@ func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut
 	if req.Quant && opts.Variant != isinglut.DiscreteSB {
 		return nil, opts, fmt.Errorf("quant requires variant \"dsb\", got %q", req.Variant)
 	}
+	if req.BitPack && opts.Variant != isinglut.DiscreteSB {
+		return nil, opts, fmt.Errorf("bitpack requires variant \"dsb\", got %q", req.Variant)
+	}
 	opts.Steps = req.Steps
 	if req.Dt > 0 {
 		opts.Dt = req.Dt
@@ -678,6 +682,7 @@ func (s *Server) buildSolve(req *SolveRequest) (*isinglut.IsingProblem, isinglut
 	opts.Rescue = req.Rescue
 	opts.Sparse = req.Sparse
 	opts.Quantize = req.Quant
+	opts.BitPack = req.BitPack
 	if req.Shard < 0 {
 		return nil, opts, fmt.Errorf("shard must be non-negative, got %d", req.Shard)
 	}

@@ -35,6 +35,7 @@ func TestSolveRequestValidation(t *testing.T) {
 			r.Couplings = []Coupling{{I: 0, J: 9, V: 1}}
 		}, "out of range"},
 		{"bias length mismatch", func(r *SolveRequest) { r.Biases = []float64{1} }, "biases"},
+		{"bitpack without dsb", func(r *SolveRequest) { r.BitPack = true }, "bitpack"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

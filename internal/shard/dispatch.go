@@ -52,6 +52,7 @@ type SubResult struct {
 	Energy     float64
 	Iterations int
 	Quantized  bool
+	BitPacked  bool
 }
 
 // Dispatcher runs one shard subproblem somewhere — in-process
@@ -107,6 +108,7 @@ func (d *LocalDispatcher) Solve(ctx context.Context, sub SubProblem) (SubResult,
 		Energy:     res.Energy,
 		Iterations: res.Iterations,
 		Quantized:  res.Quantized,
+		BitPacked:  res.BitPacked,
 	}, nil
 }
 

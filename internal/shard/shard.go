@@ -113,6 +113,11 @@ type Result struct {
 	// Quantized reports that every successful sub-solve ran on the
 	// fixed-point kernels (Config.Base.Quantize accepted everywhere).
 	Quantized bool
+	// BitPacked reports that every successful sub-solve ran on the
+	// bit-packed popcount kernels (Config.Base.BitPack accepted
+	// everywhere — small shards may fall back to the scalar quantized
+	// kernels through the density × width dispatch, clearing it).
+	BitPacked bool
 	// Stopped reports why the solve ended: StopConverged (Patience dry
 	// rounds), StopMaxIters (round budget), or StopCancelled/StopDeadline
 	// (context fired — Spins still holds the best state so far).
@@ -160,7 +165,7 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 		workers = len(shards)
 	}
 
-	res := Result{Shards: len(shards), Quantized: true}
+	res := Result{Shards: len(shards), Quantized: true, BitPacked: true}
 	for _, in := range shards {
 		if len(in.members) > res.LargestShard {
 			res.LargestShard = len(in.members)
@@ -195,6 +200,7 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 	proposals := make([][]int8, len(shards))
 	subIters := make([]int, len(shards))
 	subQuant := make([]bool, len(shards))
+	subPacked := make([]bool, len(shards))
 	subErrs := make([]error, len(shards))
 	oldBuf := make([]int8, res.LargestShard)
 	dry := 0
@@ -261,6 +267,7 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 				proposals[si] = r.Spins
 				subIters[si] = r.Iterations
 				subQuant[si] = r.Quantized
+				subPacked[si] = r.BitPacked
 			}(si, in)
 		}
 		wg.Wait()
@@ -285,6 +292,9 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 			res.Iterations += subIters[si]
 			if len(in.members) > 1 && !subQuant[si] {
 				res.Quantized = false
+			}
+			if len(in.members) > 1 && !subPacked[si] {
+				res.BitPacked = false
 			}
 			prop := proposals[si]
 			for l, v := range in.members {
@@ -357,6 +367,7 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 	}
 	if res.SubSolves == 0 || res.SubSolves == res.SubErrors {
 		res.Quantized = false
+		res.BitPacked = false
 	}
 
 	res.Spins = best

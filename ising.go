@@ -184,6 +184,17 @@ type SBOptions struct {
 	// IsingResult.Quantized reports whether the fast path actually ran; a
 	// coupling that fails to quantize falls back to float64 silently.
 	Quantize bool
+	// BitPack layers the popcount fast path on top of Quantize: the
+	// quantized codes are re-packed into sign+magnitude bit-planes and
+	// every per-step field product runs on AND+POPCNT sweeps over packed
+	// ±1 spin masks — bit-identical to the Quantize path (same integer
+	// fields, same trajectories, same spins), so it changes throughput
+	// only. Requires Variant == DiscreteSB and implies Quantize.
+	// IsingResult.BitPacked reports whether the packed kernels actually
+	// ran: a coupling that fails to quantize falls back to float64, and
+	// one whose density × width heuristic rejects packing (tiny or very
+	// sparse instances) stays on the scalar quantized kernels.
+	BitPack bool
 	// MaxShard > 0 routes the solve through the shard-and-exchange
 	// decomposition layer: the coupling graph is split into subproblems
 	// of at most MaxShard spins (greedy |J|-weighted growth), each is
@@ -232,6 +243,9 @@ type IsingResult struct {
 	// Quantized reports that the solve ran on the fixed-point field
 	// kernels (SBOptions.Quantize accepted and the coupling quantized).
 	Quantized bool
+	// BitPacked reports that the solve ran on the bit-packed popcount
+	// kernels (SBOptions.BitPack accepted by the packing heuristic).
+	BitPacked bool
 	// Shards is the partition size of a sharded solve (0 for a direct
 	// solve); ExchangeRounds the exchange rounds it executed.
 	Shards         int
@@ -295,7 +309,11 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 	if opts.Quantize && opts.Variant != DiscreteSB {
 		return IsingResult{}, fmt.Errorf("isinglut: Quantize requires the DiscreteSB variant (got %s)", opts.Variant)
 	}
+	if opts.BitPack && opts.Variant != DiscreteSB {
+		return IsingResult{}, fmt.Errorf("isinglut: BitPack requires the DiscreteSB variant (got %s)", opts.Variant)
+	}
 	params.Quantize = opts.Quantize
+	params.BitPack = opts.BitPack
 	prob := p.problem()
 	if opts.Sparse && p.dense != nil {
 		// Auto-pick: CSR when the instance is sparse enough to win, the
@@ -360,6 +378,7 @@ func SolveIsingContext(ctx context.Context, p *IsingProblem, opts SBOptions) (Is
 		Rescued:          res.Rescued,
 		DivergedReplicas: divergedReplicas,
 		Quantized:        res.Quantized,
+		BitPacked:        res.BitPacked,
 	}, nil
 }
 
@@ -400,6 +419,9 @@ func SolveIsingShardedContext(ctx context.Context, p *IsingProblem, opts SBOptio
 	if opts.Quantize && opts.Variant != DiscreteSB {
 		return IsingResult{}, fmt.Errorf("isinglut: Quantize requires the DiscreteSB variant (got %s)", opts.Variant)
 	}
+	if opts.BitPack && opts.Variant != DiscreteSB {
+		return IsingResult{}, fmt.Errorf("isinglut: BitPack requires the DiscreteSB variant (got %s)", opts.Variant)
+	}
 	res, err := shard.Solve(ctx, p.problem(), shard.Config{
 		MaxShard: opts.MaxShard,
 		Rounds:   opts.ShardRounds,
@@ -424,6 +446,7 @@ func SolveIsingShardedContext(ctx context.Context, p *IsingProblem, opts SBOptio
 		Replicas:       replicas,
 		StopReason:     res.Stopped.String(),
 		Quantized:      res.Quantized,
+		BitPacked:      res.BitPacked,
 		Shards:         res.Shards,
 		ExchangeRounds: res.Rounds,
 	}, nil
@@ -443,6 +466,7 @@ func shardBaseParams(opts SBOptions) sb.Params {
 	}
 	base.RescueDiverged = opts.Rescue
 	base.Quantize = opts.Quantize
+	base.BitPack = opts.BitPack
 	if opts.DynamicStop {
 		f, s, eps := opts.F, opts.S, opts.Epsilon
 		if f <= 0 {

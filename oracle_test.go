@@ -247,6 +247,38 @@ func TestOracleQuantizedEnvelope(t *testing.T) {
 	}
 }
 
+// TestOracleBitPackedGroundState closes the loop on the popcount
+// engine: the bit-packed dSB batch is bit-identical to the quantized one
+// (pinned by the differential suites), so it must inherit the quantized
+// envelope result wholesale — exhaustively verified ground states, exact
+// reported energies. Trials are restricted to n ≥ 9, the smallest dense
+// instance the density × width dispatch accepts for int8 planes.
+func TestOracleBitPackedGroundState(t *testing.T) {
+	for _, trial := range []int{3, 4, 5, 6, 10, 11, 12, 13} {
+		p, seed := denseTrialProblem(trial)
+		_, ground := ising.BruteForce(p)
+
+		params := sb.DefaultParamsFor(sb.Discrete)
+		params.Steps = 2000
+		params.Seed = seed
+		params.BitPack = true
+		res, stats := sb.SolveBatch(context.Background(), p, sb.BatchParams{Base: params, Replicas: 16, Workers: 4})
+		if !res.Quantized || !res.BitPacked {
+			t.Fatalf("seed %d: bit-packed fast path not taken (quantized=%v bitpacked=%v)",
+				seed, res.Quantized, res.BitPacked)
+		}
+		if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > oracleTol {
+			t.Errorf("seed %d: reported energy %.12f but spins evaluate to %.12f (exact J)", seed, res.Energy, got)
+		}
+		if math.Abs(res.Energy-ground) > oracleTol {
+			t.Errorf("seed %d: bit-packed dSB energy %.12f, ground %.12f", seed, res.Energy, ground)
+		}
+		if stats.Replicas != 16 {
+			t.Errorf("seed %d: stats report %d replicas, want 16", seed, stats.Replicas)
+		}
+	}
+}
+
 // randomCOP draws a core COP over a random disjoint partition with
 // independent nonnegative entry costs. The (vars, freeSize) pairs keep
 // the spin count 2r + c at or below 12 so both enumerations stay instant.
