@@ -24,12 +24,21 @@
 // (/readyz flips to 503), gives in-flight work -drain to finish (then
 // cancels it into best-so-far responses) and exits cleanly.
 //
-// With -peers, the daemon is a shard coordinator: /v1/solve requests
-// carrying "shard" > 0 are decomposed and the sub-solves dispatched
-// round-robin to the peer daemons' /v1/solve endpoints (per-sub-solve
-// -shard-timeout, per-peer circuit breakers reported on /healthz); any
-// failed dispatch is served by the bit-identical local fallback, so
-// peer loss degrades placement, never answers.
+// With -peers, the daemon is a shard coordinator fronting a
+// health-gated peer fleet: /v1/solve requests carrying "shard" > 0 are
+// decomposed and each exchange round's sub-solves batched per peer onto
+// the peers' /v1/solve/batch endpoints, placed least-loaded across the
+// healthy set. Background /readyz probes (-peer-probe-interval) and
+// dispatch outcomes walk each member through healthy → suspect →
+// quarantined → readmitted; failed dispatches retry with capped
+// jittered backoff under a per-round -peer-retry-budget, stragglers
+// past the fleet's -peer-hedge-quantile latency hedge to a second peer
+// (first finite answer wins), and only when the budget or the fleet is
+// exhausted does the bit-identical local fallback serve the round,
+// stamping the response degraded ("degraded_peers"). Peer loss degrades
+// placement, never answers. The -peers list is validated at startup
+// (malformed URLs, duplicates and the daemon's own listen address are
+// rejected); fleet state is reported on /healthz.
 //
 // Failed or panicked solver jobs are retried (-retries, -retry-backoff)
 // behind per-endpoint circuit breakers (-breaker-threshold,
@@ -66,6 +75,16 @@ func (f *faultSpecs) Set(v string) error {
 	return nil
 }
 
+// retryBudget maps the -peer-retry-budget flag onto serve.Config
+// semantics (where 0 means "use the default"): an explicit 0 becomes
+// the config's "no retries" value.
+func retryBudget(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
@@ -84,8 +103,11 @@ func main() {
 		retryBackoff = flag.Duration("retry-backoff", 50*time.Millisecond, "base jittered sleep between solver re-attempts")
 		brkThreshold = flag.Int("breaker-threshold", 5, "consecutive solver failures before an endpoint's circuit breaker opens (-1 disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker duration before a half-open probe")
-		peerList     = flag.String("peers", "", "comma-separated peer daemon base URLs; sharded solves (shard > 0) dispatch sub-solves to peers over /v1/solve, falling back locally behind per-peer breakers")
+		peerList     = flag.String("peers", "", "comma-separated peer daemon base URLs; sharded solves (shard > 0) dispatch sub-solves to peers over /v1/solve/batch, falling back locally behind per-peer breakers")
 		shardTimeout = flag.Duration("shard-timeout", 10*time.Second, "per-sub-solve deadline when dispatching to peers")
+		peerProbe    = flag.Duration("peer-probe-interval", 2*time.Second, "background /readyz fleet-probe interval, jittered ±20% (negative disables the probe loop)")
+		peerHedgeQ   = flag.Float64("peer-hedge-quantile", 0.95, "fleet latency quantile past which a straggling dispatch hedges to a second peer (negative disables hedging)")
+		peerBudget   = flag.Int("peer-retry-budget", 3, "peer re-dispatches (retries + hedges) per exchange round across all shards; 0 degrades straight to the local fallback")
 
 		faults faultSpecs
 	)
@@ -99,9 +121,11 @@ func main() {
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	var peers []string
-	for _, p := range strings.Split(*peerList, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			peers = append(peers, strings.TrimRight(p, "/"))
+	if *peerList != "" {
+		var err error
+		peers, err = serve.NormalizePeers(strings.Split(*peerList, ","), *addr)
+		if err != nil {
+			logger.Fatalf("adecompd: -peers: %v", err)
 		}
 	}
 	for _, spec := range faults {
@@ -125,15 +149,18 @@ func main() {
 		MaxInputs:      *maxInputs,
 		MaxSpins:       *maxSpins,
 
-		MaxSteps:         *maxSteps,
-		MaxReplicas:      *maxReplicas,
-		Retries:          *retries,
-		RetryBackoff:     *retryBackoff,
-		BreakerThreshold: *brkThreshold,
-		BreakerCooldown:  *brkCooldown,
-		Peers:            peers,
-		ShardTimeout:     *shardTimeout,
-		Logf:             logger.Printf,
+		MaxSteps:          *maxSteps,
+		MaxReplicas:       *maxReplicas,
+		Retries:           *retries,
+		RetryBackoff:      *retryBackoff,
+		BreakerThreshold:  *brkThreshold,
+		BreakerCooldown:   *brkCooldown,
+		Peers:             peers,
+		ShardTimeout:      *shardTimeout,
+		PeerProbeInterval: *peerProbe,
+		PeerHedgeQuantile: *peerHedgeQ,
+		PeerRetryBudget:   retryBudget(*peerBudget),
+		Logf:              logger.Printf,
 	})
 	if len(peers) > 0 {
 		logger.Printf("adecompd: coordinator mode, %d peer(s): %s", len(peers), strings.Join(peers, ", "))

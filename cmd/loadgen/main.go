@@ -20,6 +20,14 @@
 //	loadgen -boot -rps 200 -duration 10s \
 //	        -mix 'hot=4,cold=2,deadline=1,oversized=1,malformed=1,degraded=1'
 //
+// Multi-daemon churn drill (boots an in-process coordinator fronting N
+// peer daemons, hard-kills peer 0 mid-run and restarts it later; the
+// sharded class's energy-parity and the no-lost-request invariants
+// gate the run):
+//
+//	loadgen -topology 2 -rps 100 -duration 5s \
+//	        -kill-peer-at 1s -restart-peer-at 3s -strict
+//
 // The JSON report is what cmd/benchjson -serving folds into the
 // BENCH_PR*.json serving-layer section. -strict exits non-zero when the
 // run violates any invariant, which is how CI gates on it.
@@ -59,7 +67,7 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "schedule length")
 		inflight = flag.Int("inflight", 64, "client-side cap on concurrent in-flight requests")
 		mixFlag  = flag.String("mix", "hot=4,cold=2,deadline=1,oversized=1,malformed=1",
-			"weighted class mix (classes: hot, cold, deadline, oversized, malformed, degraded)")
+			"weighted class mix (classes: hot, cold, deadline, oversized, malformed, degraded, sharded)")
 		seed   = flag.Int64("seed", 1, "schedule seed; equal seeds replay the identical schedule")
 		out    = flag.String("out", "", "write the JSON report here ('-' or empty = stdout)")
 		strict = flag.Bool("strict", false, "exit 1 when the report lists invariant violations")
@@ -69,6 +77,13 @@ func main() {
 		cache    = flag.Int("cache", 256, "boot mode: LRU result-cache entries")
 		faults   faultSpecs
 		quietSrv = flag.Bool("quiet", false, "boot mode: suppress the embedded server's logs")
+
+		topology = flag.Int("topology", 0,
+			"boot an in-process fleet instead of -addr/-boot: a coordinator fronting N peer daemons (default mix becomes sharded=1)")
+		killPeerAt = flag.Duration("kill-peer-at", 0,
+			"topology mode: hard-kill peer 0 this long into the run (0 = never)")
+		restartPeerAt = flag.Duration("restart-peer-at", 0,
+			"topology mode: restart the killed peer this long into the run (0 = never)")
 	)
 	flag.Var(&faults, "fault",
 		"boot mode: arm a failpoint before the run, e.g. 'serve.decompose=times:-1' (repeatable)")
@@ -77,8 +92,29 @@ func main() {
 	if flag.NArg() != 0 {
 		logger.Fatalf("unexpected arguments %q", flag.Args())
 	}
-	if (*addr == "") == !*boot {
-		logger.Fatal("exactly one of -addr or -boot is required")
+	modes := 0
+	for _, on := range []bool{*addr != "", *boot, *topology > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		logger.Fatal("exactly one of -addr, -boot or -topology is required")
+	}
+	if *topology == 0 && (*killPeerAt > 0 || *restartPeerAt > 0) {
+		logger.Fatal("-kill-peer-at / -restart-peer-at only apply to -topology mode")
+	}
+	if *killPeerAt > 0 && *restartPeerAt > 0 && *restartPeerAt <= *killPeerAt {
+		logger.Fatal("-restart-peer-at must come after -kill-peer-at")
+	}
+	if *topology > 0 {
+		// Churn only makes sense against deterministic sharded traffic;
+		// default the mix to it unless the user asked for something else.
+		mixSet := false
+		flag.Visit(func(f *flag.Flag) { mixSet = mixSet || f.Name == "mix" })
+		if !mixSet {
+			*mixFlag = "sharded=1"
+		}
 	}
 
 	mix, err := loadtest.ParseMix(*mixFlag)
@@ -88,14 +124,22 @@ func main() {
 
 	base := *addr
 	var shutdown func()
-	if *boot {
+	switch {
+	case *boot:
 		base, shutdown, err = bootServer(logger, mix, faults, *workers, *queue, *cache, *quietSrv)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		defer shutdown()
-	} else if len(faults) > 0 {
-		logger.Fatal("-fault only applies to -boot mode; arm a live daemon with adecompd -fault")
+	case *topology > 0:
+		base, shutdown, err = bootTopology(logger, faults, *topology, *workers, *queue,
+			*killPeerAt, *restartPeerAt, *quietSrv)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer shutdown()
+	case len(faults) > 0:
+		logger.Fatal("-fault only applies to -boot/-topology mode; arm a live daemon with adecompd -fault")
 	}
 
 	rep, err := loadtest.Run(context.Background(), loadtest.Options{
@@ -188,4 +232,72 @@ func bootServer(logger *log.Logger, mix []loadtest.Weighted, faults []string,
 		cancel()
 		return "", nil, fmt.Errorf("embedded server failed to start: %w", err)
 	}
+}
+
+// bootTopology starts the in-process fleet (a coordinator fronting n
+// peer daemons), schedules the kill/restart churn events, and returns
+// the coordinator's base URL plus a teardown hook. The coordinator
+// caches nothing — every sharded request must really dispatch — and
+// its probe loop runs fast so quarantine and readmission resolve
+// within short runs.
+func bootTopology(logger *log.Logger, faults []string, n, workers, queue int,
+	killAt, restartAt time.Duration, quiet bool) (string, func(), error) {
+	for _, spec := range faults {
+		site, sc, err := fault.ParseSpec(spec)
+		if err != nil {
+			return "", nil, fmt.Errorf("-fault %q: %w", spec, err)
+		}
+		if err := fault.Arm(site, sc); err != nil {
+			return "", nil, fmt.Errorf("-fault %q: %w", spec, err)
+		}
+		logger.Printf("armed failpoint %s (%+v)", site, sc)
+	}
+
+	logf := logger.Printf
+	if quiet {
+		logf = func(string, ...any) {}
+	}
+	top, err := loadtest.StartTopology(loadtest.TopologyOptions{
+		Peers:      n,
+		PeerConfig: serve.Config{Workers: workers, QueueDepth: queue, Logf: logf},
+		CoordinatorConfig: serve.Config{
+			Workers: workers, QueueDepth: queue, CacheSize: -1,
+			PeerProbeInterval: 200 * time.Millisecond,
+			Logf:              logf,
+		},
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	top.Coordinator.StartPeerProbes(probeCtx)
+
+	var timers []*time.Timer
+	if killAt > 0 {
+		timers = append(timers, time.AfterFunc(killAt, func() {
+			logger.Printf("topology: killing peer 0 (%s)", top.PeerURL(0))
+			if err := top.KillPeer(0); err != nil {
+				logger.Printf("topology: kill peer 0: %v", err)
+			}
+		}))
+	}
+	if restartAt > 0 {
+		timers = append(timers, time.AfterFunc(restartAt, func() {
+			logger.Printf("topology: restarting peer 0 (%s)", top.PeerURL(0))
+			if err := top.RestartPeer(0); err != nil {
+				logger.Printf("topology: restart peer 0: %v", err)
+				return
+			}
+			// Readmit without waiting out the probe interval.
+			top.ProbePeers(context.Background())
+		}))
+	}
+	shutdown := func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+		stopProbes()
+		top.Close()
+	}
+	return top.CoordinatorURL, shutdown, nil
 }

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Scenario describes when an armed site fires. Exactly one trigger class
@@ -59,6 +60,47 @@ type Scenario struct {
 	Prob  float64
 	Seed  int64
 	Times int
+
+	// Mode selects the failure flavor an instrumented site applies when
+	// the scenario fires. The registry does not interpret it beyond
+	// validation — sites that consult FireSpec act on it: "" and "drop"
+	// model a lost operation (the site fails as if the call never
+	// happened), "delay" injects a Delay-long stall before the operation
+	// proceeds (slow-peer modelling), and "corrupt" lets the operation
+	// run but mangles its result so the caller's validation layer must
+	// catch it. Sites that only call Fire/FireKey treat every fired hit
+	// as a drop, whatever the mode.
+	Mode string
+	// Delay is the injected stall for Mode "delay" (also implies the
+	// delay mode when Mode is empty and Delay is positive).
+	Delay time.Duration
+}
+
+// Scenario modes (Scenario.Mode).
+const (
+	ModeDrop    = "drop"
+	ModeDelay   = "delay"
+	ModeCorrupt = "corrupt"
+)
+
+// normalized applies the mode/delay coupling rules and validates the
+// mode vocabulary.
+func (sc Scenario) normalized() (Scenario, error) {
+	if sc.Delay < 0 {
+		return sc, fmt.Errorf("fault: negative delay %s", sc.Delay)
+	}
+	if sc.Mode == "" && sc.Delay > 0 {
+		sc.Mode = ModeDelay
+	}
+	switch sc.Mode {
+	case "", ModeDrop, ModeDelay, ModeCorrupt:
+	default:
+		return sc, fmt.Errorf("fault: unknown mode %q (want drop, delay or corrupt)", sc.Mode)
+	}
+	if sc.Mode == ModeDelay && sc.Delay <= 0 {
+		return sc, fmt.Errorf("fault: mode delay needs a positive delay")
+	}
+	return sc, nil
 }
 
 // scenarioState is the armed form of a Scenario: the immutable spec plus
@@ -167,6 +209,35 @@ func (s *Site) FireKey(key int64) bool {
 	return true
 }
 
+// FireSpec is Fire returning the armed scenario on a hit, so
+// mode-aware sites (delay/drop/corrupt) can read Mode and Delay. The
+// second return mirrors Fire's boolean; the Scenario is a copy.
+func (s *Site) FireSpec() (Scenario, bool) {
+	st := s.armed.Load()
+	if st == nil {
+		return Scenario{}, false
+	}
+	if !st.hit(false, 0) {
+		return Scenario{}, false
+	}
+	s.count.Add(1)
+	return st.spec, true
+}
+
+// FireKeySpec is FireKey returning the armed scenario on a hit (see
+// FireSpec).
+func (s *Site) FireKeySpec(key int64) (Scenario, bool) {
+	st := s.armed.Load()
+	if st == nil {
+		return Scenario{}, false
+	}
+	if !st.hit(true, key) {
+		return Scenario{}, false
+	}
+	s.count.Add(1)
+	return st.spec, true
+}
+
 var (
 	regMu sync.Mutex
 	sites = map[string]*Site{}
@@ -202,15 +273,21 @@ func Sites() []string {
 
 // Arm installs a scenario on the named site, replacing any previous one.
 // Unknown sites are an error: a typoed name must fail the test, not
-// silently never fire.
+// silently never fire. The scenario is normalized first (a positive
+// Delay implies mode "delay"); an invalid mode/delay combination is an
+// error for the same reason a typoed site is.
 func Arm(site string, sc Scenario) error {
+	norm, err := sc.normalized()
+	if err != nil {
+		return err
+	}
 	regMu.Lock()
 	s, ok := sites[site]
 	regMu.Unlock()
 	if !ok {
 		return fmt.Errorf("fault: unknown site %q (registered: %v)", site, Sites())
 	}
-	s.armed.Store(newScenarioState(sc))
+	s.armed.Store(newScenarioState(norm))
 	return nil
 }
 
@@ -259,13 +336,25 @@ func Fired(site string) int64 {
 //
 //	site=field:value[,field:value...]
 //
-// with fields after, times, prob, seed and keys (keys takes a
-// +-separated int64 list). A bare "site" arms the default scenario
-// (fire once, immediately). This is what lets a daemon be booted with
-// faults pre-armed (adecompd -fault) so an external load driver can
-// exercise degraded-mode traffic without reaching into the process.
+// with fields after, times, prob, seed, keys (a +-separated int64
+// list), delay (a time.ParseDuration string) and mode (drop, delay or
+// corrupt). A bare "site" arms the default scenario (fire once,
+// immediately). A compact colon form arms an injected-failure mode
+// directly:
+//
+//	site:delay:50ms        slow-peer: stall 50ms once
+//	site:delay:50ms:3      ... the first 3 hits
+//	site:drop:-1           drop every hit until disarmed
+//	site:corrupt:2         corrupt the first 2 results
+//
+// This is what lets a daemon be booted with faults pre-armed
+// (adecompd -fault) so an external load driver can exercise
+// degraded-mode traffic without reaching into the process.
 func ParseSpec(spec string) (string, Scenario, error) {
 	var sc Scenario
+	if !strings.Contains(spec, "=") && strings.Contains(spec, ":") {
+		return parseCompactSpec(spec)
+	}
 	site, rest, found := strings.Cut(spec, "=")
 	site = strings.TrimSpace(site)
 	if site == "" {
@@ -299,14 +388,63 @@ func ParseSpec(spec string) (string, Scenario, error) {
 				}
 				sc.Keys = append(sc.Keys, key)
 			}
+		case "delay":
+			sc.Delay, err = time.ParseDuration(val)
+		case "mode":
+			sc.Mode = val
 		default:
-			return "", sc, fmt.Errorf("fault: unknown field %q in spec %q (want after, times, prob, seed or keys)", name, spec)
+			return "", sc, fmt.Errorf("fault: unknown field %q in spec %q (want after, times, prob, seed, keys, delay or mode)", name, spec)
 		}
 		if err != nil {
 			return "", sc, fmt.Errorf("fault: bad value for %q in spec %q: %v", name, spec, err)
 		}
 	}
-	return site, sc, nil
+	norm, err := sc.normalized()
+	if err != nil {
+		return "", sc, fmt.Errorf("fault: spec %q: %v", spec, err)
+	}
+	return site, norm, nil
+}
+
+// parseCompactSpec handles the colon form site:mode[:duration][:count].
+// The duration segment is required for (and only valid with) mode
+// delay; the trailing count maps to Times.
+func parseCompactSpec(spec string) (string, Scenario, error) {
+	var sc Scenario
+	parts := strings.Split(spec, ":")
+	site := strings.TrimSpace(parts[0])
+	if site == "" {
+		return "", sc, fmt.Errorf("fault: empty site in spec %q", spec)
+	}
+	sc.Mode = strings.TrimSpace(parts[1])
+	rest := parts[2:]
+	if sc.Mode == ModeDelay {
+		if len(rest) == 0 {
+			return "", sc, fmt.Errorf("fault: spec %q: delay form needs a duration (site:delay:50ms[:count])", spec)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(rest[0]))
+		if err != nil {
+			return "", sc, fmt.Errorf("fault: bad delay duration in spec %q: %v", spec, err)
+		}
+		sc.Delay = d
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		n, err := strconv.Atoi(strings.TrimSpace(rest[0]))
+		if err != nil {
+			return "", sc, fmt.Errorf("fault: bad count in spec %q: %v", spec, err)
+		}
+		sc.Times = n
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		return "", sc, fmt.Errorf("fault: trailing segments %q in spec %q", strings.Join(rest, ":"), spec)
+	}
+	norm, err := sc.normalized()
+	if err != nil {
+		return "", sc, fmt.Errorf("fault: spec %q: %v", spec, err)
+	}
+	return site, norm, nil
 }
 
 // Armed reports whether the named site currently has a scenario.

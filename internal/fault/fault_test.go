@@ -3,6 +3,7 @@ package fault
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestDisarmedSiteNeverFires(t *testing.T) {
@@ -204,6 +205,32 @@ func TestParseSpec(t *testing.T) {
 		{spec: "x=bogus:1", wantErr: true},
 		{spec: "x=after:notanint", wantErr: true},
 		{spec: "x=keys:1+zap", wantErr: true},
+		// Standard-form delay/mode fields.
+		{spec: "serve.peer.dispatch=delay:50ms,times:3", site: "serve.peer.dispatch",
+			want: Scenario{Times: 3, Mode: ModeDelay, Delay: 50 * time.Millisecond}},
+		{spec: "serve.peer.dispatch=mode:corrupt,times:2", site: "serve.peer.dispatch",
+			want: Scenario{Times: 2, Mode: ModeCorrupt}},
+		{spec: "serve.peer.dispatch=mode:drop,keys:1", site: "serve.peer.dispatch",
+			want: Scenario{Keys: []int64{1}, Mode: ModeDrop}},
+		{spec: "x=delay:notaduration", wantErr: true},
+		{spec: "x=mode:explode", wantErr: true},
+		{spec: "x=mode:delay", wantErr: true},  // delay mode without a duration
+		{spec: "x=delay:-10ms", wantErr: true}, // negative injected delay
+		// Compact colon form (the -fault slow-peer grammar).
+		{spec: "serve.peer.dispatch:delay:50ms", site: "serve.peer.dispatch",
+			want: Scenario{Mode: ModeDelay, Delay: 50 * time.Millisecond}},
+		{spec: "serve.peer.dispatch:delay:50ms:3", site: "serve.peer.dispatch",
+			want: Scenario{Times: 3, Mode: ModeDelay, Delay: 50 * time.Millisecond}},
+		{spec: "serve.peer.dispatch:drop:-1", site: "serve.peer.dispatch",
+			want: Scenario{Times: -1, Mode: ModeDrop}},
+		{spec: "serve.peer.dispatch:corrupt:2", site: "serve.peer.dispatch",
+			want: Scenario{Times: 2, Mode: ModeCorrupt}},
+		{spec: ":delay:50ms", wantErr: true},
+		{spec: "x:delay", wantErr: true},          // missing duration
+		{spec: "x:delay:bogus", wantErr: true},    // bad duration
+		{spec: "x:delay:50ms:zap", wantErr: true}, // bad count
+		{spec: "x:delay:50ms:3:9", wantErr: true}, // trailing segment
+		{spec: "x:explode:1", wantErr: true},      // unknown compact mode
 	}
 	for _, tc := range cases {
 		site, sc, err := ParseSpec(tc.spec)
@@ -222,6 +249,7 @@ func TestParseSpec(t *testing.T) {
 		}
 		if sc.After != tc.want.After || sc.Times != tc.want.Times ||
 			sc.Prob != tc.want.Prob || sc.Seed != tc.want.Seed ||
+			sc.Mode != tc.want.Mode || sc.Delay != tc.want.Delay ||
 			len(sc.Keys) != len(tc.want.Keys) {
 			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, sc, tc.want)
 		}
@@ -230,5 +258,52 @@ func TestParseSpec(t *testing.T) {
 				t.Errorf("ParseSpec(%q) keys = %v, want %v", tc.spec, sc.Keys, tc.want.Keys)
 			}
 		}
+	}
+}
+
+// TestFireSpecReturnsArmedScenario pins the mode-aware fire path: the
+// returned copy carries Mode/Delay, the boolean matches Fire semantics,
+// and the fire counter moves.
+func TestFireSpecReturnsArmedScenario(t *testing.T) {
+	s := NewSite("test.firespec")
+	defer Disarm("test.firespec")
+	MustArm("test.firespec", Scenario{Delay: 25 * time.Millisecond, Times: 1})
+	before := Fired("test.firespec")
+	sc, ok := s.FireSpec()
+	if !ok {
+		t.Fatal("armed FireSpec did not fire")
+	}
+	if sc.Mode != ModeDelay || sc.Delay != 25*time.Millisecond {
+		t.Fatalf("FireSpec scenario = %+v, want normalized delay mode", sc)
+	}
+	if _, ok := s.FireSpec(); ok {
+		t.Fatal("Times=1 scenario fired twice via FireSpec")
+	}
+	if Fired("test.firespec") != before+1 {
+		t.Fatal("FireSpec did not advance the fire counter")
+	}
+
+	MustArm("test.firespec", Scenario{Keys: []int64{7}, Mode: ModeCorrupt, Times: -1})
+	if _, ok := s.FireKeySpec(3); ok {
+		t.Fatal("keyed scenario fired on a non-member key")
+	}
+	sc, ok = s.FireKeySpec(7)
+	if !ok || sc.Mode != ModeCorrupt {
+		t.Fatalf("FireKeySpec(7) = %+v, %v; want corrupt-mode fire", sc, ok)
+	}
+}
+
+// TestArmRejectsInvalidMode pins Arm-side validation so a typoed mode
+// fails the test that armed it instead of silently acting as a drop.
+func TestArmRejectsInvalidMode(t *testing.T) {
+	NewSite("test.badmode")
+	if err := Arm("test.badmode", Scenario{Mode: "explode"}); err == nil {
+		t.Fatal("arming an unknown mode succeeded")
+	}
+	if err := Arm("test.badmode", Scenario{Delay: -time.Second}); err == nil {
+		t.Fatal("arming a negative delay succeeded")
+	}
+	if err := Arm("test.badmode", Scenario{Mode: ModeDelay}); err == nil {
+		t.Fatal("arming delay mode without a duration succeeded")
 	}
 }

@@ -78,16 +78,18 @@ type record struct {
 	cached       bool
 	degraded     bool
 	stopReason   string
-	retryAfterS  int // parsed Retry-After seconds; -1 when absent
+	energy       float64 // solve energy; meaningful for the sharded class
+	retryAfterS  int     // parsed Retry-After seconds; -1 when absent
 	serviceNS    int64
 	latencyNS    int64
 }
 
 // responseProbe is the subset of the wire responses the driver reads.
 type responseProbe struct {
-	Cached     bool   `json:"cached"`
-	Degraded   bool   `json:"degraded"`
-	StopReason string `json:"stop_reason"`
+	Cached     bool    `json:"cached"`
+	Degraded   bool    `json:"degraded"`
+	StopReason string  `json:"stop_reason"`
+	Energy     float64 `json:"energy"`
 }
 
 // Run executes one open-loop load run and builds its report. The
@@ -178,6 +180,7 @@ func doRequest(client *http.Client, baseURL string, req genRequest, wallSched ti
 			rec.cached = probe.Cached
 			rec.degraded = probe.Degraded
 			rec.stopReason = probe.StopReason
+			rec.energy = probe.Energy
 		}
 	}
 	return rec

@@ -47,6 +47,12 @@ const (
 	// arms it; adecompd -fault for a remote daemon): responses must be
 	// 200, marked degraded, and never cached.
 	ClassDegraded Class = "degraded"
+	// ClassSharded repeats one fixed sharded solve — the coordinator-mode
+	// workload. Deterministic per seed, so every 200 must report the
+	// identical energy regardless of which peers served the sub-solves,
+	// which peers died, or which dispatches were hedged: the energy-parity
+	// invariant the topology churn runs gate on.
+	ClassSharded Class = "sharded"
 )
 
 // shortNames maps the -mix flag vocabulary onto classes.
@@ -57,12 +63,13 @@ var shortNames = map[string]Class{
 	"oversized": ClassOversized,
 	"malformed": ClassMalformed,
 	"degraded":  ClassDegraded,
+	"sharded":   ClassSharded,
 }
 
 // Classes lists every traffic class in report order.
 func Classes() []Class {
 	return []Class{ClassCacheHot, ClassCacheCold, ClassDeadline,
-		ClassOversized, ClassMalformed, ClassDegraded}
+		ClassOversized, ClassMalformed, ClassDegraded, ClassSharded}
 }
 
 // Weighted pairs a traffic class with its relative weight in the mix.
@@ -184,6 +191,12 @@ const (
 	oversizedN        = 128
 	oversizedSteps    = 2000
 	oversizedReplicas = 2
+
+	shardedN      = 24
+	shardedSteps  = 150
+	shardedShard  = 8
+	shardedRounds = 4
+	shardedSeed   = 31
 )
 
 // genRequest is one scheduled request: its class, endpoint and body.
@@ -200,6 +213,7 @@ type generator struct {
 	rng       *rand.Rand
 	mix       *Mix
 	hot       []byte
+	sharded   []byte
 	degraded  []byte
 	malformed [][]byte
 	nMal      int
@@ -230,6 +244,17 @@ func solveBody(n, steps, replicas int, seed, timeoutMS int64) []byte {
 	return body
 }
 
+func shardedBody() []byte {
+	body, err := json.Marshal(serve.SolveRequest{
+		N: shardedN, Couplings: ringCouplings(shardedN), Steps: shardedSteps,
+		Seed: shardedSeed, Shard: shardedShard, ShardRounds: shardedRounds,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
 func newGenerator(mix *Mix, seed int64) *generator {
 	degraded, err := json.Marshal(serve.DecomposeRequest{
 		Benchmark: "exp", N: 6,
@@ -242,6 +267,7 @@ func newGenerator(mix *Mix, seed int64) *generator {
 		rng:      rand.New(rand.NewSource(seed)),
 		mix:      mix,
 		hot:      solveBody(hotColdN, hotColdSteps, 1, hotSeed, 0),
+		sharded:  shardedBody(),
 		degraded: degraded,
 		malformed: [][]byte{
 			[]byte(`{"n": 4, "bogus_field": true}`), // unknown field
@@ -273,6 +299,8 @@ func (g *generator) next() genRequest {
 		body := g.malformed[g.nMal%len(g.malformed)]
 		g.nMal++
 		return genRequest{class: class, path: "/v1/solve", body: body}
+	case ClassSharded:
+		return genRequest{class: class, path: "/v1/solve", body: g.sharded}
 	default: // ClassDegraded
 		return genRequest{class: class, path: "/v1/decompose", body: g.degraded}
 	}

@@ -50,6 +50,13 @@ type ClassReport struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	Degraded    int64 `json:"degraded"`
+	// Energy and DistinctEnergies track the sharded class's energy-parity
+	// invariant: the class repeats one deterministic sharded solve, so
+	// every 200 must report the identical energy (DistinctEnergies == 1)
+	// no matter which peers served, died or were hedged mid-run. Energy
+	// is the canonical value — the handle cross-run churn comparisons use.
+	Energy           float64 `json:"energy,omitempty"`
+	DistinctEnergies int     `json:"distinct_energies,omitempty"`
 	// DegradedCached counts responses claiming to be both degraded and
 	// cached — the never-cached contract says this must be zero.
 	DegradedCached int64 `json:"degraded_cached"`
@@ -104,6 +111,7 @@ type classAccum struct {
 	svcMax      float64
 	retrySum    int64
 	retriesSeen bool
+	energies    map[float64]int64
 }
 
 func buildReport(records []record, opts Options, mix *Mix, wall time.Duration) *Report {
@@ -198,6 +206,12 @@ func buildReport(records []record, opts Options, mix *Mix, wall time.Duration) *
 			if r.stopReason == "deadline" {
 				a.rep.DeadlineStops++
 			}
+			if r.class == ClassSharded {
+				if a.energies == nil {
+					a.energies = map[float64]int64{}
+				}
+				a.energies[r.energy]++
+			}
 		}
 	}
 
@@ -216,6 +230,17 @@ func buildReport(records []record, opts Options, mix *Mix, wall time.Duration) *
 		a.rep.Latency = quantiles(a.latency, a.latSum, a.latMax)
 		a.rep.Service = quantiles(a.service, a.svcSum, a.svcMax)
 		a.rep.LatencyHist = a.latency.Snapshot()
+		if len(a.energies) > 0 {
+			a.rep.DistinctEnergies = len(a.energies)
+			var best float64
+			var bestCount int64 = -1
+			for e, count := range a.energies {
+				if count > bestCount {
+					best, bestCount = e, count
+				}
+			}
+			a.rep.Energy = best
+		}
 		if a.rep.RetryAfter.Count > 0 {
 			a.rep.RetryAfter.MeanS = float64(a.retrySum) / float64(a.rep.RetryAfter.Count)
 		} else {
@@ -297,6 +322,10 @@ func (r *Report) Check() []string {
 		}
 		if c.Class == string(ClassDegraded) && c.Status["200"] > 0 && c.Degraded == 0 {
 			v = append(v, "degraded class served only healthy responses (is serve.decompose armed?)")
+		}
+		if c.Class == string(ClassSharded) && c.DistinctEnergies > 1 {
+			v = append(v, fmt.Sprintf("sharded class answered %d distinct energies for one deterministic request — churn changed the answer",
+				c.DistinctEnergies))
 		}
 	}
 	return v

@@ -1,0 +1,100 @@
+package loadtest
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"isinglut/internal/metrics"
+	"isinglut/internal/serve"
+)
+
+// TestE2ETopologyPeerChurn is the multi-daemon churn e2e: a coordinator
+// fronting two peer daemons serves the deterministic sharded workload
+// while one peer is hard-killed and later restarted on the same address.
+// Gates: no lost requests in any phase (every scheduled request answered
+// exactly once, no transport errors), energy parity across all phases
+// (the fleet may lose capacity, never correctness), the dead peer walks
+// quarantine, and a probe sweep after the restart readmits it.
+func TestE2ETopologyPeerChurn(t *testing.T) {
+	top, err := StartTopology(TopologyOptions{
+		Peers:      2,
+		PeerConfig: serve.Config{Workers: 2},
+		CoordinatorConfig: serve.Config{
+			Workers: 2, CacheSize: -1, // every sharded request must really dispatch
+			RetryBackoff: time.Millisecond, PeerRetryBudget: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer top.Close()
+
+	run := func(seed int64) *ClassReport {
+		t.Helper()
+		rep, err := Run(context.Background(), Options{
+			BaseURL: top.CoordinatorURL, RPS: 40, Duration: 250 * time.Millisecond,
+			MaxInFlight: 2,
+			Mix:         mustMix(t, Weighted{ClassSharded, 1}),
+			Seed:        seed, Clock: NewVirtualClock(time.Unix(0, 0)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("seed %d violations: %v", seed, rep.Violations)
+		}
+		if rep.Completed != rep.Scheduled {
+			t.Fatalf("seed %d lost requests: %d of %d answered", seed, rep.Completed, rep.Scheduled)
+		}
+		sh := rep.Class(ClassSharded)
+		if sh == nil || sh.Status["200"] != sh.Completed {
+			t.Fatalf("seed %d sharded class not all 200: %+v", seed, sh)
+		}
+		if sh.DistinctEnergies != 1 {
+			t.Fatalf("seed %d: %d distinct energies within one phase", seed, sh.DistinctEnergies)
+		}
+		return sh
+	}
+
+	sm := metrics.Shard()
+	dispatched := sm.PeerDispatch.Load()
+	healthy := run(21)
+	if sm.PeerDispatch.Load() == dispatched {
+		t.Fatal("all-healthy phase never dispatched to a peer")
+	}
+
+	// Kill peer 0 and keep serving: retries and the local fallback absorb
+	// the loss, the answer does not move.
+	quarantined := sm.PeerQuarantined.Load()
+	if err := top.KillPeer(0); err != nil {
+		t.Fatal(err)
+	}
+	churn := run(22)
+	if churn.Energy != healthy.Energy {
+		t.Fatalf("energy moved under churn: %v vs healthy %v", churn.Energy, healthy.Energy)
+	}
+	// The first dispatch failure demoted the member to suspect, which
+	// takes no traffic while a healthy peer remains — escalation to
+	// quarantine is the probe loop's job, stepped here in virtual time.
+	top.ProbePeers(context.Background())
+	top.ProbePeers(context.Background())
+	if sm.PeerQuarantined.Load() == quarantined {
+		t.Fatal("killed peer was never quarantined")
+	}
+
+	// Restart on the same address; one probe sweep readmits the member.
+	readmitted := sm.PeerReadmitted.Load()
+	if err := top.RestartPeer(0); err != nil {
+		t.Fatal(err)
+	}
+	top.ProbePeers(context.Background())
+	if sm.PeerReadmitted.Load() == readmitted {
+		t.Fatal("restarted peer was never readmitted")
+	}
+
+	after := run(23)
+	if after.Energy != healthy.Energy {
+		t.Fatalf("energy moved after readmission: %v vs healthy %v", after.Energy, healthy.Energy)
+	}
+}

@@ -37,6 +37,31 @@ type Sharding struct {
 	PeerDispatch Counter
 	PeerFallback Counter
 
+	// PeerBatches counts /v1/solve/batch round trips to peers (each
+	// carries one or more sub-solves); PeerRetries the re-dispatches of
+	// a failed peer group under the per-round retry budget.
+	PeerBatches Counter
+	PeerRetries Counter
+
+	// PeerHedges counts hedged duplicate dispatches launched when a
+	// shard exceeded the fleet's hedge latency threshold; PeerHedgesWon
+	// the hedges whose duplicate finished first (the re-steal path),
+	// PeerHedgesLost the ones where the primary still won.
+	PeerHedges     Counter
+	PeerHedgesWon  Counter
+	PeerHedgesLost Counter
+
+	// PeerProbes counts background /readyz health probes; PeerProbeFails
+	// the probes that failed.
+	PeerProbes     Counter
+	PeerProbeFails Counter
+
+	// PeerQuarantined counts healthy/suspect → quarantined transitions;
+	// PeerReadmitted the quarantined → healthy readmissions (probe or
+	// dispatch success after quarantine).
+	PeerQuarantined Counter
+	PeerReadmitted  Counter
+
 	// RoundTime accumulates per-round wall clock across all shard solves.
 	RoundTime Timer
 }
@@ -56,6 +81,15 @@ func (s *Sharding) reset() {
 	s.Rejected.reset()
 	s.PeerDispatch.reset()
 	s.PeerFallback.reset()
+	s.PeerBatches.reset()
+	s.PeerRetries.reset()
+	s.PeerHedges.reset()
+	s.PeerHedgesWon.reset()
+	s.PeerHedgesLost.reset()
+	s.PeerProbes.reset()
+	s.PeerProbeFails.reset()
+	s.PeerQuarantined.reset()
+	s.PeerReadmitted.reset()
 	s.RoundTime.reset()
 }
 
@@ -70,8 +104,19 @@ type ShardingSnapshot struct {
 	Rejected     int64 `json:"rejected"`
 	PeerDispatch int64 `json:"peer_dispatch"`
 	PeerFallback int64 `json:"peer_fallback"`
-	RoundTimeNS  int64 `json:"round_time_ns"`
-	MeanRoundNS  int64 `json:"mean_round_ns"`
+
+	PeerBatches     int64 `json:"peer_batches"`
+	PeerRetries     int64 `json:"peer_retries"`
+	PeerHedges      int64 `json:"peer_hedges"`
+	PeerHedgesWon   int64 `json:"peer_hedges_won"`
+	PeerHedgesLost  int64 `json:"peer_hedges_lost"`
+	PeerProbes      int64 `json:"peer_probes"`
+	PeerProbeFails  int64 `json:"peer_probe_fails"`
+	PeerQuarantined int64 `json:"peer_quarantined"`
+	PeerReadmitted  int64 `json:"peer_readmitted"`
+
+	RoundTimeNS int64 `json:"round_time_ns"`
+	MeanRoundNS int64 `json:"mean_round_ns"`
 }
 
 // ShardSnapshot copies the sharding aggregates.
@@ -86,8 +131,19 @@ func ShardSnapshot() ShardingSnapshot {
 		Rejected:     s.Rejected.Load(),
 		PeerDispatch: s.PeerDispatch.Load(),
 		PeerFallback: s.PeerFallback.Load(),
-		RoundTimeNS:  int64(s.RoundTime.Total()),
-		MeanRoundNS:  int64(s.RoundTime.Mean()),
+
+		PeerBatches:     s.PeerBatches.Load(),
+		PeerRetries:     s.PeerRetries.Load(),
+		PeerHedges:      s.PeerHedges.Load(),
+		PeerHedgesWon:   s.PeerHedgesWon.Load(),
+		PeerHedgesLost:  s.PeerHedgesLost.Load(),
+		PeerProbes:      s.PeerProbes.Load(),
+		PeerProbeFails:  s.PeerProbeFails.Load(),
+		PeerQuarantined: s.PeerQuarantined.Load(),
+		PeerReadmitted:  s.PeerReadmitted.Load(),
+
+		RoundTimeNS: int64(s.RoundTime.Total()),
+		MeanRoundNS: int64(s.RoundTime.Mean()),
 	}
 }
 
@@ -101,6 +157,15 @@ func RenderShard(w io.Writer, snap ShardingSnapshot) {
 		snap.Runs, snap.Rounds, snap.SubSolves, snap.SubErrors,
 		snap.Accepted, snap.Rejected, snap.PeerDispatch, snap.PeerFallback,
 		time.Duration(snap.RoundTimeNS).Round(time.Microsecond))
+	if snap.PeerBatches+snap.PeerRetries+snap.PeerHedges+snap.PeerProbes+
+		snap.PeerQuarantined+snap.PeerReadmitted == 0 {
+		return
+	}
+	fmt.Fprintf(w, "fleet: batches %d retries %d hedges %d (%d won / %d lost) probes %d (%d failed) quarantined %d readmitted %d\n",
+		snap.PeerBatches, snap.PeerRetries, snap.PeerHedges,
+		snap.PeerHedgesWon, snap.PeerHedgesLost,
+		snap.PeerProbes, snap.PeerProbeFails,
+		snap.PeerQuarantined, snap.PeerReadmitted)
 }
 
 // The sharding aggregates are published as the expvar "isinglut.shard",

@@ -175,7 +175,41 @@ type SolveResponse struct {
 	// solve); ShardRounds the exchange rounds it executed.
 	Shards      int `json:"shards,omitempty"`
 	ShardRounds int `json:"shard_rounds,omitempty"`
+	// Degraded marks a coordinator-mode response whose sub-solves had to
+	// abandon the peer fleet (retry budget or healthy set exhausted) and
+	// run on the local fallback instead. The answer is still bit-identical
+	// to the all-healthy run — DegradedReason ("degraded_peers") flags the
+	// capacity loss, not a quality loss. Degraded responses are never
+	// cached, mirroring the decompose fallback's rule.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
+
+// SolveBatchRequest is the coordinator-to-peer wire format of
+// /v1/solve/batch: all sub-solves destined for one peer in one exchange
+// round ride a single round trip instead of one /v1/solve each.
+type SolveBatchRequest struct {
+	Items []SolveRequest `json:"items"`
+}
+
+// SolveBatchItem is one entry of a batch response: exactly one of
+// Response or Error is set. Per-item failure is deliberate — one
+// rejected sub-solve must not poison its batch-mates.
+type SolveBatchItem struct {
+	Response *SolveResponse `json:"response,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// SolveBatchResponse answers /v1/solve/batch, item i answering request
+// item i.
+type SolveBatchResponse struct {
+	Items []SolveBatchItem `json:"items"`
+}
+
+// maxBatchItems caps one /v1/solve/batch body: far above any real
+// exchange round's per-peer shard count, low enough that a malformed
+// client cannot queue unbounded work in one request.
+const maxBatchItems = 256
 
 // Health is the /healthz payload. /healthz is pure liveness — it
 // answers 200 as long as the process can serve HTTP, even while
@@ -192,6 +226,10 @@ type Health struct {
 	// Breakers maps endpoint name to circuit-breaker state ("closed",
 	// "open", "half-open").
 	Breakers map[string]string `json:"breakers,omitempty"`
+	// Peers maps peer base URL to its fleet lifecycle entry (coordinator
+	// mode only). The legacy "peer:<url>" Breakers entries remain for
+	// scrapers that predate the fleet manager.
+	Peers map[string]PeerHealth `json:"peers,omitempty"`
 }
 
 // Readiness is the /readyz payload.

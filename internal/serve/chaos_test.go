@@ -329,6 +329,45 @@ func TestChaosEverySiteFires(t *testing.T) {
 	}
 	fault.DisarmAll()
 
+	// serve.peer.dispatch + serve.peer.hedge: fleet-era coordinator
+	// faults. One dropped batch dispatch retries within the round budget;
+	// the hedge failpoint forces the straggler threshold to zero so the
+	// re-steal path launches duplicates. Both are capacity events only —
+	// the answer still comes back 200 with valid spins.
+	_, peerA := testServer(t, Config{Workers: 2})
+	_, peerB := testServer(t, Config{Workers: 2})
+	fs, fts := testServer(t, Config{
+		Workers: 2, Retries: -1, RetryBackoff: time.Millisecond,
+		Peers: []string{peerA.URL, peerB.URL},
+	})
+	fault.MustArm("serve.peer.dispatch", fault.Scenario{Mode: fault.ModeDrop, Times: 1})
+	fault.MustArm("serve.peer.hedge", fault.Scenario{Times: -1})
+	resp = postJSON(t, fts.URL+"/v1/solve", SolveRequest{
+		N: 12, Steps: 100, Seed: 23, Shard: 4, ShardRounds: 2,
+		Couplings: ringCouplings(12),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator solve under fleet faults: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	fault.DisarmAll()
+
+	// serve.peer.probe: a dropped /readyz demotes the keyed member to
+	// suspect; the next clean sweep readmits it to healthy.
+	fault.MustArm("serve.peer.probe", fault.Scenario{Mode: fault.ModeDrop, Keys: []int64{0}, Times: -1})
+	fs.fleet.probeAll(context.Background())
+	if st, _, _ := fs.peers[0].snapshot(); st != peerSuspect {
+		t.Fatalf("peer 0 state %v after dropped probe, want suspect", st)
+	}
+	if st, _, _ := fs.peers[1].snapshot(); st == peerQuarantined {
+		t.Fatal("unkeyed peer 1 was hit by the keyed probe fault")
+	}
+	fault.DisarmAll()
+	fs.fleet.probeAll(context.Background())
+	if st, _, _ := fs.peers[0].snapshot(); st != peerHealthy {
+		t.Fatalf("peer 0 state %v after clean probe, want healthy", st)
+	}
+
 	for _, site := range fault.Sites() {
 		if fault.Fired(site) == 0 {
 			t.Errorf("failpoint %q never fired — extend the chaos suite", site)

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -116,6 +118,61 @@ func TestCoordinatorPeerBreakerOpens(t *testing.T) {
 	h := decodeBody[Health](t, resp)
 	if got := h.Breakers["peer:http://peer.invalid"]; got != "open" {
 		t.Fatalf("healthz peer breaker %q, want open (breakers: %v)", got, h.Breakers)
+	}
+}
+
+// TestCoordinatorBreakerHalfOpenSingleProbe races concurrent dispatches
+// against a peer breaker that just entered half-open: exactly one caller
+// may be admitted as the probe — a thundering herd onto a barely
+// recovering peer would re-kill it. Uses the same breaker construction
+// as the coordinator's peers with a controlled clock, and is meant to
+// run under -race.
+func TestCoordinatorBreakerHalfOpenSingleProbe(t *testing.T) {
+	base := time.Now()
+	var mu sync.Mutex
+	now := base
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	b := newBreaker(1, time.Second, clock)
+
+	b.failure()
+	if got := b.currentState(); got != breakerOpen {
+		t.Fatalf("breaker state %v after threshold failures, want open", got)
+	}
+	mu.Lock()
+	now = base.Add(2 * time.Second) // past the cooldown: next allow is half-open
+	mu.Unlock()
+
+	const racers = 8
+	start := make(chan struct{})
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open breaker admitted %d concurrent probes, want exactly 1", got)
+	}
+
+	// The lone probe's success closes the breaker for everyone.
+	b.success()
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("breaker state %v after successful probe, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected traffic")
 	}
 }
 

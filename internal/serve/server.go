@@ -88,6 +88,18 @@ type Config struct {
 	// (default 10s): a straggling peer fails that one sub-solve over to
 	// the local fallback instead of stalling the whole exchange round.
 	ShardTimeout time.Duration
+	// PeerProbeInterval paces the background /readyz fleet probes
+	// (default 2s, jittered ±20%); negative disables the probe loop
+	// (dispatch outcomes still drive the lifecycle).
+	PeerProbeInterval time.Duration
+	// PeerHedgeQuantile is the fleet latency quantile past which a
+	// straggling sub-solve dispatch launches a hedged duplicate on a
+	// second peer (default 0.95); negative disables hedging.
+	PeerHedgeQuantile float64
+	// PeerRetryBudget bounds peer re-dispatches per exchange round across
+	// all shards (default 3); when it is spent, failed dispatches degrade
+	// straight to the local fallback. Negative means no retries.
+	PeerRetryBudget int
 	// Logf, when non-nil, receives one line per lifecycle event (startup,
 	// drain, shutdown). Request logging is intentionally absent — the
 	// metrics layer carries the aggregate story.
@@ -157,6 +169,18 @@ func (c Config) withDefaults() Config {
 	if c.ShardTimeout <= 0 {
 		c.ShardTimeout = shardTimeoutDefault
 	}
+	if c.PeerProbeInterval == 0 {
+		c.PeerProbeInterval = 2 * time.Second
+	}
+	if c.PeerHedgeQuantile == 0 {
+		c.PeerHedgeQuantile = 0.95
+	}
+	if c.PeerRetryBudget == 0 {
+		c.PeerRetryBudget = 3
+	}
+	if c.PeerRetryBudget < 0 {
+		c.PeerRetryBudget = 0
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -201,8 +225,10 @@ type Server struct {
 	solveBreaker     *breaker
 
 	// peers are the coordinator-mode sub-solve targets (Config.Peers),
-	// each behind its own breaker.
+	// each behind its own breaker; fleet is the pool managing their
+	// lifecycle, placement and hedging (nil without peers).
 	peers []*peerClient
+	fleet *peerPool
 }
 
 // New builds a Server from the config (zero values take defaults).
@@ -222,15 +248,20 @@ func New(cfg Config) *Server {
 		decomposeBreaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
 		solveBreaker:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
 	}
-	for _, url := range cfg.Peers {
+	for i, url := range cfg.Peers {
 		s.peers = append(s.peers, &peerClient{
 			url:     url,
 			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock.Now),
+			idx:     i,
 		})
+	}
+	if len(s.peers) > 0 {
+		s.fleet = newPeerPool(s.peers, cfg)
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /v1/decompose", s.handleDecompose)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
@@ -240,6 +271,26 @@ func New(cfg Config) *Server {
 // Handler returns the service's HTTP handler (also useful under
 // httptest or an outer mux).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartPeerProbes launches the background fleet-probe loop (no-op
+// without peers or with a negative PeerProbeInterval). Run calls it;
+// test harnesses that mount Handler directly call it themselves — or
+// skip it and drive s.fleet.probeAll for virtual-time determinism.
+func (s *Server) StartPeerProbes(ctx context.Context) {
+	if s.fleet == nil || s.cfg.PeerProbeInterval < 0 {
+		return
+	}
+	go s.fleet.probeLoop(ctx)
+}
+
+// ProbePeersOnce runs one synchronous fleet probe sweep (no-op without
+// peers). The topology harness and the deterministic tests step the peer
+// lifecycle with it instead of waiting out the background interval.
+func (s *Server) ProbePeersOnce(ctx context.Context) {
+	if s.fleet != nil {
+		s.fleet.probeAll(ctx)
+	}
+}
 
 // Run serves on cfg.Addr until ctx is cancelled or a SIGTERM/SIGINT
 // arrives, then drains: admission stops, in-flight requests get
@@ -261,6 +312,10 @@ func (s *Server) Run(ctx context.Context, ready chan<- net.Addr) error {
 	httpSrv := &http.Server{Handler: s.mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	probeCtx, probeCancel := context.WithCancel(ctx)
+	defer probeCancel()
+	s.StartPeerProbes(probeCtx)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -521,8 +576,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		res    isinglut.IsingResult
-		runErr error
+		res           isinglut.IsingResult
+		runErr        error
+		degradedPeers bool
 	)
 	ok, jobErr := s.admit(w, met, started, func() {
 		ctx, cancel := s.solveContext(r, req.TimeoutMS)
@@ -531,9 +587,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			var err error
 			if req.Shard > 0 && len(s.peers) > 0 {
 				// Coordinator mode: sub-solves fan out to the peer daemons,
-				// breaker-guarded with bit-identical local fallback, so the
+				// fleet-managed with bit-identical local fallback, so the
 				// answer matches the single-node sharded solve exactly.
-				res, err = isinglut.SolveIsingShardedContext(ctx, prob, sbOpts, s.shardDispatcher(&req, sbOpts))
+				disp := s.shardDispatcher(&req, sbOpts)
+				res, err = isinglut.SolveIsingShardedContext(ctx, prob, sbOpts, disp)
+				if disp.degraded.Load() {
+					degradedPeers = true
+				}
 			} else {
 				res, err = isinglut.SolveIsingContext(ctx, prob, sbOpts)
 			}
@@ -578,15 +638,127 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Shards:      res.Shards,
 		ShardRounds: res.ExchangeRounds,
 	}
+	if degradedPeers {
+		resp.Degraded = true
+		resp.DegradedReason = "degraded_peers"
+	}
 	// Quantized results never enter the cache: the slot is shared with the
 	// exact request form (Quant is excluded from the key), and an
 	// approximate result must not shadow the exact answer. A quant request
 	// whose solve fell back to the float engine (res.Quantized false) is
-	// the exact answer and caches normally.
-	if (resp.StopReason == "converged" || resp.StopReason == "max-iters") && !res.Quantized {
+	// the exact answer and caches normally. Degraded coordinator results
+	// stay out too, mirroring the decompose fallback's rule.
+	if (resp.StopReason == "converged" || resp.StopReason == "max-iters") && !res.Quantized && !resp.Degraded {
 		s.cache.Put(key, resp)
 	}
 	writeJSON(w, met, started, http.StatusOK, resp)
+}
+
+// handleSolveBatch answers the coordinator's batched sub-solve dispatch:
+// every item runs through the same validation, pool, retry and solver
+// layers as /v1/solve, concurrently (the pool bounds actual
+// parallelism), and fails independently — item i of the response always
+// answers item i of the request, carrying either a result or that
+// item's error. Batch results are never cached: sub-problems are
+// round-specific clamped fragments no other request will ever ask for.
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	met := s.solveMet
+	met.Requests.Inc()
+
+	var breq SolveBatchRequest
+	if err := decodeJSON(r, &breq); err != nil {
+		writeError(w, met, started, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(breq.Items) == 0 {
+		writeError(w, met, started, http.StatusBadRequest, "batch needs at least one item")
+		return
+	}
+	if len(breq.Items) > maxBatchItems {
+		writeError(w, met, started, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d items, limit is %d", len(breq.Items), maxBatchItems))
+		return
+	}
+	if s.draining.Load() {
+		met.Drained.Inc()
+		writeError(w, met, started, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+
+	resp := SolveBatchResponse{Items: make([]SolveBatchItem, len(breq.Items))}
+	var wg sync.WaitGroup
+	for i := range breq.Items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp.Items[i] = s.runBatchItem(r, &breq.Items[i])
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, met, started, http.StatusOK, resp)
+}
+
+// runBatchItem executes one batch entry end to end. Pool saturation is
+// an item error (the coordinator falls that sub-solve back locally),
+// not a batch-wide 429 — the batch-mates that did get slots still count.
+func (s *Server) runBatchItem(r *http.Request, req *SolveRequest) SolveBatchItem {
+	met := s.solveMet
+	prob, sbOpts, err := s.buildSolve(req)
+	if err != nil {
+		return SolveBatchItem{Error: err.Error()}
+	}
+	started := time.Now()
+	var (
+		res    isinglut.IsingResult
+		runErr error
+	)
+	t, err := s.pool.submit(func() {
+		ctx, cancel := s.solveContext(r, req.TimeoutMS)
+		defer cancel()
+		runErr = s.withRetries(ctx, met, func() error {
+			var err error
+			res, err = isinglut.SolveIsingContext(ctx, prob, sbOpts)
+			if err != nil {
+				return err
+			}
+			if res.StopReason == "diverged" || res.StopReason == "failed" {
+				return fmt.Errorf("solver %s: no finite-energy result", res.StopReason)
+			}
+			return nil
+		})
+	}, met.QueueWait.Observe)
+	switch err {
+	case nil:
+	case errSaturated:
+		met.Shed.Inc()
+		return SolveBatchItem{Error: "worker pool saturated"}
+	default:
+		met.Drained.Inc()
+		return SolveBatchItem{Error: "server draining"}
+	}
+	<-t.done
+	if t.panicked != nil {
+		met.Panics.Inc()
+		return SolveBatchItem{Error: fmt.Sprintf("solver job panicked: %v", t.panicked)}
+	}
+	if runErr != nil {
+		return SolveBatchItem{Error: runErr.Error()}
+	}
+	spins := make([]int8, len(res.Spins))
+	copy(spins, res.Spins)
+	return SolveBatchItem{Response: &SolveResponse{
+		Spins:      spins,
+		Energy:     res.Energy,
+		Iterations: res.Iterations,
+		Replicas:   res.Replicas,
+		EarlyStops: res.EarlyStops,
+		StopReason: res.StopReason,
+		ElapsedMS:  float64(time.Since(started)) / float64(time.Millisecond),
+		Rescued:    res.Rescued,
+		Quantized:  res.Quantized,
+		BitPacked:  res.BitPacked,
+	}}
 }
 
 // buildSolve validates the wire problem and maps it onto the public
@@ -721,6 +893,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, p := range s.peers {
 		h.Breakers["peer:"+p.url] = p.breaker.currentState().String()
+	}
+	if s.fleet != nil {
+		h.Peers = s.fleet.fleetHealth()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)

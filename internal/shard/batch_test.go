@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"isinglut/internal/metrics"
+)
+
+// recordingBatchDispatcher delegates to LocalDispatcher but takes whole
+// rounds through SolveBatch, recording the coalescing the exchange loop
+// performed.
+type recordingBatchDispatcher struct {
+	local LocalDispatcher
+
+	mu         sync.Mutex
+	batchCalls int
+	batchSubs  int
+	soloCalls  int
+}
+
+func (d *recordingBatchDispatcher) Solve(ctx context.Context, sub SubProblem) (SubResult, error) {
+	d.mu.Lock()
+	d.soloCalls++
+	d.mu.Unlock()
+	return d.local.Solve(ctx, sub)
+}
+
+func (d *recordingBatchDispatcher) SolveBatch(ctx context.Context, subs []SubProblem) ([]SubResult, []error) {
+	d.mu.Lock()
+	d.batchCalls++
+	d.batchSubs += len(subs)
+	d.mu.Unlock()
+	res := make([]SubResult, len(subs))
+	errs := make([]error, len(subs))
+	for i, sub := range subs {
+		res[i], errs[i] = d.local.Solve(ctx, sub)
+	}
+	return res, errs
+}
+
+// TestShardBatchDispatcherParity: the exchange loop hands a
+// BatchDispatcher one call per round covering every multi-member shard,
+// never falls back to per-sub Solve, and the answer is bit-identical to
+// the plain per-sub dispatch path (batching is transport coalescing,
+// not a schedule change).
+func TestShardBatchDispatcherParity(t *testing.T) {
+	p := randProblem(t, 48, 0.15, 13)
+	cfg := Config{
+		MaxShard: 12,
+		Rounds:   5,
+		Seed:     17,
+		Base:     quickBase(),
+	}
+
+	want, err := Solve(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &recordingBatchDispatcher{local: LocalDispatcher{Base: cfg.Base}}
+	bcfg := cfg
+	bcfg.Dispatch = rec
+	got, err := Solve(context.Background(), p, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rec.batchCalls == 0 {
+		t.Fatal("BatchDispatcher was never offered a round batch")
+	}
+	if rec.soloCalls != 0 {
+		t.Fatalf("%d sub-solves bypassed SolveBatch for per-sub Solve", rec.soloCalls)
+	}
+	if rec.batchSubs != got.SubSolves {
+		t.Fatalf("batches carried %d subs, result accounts %d sub-solves", rec.batchSubs, got.SubSolves)
+	}
+	if got.Energy != want.Energy {
+		t.Fatalf("batched energy %v, per-sub %v", got.Energy, want.Energy)
+	}
+	for i := range want.Spins {
+		if got.Spins[i] != want.Spins[i] {
+			t.Fatalf("spin %d differs under batching: %d vs %d", i, got.Spins[i], want.Spins[i])
+		}
+	}
+}
+
+// panickingBatchDispatcher dies mid-batch; wrongLenBatchDispatcher lies
+// about its slice lengths. Both must degrade to failed sub-solves for the
+// round, never a crashed or corrupted exchange.
+type panickingBatchDispatcher struct{}
+
+func (panickingBatchDispatcher) Solve(context.Context, SubProblem) (SubResult, error) {
+	panic("solo path must not run")
+}
+
+func (panickingBatchDispatcher) SolveBatch(context.Context, []SubProblem) ([]SubResult, []error) {
+	panic("injected batch dispatcher crash")
+}
+
+type wrongLenBatchDispatcher struct{}
+
+func (wrongLenBatchDispatcher) Solve(context.Context, SubProblem) (SubResult, error) {
+	panic("solo path must not run")
+}
+
+func (wrongLenBatchDispatcher) SolveBatch(_ context.Context, subs []SubProblem) ([]SubResult, []error) {
+	return make([]SubResult, len(subs)+2), make([]error, 1)
+}
+
+func TestShardBatchDispatcherFailuresIsolated(t *testing.T) {
+	p := randProblem(t, 20, 0.3, 6)
+	for name, disp := range map[string]Dispatcher{
+		"panicking": panickingBatchDispatcher{},
+		"wrong-len": wrongLenBatchDispatcher{},
+	} {
+		res, err := Solve(context.Background(), p, Config{
+			MaxShard: 6,
+			Rounds:   2,
+			Seed:     1,
+			Dispatch: disp,
+		})
+		if err != nil {
+			t.Fatalf("%s: Solve: %v", name, err)
+		}
+		if res.SubErrors != res.SubSolves || res.SubSolves == 0 {
+			t.Fatalf("%s: SubErrors = %d of %d sub-solves, want all", name, res.SubErrors, res.SubSolves)
+		}
+		if res.Stopped != metrics.StopMaxIters {
+			t.Fatalf("%s: Stopped = %s, want max-iters", name, res.Stopped)
+		}
+		if got := p.Energy(res.Spins); math.Abs(got-res.Energy) > 1e-9 {
+			t.Fatalf("%s: energy %.9f but spins evaluate to %.9f", name, res.Energy, got)
+		}
+	}
+}

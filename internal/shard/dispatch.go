@@ -64,6 +64,19 @@ type Dispatcher interface {
 	Solve(ctx context.Context, sub SubProblem) (SubResult, error)
 }
 
+// BatchDispatcher is a Dispatcher that additionally accepts one
+// round's sub-solves in a single call, so an implementation that talks
+// to remote peers can coalesce same-destination work into one round
+// trip. SolveBatch returns parallel slices: results[i] is valid iff
+// errs[i] is nil. Failures are strictly per item — the exchange loop
+// degrades a failed sub-solve to kept spins exactly as it would for a
+// failed Solve, and the whole call must be deterministic per
+// SubProblem.Seed like Solve is.
+type BatchDispatcher interface {
+	Dispatcher
+	SolveBatch(ctx context.Context, subs []SubProblem) ([]SubResult, []error)
+}
+
 // LocalDispatcher solves subproblems on the in-process batch engine. The
 // zero value works: Base falls back to the sb defaults and Replicas to 1.
 // Workers is pinned to 1 inside — shard-level parallelism lives in the
@@ -144,4 +157,31 @@ func dispatch(ctx context.Context, disp Dispatcher, sub SubProblem) (res SubResu
 		}
 	}()
 	return disp.Solve(ctx, sub)
+}
+
+// dispatchBatch runs disp.SolveBatch behind the same recover boundary:
+// a panicking implementation fails every sub-solve of the round, never
+// the round itself. A malformed return (slice lengths off) is repaired
+// to all-errors rather than trusted.
+func dispatchBatch(ctx context.Context, disp BatchDispatcher, subs []SubProblem) (res []SubResult, errs []error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res = make([]SubResult, len(subs))
+			errs = make([]error, len(subs))
+			for i := range errs {
+				errs[i] = fmt.Errorf("batch dispatcher panicked: %v", rec)
+			}
+		}
+	}()
+	res, errs = disp.SolveBatch(ctx, subs)
+	if len(res) != len(subs) || len(errs) != len(subs) {
+		err := fmt.Errorf("batch dispatcher returned %d results / %d errors for %d subproblems",
+			len(res), len(errs), len(subs))
+		res = make([]SubResult, len(subs))
+		errs = make([]error, len(subs))
+		for i := range errs {
+			errs[i] = err
+		}
+	}
+	return res, errs
 }

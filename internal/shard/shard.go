@@ -159,6 +159,10 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 	if disp == nil {
 		disp = &LocalDispatcher{Base: cfg.Base, Replicas: cfg.Replicas}
 	}
+	// A BatchDispatcher takes the whole round's sub-solves in one call
+	// (the serve-layer coordinator coalesces same-peer work into one
+	// round trip); plain Dispatchers keep the per-shard goroutine fan-out.
+	batchDisp, _ := disp.(BatchDispatcher)
 
 	shards := buildShards(p, maxShard)
 	if workers > len(shards) {
@@ -217,8 +221,8 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 		// snapshot, so the proposals — and with them the whole solve —
 		// do not depend on scheduling. Size-1 shards have a closed-form
 		// optimum under clamped boundaries and skip the dispatcher.
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
+		var subs []SubProblem
+		var subShard []int // subs[k] belongs to shards[subShard[k]]
 		for si := range shards {
 			proposals[si], subIters[si], subQuant[si], subErrs[si] = nil, 0, false, nil
 			in := shards[si]
@@ -236,41 +240,58 @@ func Solve(ctx context.Context, p *ising.Problem, cfg Config) (Result, error) {
 				proposals[si] = []int8{s}
 				continue
 			}
-			wg.Add(1)
-			go func(si int, in *shardInfo) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				sub := SubProblem{
-					Round:     round,
-					Index:     si,
-					N:         len(in.members),
-					Couplings: in.triplets,
-					Bias:      make([]float64, len(in.members)),
-					Seed:      subSeed(cfg.Seed, round, si),
+			sub := SubProblem{
+				Round:     round,
+				Index:     si,
+				N:         len(in.members),
+				Couplings: in.triplets,
+				Bias:      make([]float64, len(in.members)),
+				Seed:      subSeed(cfg.Seed, round, si),
+			}
+			for l, v := range in.members {
+				heff := p.Bias(v)
+				for _, a := range in.boundary[l] {
+					heff += a.w * float64(snapshot[a.to])
 				}
-				for l, v := range in.members {
-					heff := p.Bias(v)
-					for _, a := range in.boundary[l] {
-						heff += a.w * float64(snapshot[a.to])
-					}
-					sub.Bias[l] = heff
-				}
-				r, err := dispatch(ctx, disp, sub)
-				if err == nil {
-					err = validateSpins(r.Spins, len(in.members))
-				}
-				if err != nil {
-					subErrs[si] = err
-					return
-				}
-				proposals[si] = r.Spins
-				subIters[si] = r.Iterations
-				subQuant[si] = r.Quantized
-				subPacked[si] = r.BitPacked
-			}(si, in)
+				sub.Bias[l] = heff
+			}
+			subs = append(subs, sub)
+			subShard = append(subShard, si)
 		}
-		wg.Wait()
+		apply := func(si int, r SubResult, err error) {
+			in := shards[si]
+			if err == nil {
+				err = validateSpins(r.Spins, len(in.members))
+			}
+			if err != nil {
+				subErrs[si] = err
+				return
+			}
+			proposals[si] = r.Spins
+			subIters[si] = r.Iterations
+			subQuant[si] = r.Quantized
+			subPacked[si] = r.BitPacked
+		}
+		if batchDisp != nil && len(subs) > 0 {
+			results, errs := dispatchBatch(ctx, batchDisp, subs)
+			for k := range subs {
+				apply(subShard[k], results[k], errs[k])
+			}
+		} else {
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, workers)
+			for k := range subs {
+				wg.Add(1)
+				go func(k int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					r, err := dispatch(ctx, disp, subs[k])
+					apply(subShard[k], r, err)
+				}(k)
+			}
+			wg.Wait()
+		}
 
 		// Exchange: apply proposals sequentially in shard order behind the
 		// accept-if-improves guard. Each shard's delta is evaluated against
